@@ -1,0 +1,57 @@
+// Ablation: the Stay-Away policy against the actuation-equivalent
+// baselines — reactive throttling (act only after an observed violation)
+// and static-threshold throttling (fixed utilization caps) — plus the
+// no-prevention bound, across the main co-locations.
+//
+// This quantifies what the prediction machinery buys over simpler rules
+// with identical pause/resume actuation.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace stayaway;
+  using namespace stayaway::bench;
+
+  std::cout << "=== Ablation: policy comparison ===\n\n";
+  std::cout << pad_right("co-location", 32) << pad_left("policy", 18)
+            << pad_left("viol%", 8) << pad_left("avg_qos", 9)
+            << pad_left("gain%", 8) << "\n";
+
+  const std::vector<std::pair<harness::SensitiveKind, harness::BatchKind>>
+      colocations{
+          {harness::SensitiveKind::VlcStream, harness::BatchKind::CpuBomb},
+          {harness::SensitiveKind::VlcStream,
+           harness::BatchKind::TwitterAnalysis},
+          {harness::SensitiveKind::WebserviceMem, harness::BatchKind::MemBomb},
+      };
+  const std::vector<harness::PolicyKind> policies{
+      harness::PolicyKind::StayAway, harness::PolicyKind::Reactive,
+      harness::PolicyKind::StaticThreshold, harness::PolicyKind::NoPrevention};
+
+  for (const auto& [sensitive, batch] : colocations) {
+    auto base = figure_spec(sensitive, batch, /*duration_s=*/300.0, 1900);
+    base.workload = harness::compressed_diurnal(base.duration_s, 1.5, 99);
+    harness::ExperimentResult iso = harness::run_isolated(base);
+    std::string label =
+        std::string(to_string(sensitive)) + "+" + to_string(batch);
+    for (auto policy : policies) {
+      auto spec = base;
+      spec.policy = policy;
+      harness::ExperimentResult run = harness::run_experiment(spec);
+      double gain =
+          harness::series_mean(harness::gained_utilization(run, iso)) * 100.0;
+      std::cout << pad_right(label, 32) << pad_left(to_string(policy), 18)
+                << pad_left(
+                       format_double(run.violation_fraction * 100.0, 1) + "%",
+                       8)
+                << pad_left(format_double(run.avg_qos, 3), 9)
+                << pad_left(format_double(gain, 1) + "%", 8) << "\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Expected: stay-away dominates the violation/utilization\n"
+               "trade-off — fewer violations than reactive (which must eat\n"
+               "one violation per episode) at comparable or better gain, and\n"
+               "far fewer violations than static thresholds on swap-driven\n"
+               "interference they cannot see.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 4: "Variation of the radius of violation-range as
+// distance between the violation-state and nearest safe-state varies."
+//
+// The radius follows R = d * exp(-d^2 / (2 c^2)) (§3.2.2): near-linear
+// growth while little is known near the violation, a peak at d == c, and
+// decay once the nearest safe state is far away (ample exploration room).
+// The exploration range is the remainder d - R.
+#include <iostream>
+#include <vector>
+
+#include "stats/rayleigh.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace stayaway;
+
+  std::cout << "=== Figure 4: violation-range radius vs distance ===\n";
+  std::cout << "R = d * exp(-d^2 / (2 c^2)), c = median coordinate range\n\n";
+
+  const std::vector<double> scales{0.5, 1.0, 2.0};
+  const double d_max = 5.0;
+  const std::size_t steps = 50;
+
+  CsvWriter csv(std::cout);
+  csv.header({"d", "R_c0.5", "explore_c0.5", "R_c1", "explore_c1", "R_c2",
+              "explore_c2"});
+  std::vector<std::vector<double>> radius_series(scales.size());
+  for (std::size_t i = 0; i <= steps; ++i) {
+    double d = d_max * static_cast<double>(i) / static_cast<double>(steps);
+    std::vector<double> row{d};
+    for (std::size_t s = 0; s < scales.size(); ++s) {
+      double r = stats::rayleigh_radius(d, scales[s]);
+      radius_series[s].push_back(r);
+      row.push_back(r);
+      row.push_back(d - r);  // exploration range
+    }
+    csv.row(row);
+  }
+
+  PlotOptions opts;
+  opts.title = "violation-range radius vs distance d (glyphs: c=0.5, 1, 2)";
+  std::cout << "\n"
+            << plot_lines(radius_series, {"c=0.5", "c=1", "c=2"}, opts);
+
+  for (double c : scales) {
+    std::cout << "peak for c=" << c << ": d=" << stats::rayleigh_peak_distance(c)
+              << " R=" << stats::rayleigh_peak_radius(c) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Figure 9: "VLC with Twitter-Analysis" — normalized QoS of
+// the VLC streaming server co-located with the CloudSuite Twitter
+// influence-ranking job, with and without Stay-Away.
+//
+// Expected shape: contention is phase- and workload-dependent (Twitter's
+// CPU phase at diurnal peaks), so no-prevention violates in bursts;
+// Stay-Away throttles only around those episodes.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace stayaway;
+  using namespace stayaway::bench;
+
+  auto spec = figure_spec(harness::SensitiveKind::VlcStream,
+                          harness::BatchKind::TwitterAnalysis);
+  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 32);
+  FigureRuns runs = run_figure(spec);
+  print_qos_figure("Figure 9: VLC streaming + Twitter-Analysis", runs);
+
+  std::cout << "\nstay-away pauses: " << runs.stay_away.pauses
+            << ", resumes: " << runs.stay_away.resumes
+            << " (throttling tracks Twitter's phases rather than being "
+               "permanent)\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 14: "QoS of Webservice with a mix of CPU and Memory
+// intensive workload when co-located with different Batch Applications."
+//
+// One QoS panel per batch app (Soplex, Twitter, MemBomb, Batch-1,
+// Batch-2), Stay-Away active, with the no-prevention run for contrast.
+// Expected: Stay-Away keeps QoS above threshold nearly always.
+#include "bench_common.hpp"
+
+int main() {
+  stayaway::bench::print_webservice_qos_figure(
+      stayaway::harness::SensitiveKind::WebserviceMix,
+      "Figure 14: Webservice (mixed workload) QoS x batch apps", 700);
+  return 0;
+}

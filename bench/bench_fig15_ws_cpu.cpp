@@ -1,0 +1,15 @@
+// Reproduces Figure 15: "QoS of Webservice with CPU intensive workload
+// when co-located with different Batch Applications."
+//
+// Expected: the CPU-hungry batch apps (Soplex, CPU phases of Twitter,
+// Batch-1) are the aggressors; MemBomb barely interferes since the
+// CPU-intensive service holds only a small working set. Stay-Away keeps
+// QoS above threshold in every pairing.
+#include "bench_common.hpp"
+
+int main() {
+  stayaway::bench::print_webservice_qos_figure(
+      stayaway::harness::SensitiveKind::WebserviceCpu,
+      "Figure 15: Webservice (CPU-intensive workload) QoS x batch apps", 800);
+  return 0;
+}

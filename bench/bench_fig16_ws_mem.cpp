@@ -1,0 +1,16 @@
+// Reproduces Figure 16: "QoS of Webservice with Memory intensive workload
+// when co-located with different Batch Applications."
+//
+// Expected: the memory-hungry neighbours (MemBomb, Twitter's scan phase,
+// Batch-2) force swapping of the service's large working set without
+// prevention — the paper's sharpest degradation channel; Stay-Away
+// throttles them during exactly those phases.
+#include "bench_common.hpp"
+
+int main() {
+  stayaway::bench::print_webservice_qos_figure(
+      stayaway::harness::SensitiveKind::WebserviceMem,
+      "Figure 16: Webservice (memory-intensive workload) QoS x batch apps",
+      900);
+  return 0;
+}

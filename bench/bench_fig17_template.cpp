@@ -1,0 +1,53 @@
+// Reproduces Figure 17: "Template with CPUBomb" — the labelled state map
+// captured while VLC streams alongside CPUBomb with Stay-Away active.
+// This map (violation states included) is the reusable template of §6.
+//
+// The template is also written to template_vlc_cpubomb.csv so that
+// bench_fig18_template_reuse and external tools can consume it.
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/template_store.hpp"
+
+int main() {
+  using namespace stayaway;
+  using namespace stayaway::bench;
+
+  std::cout << "=== Figure 17: template capture, VLC streaming + CPUBomb "
+               "===\n\n";
+
+  auto spec = figure_spec(harness::SensitiveKind::VlcStream,
+                          harness::BatchKind::CpuBomb, 300.0, 77);
+  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 71);
+  harness::ExperimentResult run = harness::run_experiment(spec);
+
+  ScatterGroup safe{"safe", '.', {}};
+  ScatterGroup violation{"violation", '#', {}};
+  // Re-embed the exported template for the visual (positions follow from
+  // the stored high-dimensional vectors).
+  const auto& templ = *run.exported_template;
+  std::cout << "captured " << templ.entries.size() << " states, "
+            << templ.violation_count() << " violations, final beta "
+            << format_double(run.final_beta, 4) << "\n\n";
+
+  // Plot the final map positions of every state by label.
+  for (std::size_t i = 0; i < templ.entries.size(); ++i) {
+    const auto& p = run.final_map[i];
+    if (templ.entries[i].label == core::StateLabel::Violation) {
+      violation.points.emplace_back(p.x, p.y);
+    } else {
+      safe.points.emplace_back(p.x, p.y);
+    }
+  }
+  PlotOptions opts;
+  opts.title = "template map: VLC states with CPUBomb (snapshot)";
+  std::cout << plot_scatter({safe, violation}, opts) << "\n";
+
+  std::ofstream out("template_vlc_cpubomb.csv");
+  templ.save(out);
+  std::cout << "template written to template_vlc_cpubomb.csv ("
+            << templ.entries.size() << " rows)\n";
+  std::cout << "violating periods during capture: " << run.violation_periods
+            << " of " << run.qos.size() << "\n";
+  return 0;
+}

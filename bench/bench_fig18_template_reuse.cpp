@@ -1,0 +1,107 @@
+// Reproduces Figure 18: template reuse (§6). A template captured while
+// VLC streamed alongside CPUBomb is used as the initial state for fresh
+// runs alongside *different* batch applications, with Stay-Away's actions
+// disabled, to show that the template's violation-states remain valid:
+//
+//  - alongside Soplex (the paper's §7.3 setup): a mild neighbour may
+//    never map a state into the violation region — and correspondingly
+//    sees (almost) no violations;
+//  - alongside Twitter-Analysis (the Fig. 18 snapshot): violations do
+//    occur, and they land in the area characterised by the template's
+//    violation states.
+#include "bench_common.hpp"
+#include "core/template_store.hpp"
+
+namespace {
+
+struct ReuseOutcome {
+  std::size_t violations = 0;
+  std::size_t violations_in_template_region = 0;
+  std::size_t new_states = 0;
+};
+
+ReuseOutcome run_reuse(const stayaway::core::StateTemplate& templ,
+                       stayaway::harness::BatchKind batch,
+                       std::uint64_t seed) {
+  using namespace stayaway;
+  using namespace stayaway::bench;
+
+  auto spec = figure_spec(harness::SensitiveKind::VlcStream, batch, 300.0,
+                          seed);
+  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 72);
+  spec.seed_template = templ;
+  spec.stayaway.actions_enabled = false;  // observe only
+  harness::ExperimentResult run = harness::run_experiment(spec);
+
+  ReuseOutcome out;
+  out.new_states = run.representative_count - templ.entries.size();
+
+  // Which template entries are violation states?
+  std::vector<bool> template_violation(run.representative_count, false);
+  for (std::size_t i = 0; i < templ.entries.size(); ++i) {
+    template_violation[i] =
+        templ.entries[i].label == core::StateLabel::Violation;
+  }
+  // Violation-region geometry from the template states only, using the
+  // final map so states this run never revisited are still placed.
+  core::StateSpace template_space;
+  for (std::size_t i = 0; i < templ.entries.size(); ++i) {
+    template_space.add_state(templ.entries[i].label);
+  }
+  mds::Embedding template_pos(
+      run.final_map.begin(),
+      run.final_map.begin() + static_cast<std::ptrdiff_t>(templ.entries.size()));
+  template_space.sync_positions(template_pos);
+
+  for (const auto& rec : run.stayaway_records) {
+    if (!rec.violation_observed) continue;
+    ++out.violations;
+    bool in_region = rec.representative < templ.entries.size()
+                         ? template_violation[rec.representative]
+                         : false;
+    if (!in_region) in_region = template_space.in_violation_region(rec.state);
+    if (in_region) ++out.violations_in_template_region;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace stayaway;
+  using namespace stayaway::bench;
+
+  std::cout << "=== Figure 18: template reuse across batch apps (actions "
+               "disabled) ===\n\n";
+
+  // Capture the template against CPUBomb (as in Figure 17).
+  auto capture = figure_spec(harness::SensitiveKind::VlcStream,
+                             harness::BatchKind::CpuBomb, 300.0, 77);
+  capture.workload = harness::compressed_diurnal(capture.duration_s, 1.5, 71);
+  harness::ExperimentResult first = harness::run_experiment(capture);
+  const core::StateTemplate& templ = *first.exported_template;
+  std::cout << "template: " << templ.entries.size() << " states, "
+            << templ.violation_count() << " violations (from VLC+CPUBomb)\n\n";
+
+  for (auto [batch, seed] :
+       {std::pair{harness::BatchKind::Soplex, std::uint64_t{201}},
+        std::pair{harness::BatchKind::TwitterAnalysis, std::uint64_t{202}}}) {
+    ReuseOutcome out = run_reuse(templ, batch, seed);
+    std::cout << "VLC + " << to_string(batch) << ": " << out.violations
+              << " violations observed, " << out.violations_in_template_region
+              << " inside the template's violation region; " << out.new_states
+              << " new states discovered\n";
+    if (out.violations > 0) {
+      double frac = static_cast<double>(out.violations_in_template_region) /
+                    static_cast<double>(out.violations);
+      std::cout << "  -> " << format_double(frac * 100.0, 1)
+                << "% of violations land where the template predicted\n";
+    } else {
+      std::cout << "  -> this neighbour never maps into the violation "
+                   "region (and indeed never violates)\n";
+    }
+  }
+  std::cout << "\nPaper's claim: \"the violated-states from map-A would still\n"
+               "correspond to a valid violation-state for the new execution\".\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces the §5 scalability argument: "When the number of dimensions
+// increase, finding an optimal configuration of points in 2-dimensional
+// space can become difficult ... reflected in a high stress value. ...
+// This can, however, be easily circumvented by considering all the batch
+// applications as one logical VM."
+//
+// The same three-batch co-location (Table 1's Batch-1 plus MemBomb) is
+// monitored two ways: one entity per batch VM (16-dimensional vectors)
+// versus the aggregated logical batch VM (8 dimensions). Compared on the
+// final map stress, passive prediction accuracy, and — with actions on —
+// the QoS protection achieved.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace stayaway;
+using namespace stayaway::bench;
+
+harness::ExperimentSpec many_batch_spec(bool aggregate, bool actions,
+                                        std::uint64_t seed) {
+  auto spec = figure_spec(harness::SensitiveKind::WebserviceMix,
+                          harness::BatchKind::Batch2, 300.0, seed);
+  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 73);
+  spec.sampler.aggregate_batch = aggregate;
+  spec.stayaway.actions_enabled = actions;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Section 5: aggregated logical batch VM vs per-VM "
+               "monitoring ===\n\n";
+  std::cout << "co-location: Webservice(mix) + Twitter-Analysis + MemoryBomb "
+               "(two batch VMs)\n\n";
+
+  std::cout << pad_right("variant", 26) << pad_left("dims", 6)
+            << pad_left("reps", 6) << pad_left("stress", 9)
+            << pad_left("accuracy", 10) << "\n";
+  for (bool aggregate : {true, false}) {
+    harness::ExperimentResult run =
+        harness::run_experiment(many_batch_spec(aggregate, false, 2000));
+    std::size_t dims = run.exported_template->entries.front().vector.size();
+    std::cout << pad_right(aggregate ? "aggregated (logical VM)" : "per-VM",
+                           26)
+              << pad_left(std::to_string(dims), 6)
+              << pad_left(std::to_string(run.representative_count), 6)
+              << pad_left(format_double(run.final_stress, 3), 9)
+              << pad_left(format_double(run.tally.accuracy() * 100.0, 1) + "%",
+                          10)
+              << "\n";
+  }
+
+  std::cout << "\nwith actions enabled:\n";
+  std::cout << pad_right("variant", 26) << pad_left("viol%", 8)
+            << pad_left("avg_qos", 9) << pad_left("batch_cpu_s", 13)
+            << pad_left("pauses", 8) << "\n";
+  for (bool aggregate : {true, false}) {
+    harness::ExperimentResult run =
+        harness::run_experiment(many_batch_spec(aggregate, true, 2001));
+    std::cout << pad_right(aggregate ? "aggregated (logical VM)" : "per-VM",
+                           26)
+              << pad_left(
+                     format_double(run.violation_fraction * 100.0, 1) + "%", 8)
+              << pad_left(format_double(run.avg_qos, 3), 9)
+              << pad_left(format_double(run.batch_cpu_work, 1), 13)
+              << pad_left(std::to_string(run.pauses), 8) << "\n";
+  }
+
+  std::cout << "\nExpected (§5): aggregation halves the metric dimensionality"
+               "\nwhile contention remains a linear composition of the batch"
+               "\nusage, so the 2-D map keeps low stress and the controller"
+               "\nprotects QoS equally well with a simpler state space. The"
+               "\nbatch VMs are throttled collectively either way.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Example: protecting a memory-intensive Webservice from a memory-hungry
+// batch neighbour — the paper's sharpest interference channel (§7.2):
+// the batch working set forces the OS to swap the service's pages, and
+// response times fall off a cliff at modest CPU utilization.
+//
+// Compares three supervisors on the same co-location: Stay-Away, the
+// reactive baseline and a static utilization cap, plus the unprotected
+// run, using the high-level experiment harness.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace stayaway;
+  using namespace stayaway::harness;
+
+  ExperimentSpec spec;
+  spec.sensitive = SensitiveKind::WebserviceMem;
+  spec.batch = BatchKind::MemBomb;
+  spec.duration_s = 240.0;
+  spec.batch_start_s = 15.0;
+  spec.workload = compressed_diurnal(spec.duration_s, 1.5, 8);
+
+  std::cout << "=== Webservice (memory-intensive) + MemoryBomb ===\n\n";
+  ExperimentResult isolated = run_isolated(spec);
+  print_summary_header(std::cout);
+
+  ExperimentResult best;
+  for (auto policy :
+       {PolicyKind::StayAway, PolicyKind::Reactive, PolicyKind::StaticThreshold,
+        PolicyKind::NoPrevention}) {
+    spec.policy = policy;
+    ExperimentResult run = run_experiment(spec);
+    double gain = series_mean(gained_utilization(run, isolated)) * 100.0;
+    print_summary_row(std::cout,
+                      std::string(to_string(policy)) + " (gain " +
+                          format_double(gain, 1) + "%)",
+                      run);
+    if (policy == PolicyKind::StayAway) best = std::move(run);
+  }
+  print_summary_row(std::cout, "isolated", isolated);
+
+  std::cout << "\nWhy Stay-Away wins here: the static cap watches CPU-like\n"
+               "utilization and never sees the swap cliff coming; reactive\n"
+               "throttling eats a violation per episode. Stay-Away learns the\n"
+               "map region where the combined working set forces swapping and\n"
+               "steers away from it before response times collapse.\n\n";
+
+  std::cout << "Stay-Away internals: " << best.representative_count
+            << " states learned, " << best.pauses << " pauses, "
+            << best.resumes << " resumes, final beta "
+            << format_double(best.final_beta, 3) << "\n";
+  return 0;
+}

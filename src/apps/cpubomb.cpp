@@ -1,0 +1,27 @@
+#include "apps/cpubomb.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::apps {
+
+CpuBomb::CpuBomb(double cores, double total_work_s)
+    : cores_(cores), total_work_s_(total_work_s) {
+  SA_REQUIRE(cores > 0.0, "cpubomb needs at least a fraction of a core");
+}
+
+bool CpuBomb::finished() const {
+  return total_work_s_ > 0.0 && work_done_ >= total_work_s_;
+}
+
+sim::ResourceDemand CpuBomb::demand(sim::SimTime) {
+  sim::ResourceDemand d;
+  d.cpu_cores = cores_;
+  d.memory_mb = 16.0;  // a tight spin loop touches almost nothing
+  return d;
+}
+
+void CpuBomb::advance(sim::SimTime, double dt, const sim::Allocation& alloc) {
+  work_done_ += alloc.granted.cpu_cores * dt;
+}
+
+}  // namespace stayaway::apps

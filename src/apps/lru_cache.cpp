@@ -1,0 +1,62 @@
+#include "apps/lru_cache.hpp"
+
+namespace stayaway::apps {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool LruCache::get(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  recency_.splice(recency_.begin(), recency_, it->second);
+  ++hits_;
+  return true;
+}
+
+void LruCache::put(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return;
+  }
+  if (capacity_ == 0) return;
+  recency_.push_front(key);
+  index_.emplace(key, recency_.begin());
+  evict_to_capacity();
+}
+
+void LruCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  evict_to_capacity();
+}
+
+bool LruCache::contains(std::uint64_t key) const {
+  return index_.find(key) != index_.end();
+}
+
+double LruCache::hit_rate() const {
+  std::uint64_t total = hits_ + misses_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void LruCache::reset_counters() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void LruCache::clear() {
+  recency_.clear();
+  index_.clear();
+}
+
+void LruCache::evict_to_capacity() {
+  while (index_.size() > capacity_) {
+    index_.erase(recency_.back());
+    recency_.pop_back();
+  }
+}
+
+}  // namespace stayaway::apps

@@ -1,0 +1,55 @@
+// In-memory LRU key-value cache — the Memcached stand-in.
+//
+// §7.1: "The Webservice ... consists of a Memcached layer for in-memory
+// data storage and performs analytics, if necessary, before serving the
+// data." The simulated Webservice drives this cache with Zipf-sampled
+// keys each tick; the measured hit rate feeds its disk-I/O demand and
+// service time. Implemented as a hash map over an intrusive doubly linked
+// recency list: O(1) lookup, insert and eviction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace stayaway::apps {
+
+class LruCache {
+ public:
+  /// Capacity in entries; zero capacity is allowed and caches nothing.
+  explicit LruCache(std::size_t capacity);
+
+  /// Looks a key up, promoting it to most-recently-used on a hit.
+  bool get(std::uint64_t key);
+
+  /// Inserts (or refreshes) a key, evicting the least-recently-used entry
+  /// when full.
+  void put(std::uint64_t key);
+
+  /// Shrinks/expands capacity; shrinking evicts LRU entries immediately.
+  void set_capacity(std::size_t capacity);
+
+  bool contains(std::uint64_t key) const;
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  /// Lifetime hit rate; 0 before any lookup.
+  double hit_rate() const;
+  void reset_counters();
+
+  void clear();
+
+ private:
+  void evict_to_capacity();
+
+  std::size_t capacity_;
+  std::list<std::uint64_t> recency_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace stayaway::apps

@@ -1,0 +1,56 @@
+#include "apps/membomb.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stayaway::apps {
+
+namespace {
+std::vector<Phase> make_cycle(const MemBombSpec& spec) {
+  Phase hold{"hold", {}, spec.hold_s};
+  hold.demand.cpu_cores = 0.1;
+  hold.demand.membw_mbps = 200.0;
+
+  Phase sweep{"sweep", {}, spec.sweep_s};
+  sweep.demand.cpu_cores = spec.cpu_cores;
+  sweep.demand.membw_mbps = spec.sweep_membw_mbps;
+
+  return {hold, sweep};
+}
+}  // namespace
+
+MemBomb::MemBomb(MemBombSpec spec)
+    : spec_(spec), cycle_(make_cycle(spec), /*loop=*/true) {
+  SA_REQUIRE(spec.target_mb > 0.0, "membomb target must be positive");
+  SA_REQUIRE(spec.ramp_s > 0.0, "membomb ramp must be positive");
+}
+
+bool MemBomb::finished() const {
+  return spec_.total_work_s > 0.0 && work_done_ >= spec_.total_work_s;
+}
+
+sim::ResourceDemand MemBomb::demand(sim::SimTime) {
+  sim::ResourceDemand d = cycle_.current().demand;
+  bool ramping = allocated_mb_ < spec_.target_mb;
+  if (ramping) {
+    // Allocation itself costs CPU (page faults, zeroing) and bandwidth.
+    d.cpu_cores = std::max(d.cpu_cores, spec_.cpu_cores);
+    d.membw_mbps = std::max(d.membw_mbps, 2000.0);
+  }
+  d.memory_mb = allocated_mb_;
+  return d;
+}
+
+void MemBomb::advance(sim::SimTime, double dt, const sim::Allocation& alloc) {
+  double effective = dt * alloc.progress;
+  if (allocated_mb_ < spec_.target_mb) {
+    double rate = spec_.target_mb / spec_.ramp_s;  // MB per full-speed second
+    allocated_mb_ = std::min(spec_.target_mb, allocated_mb_ + rate * effective);
+  } else {
+    cycle_.advance(dt, alloc.progress);
+  }
+  work_done_ += effective;
+}
+
+}  // namespace stayaway::apps

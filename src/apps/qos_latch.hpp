@@ -1,0 +1,40 @@
+// Hysteresis latch for QoS violation reporting.
+//
+// A rate metric hovering at the threshold flips the naive comparison
+// every period, which neither matches how a streaming client experiences
+// degradation (a drained frame buffer stays degraded until the rate
+// clearly recovers) nor gives the controller a stable label. The latch
+// enters the violated state on any threshold crossing and leaves it only
+// once the metric exceeds the threshold by a margin.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace stayaway::apps {
+
+class QosLatch {
+ public:
+  /// exit_margin: fractional recovery above the threshold required to end
+  /// a violation episode (default 5%).
+  explicit QosLatch(double exit_margin = 0.05) : exit_margin_(exit_margin) {
+    SA_REQUIRE(exit_margin >= 0.0, "exit margin must be non-negative");
+  }
+
+  /// Feeds the current metric; returns the latched violation state.
+  bool update(double value, double threshold) {
+    if (value < threshold) {
+      violated_ = true;
+    } else if (value > threshold * (1.0 + exit_margin_)) {
+      violated_ = false;
+    }
+    return violated_;
+  }
+
+  bool violated() const { return violated_; }
+
+ private:
+  double exit_margin_;
+  bool violated_ = false;
+};
+
+}  // namespace stayaway::apps

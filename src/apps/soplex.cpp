@@ -1,0 +1,41 @@
+#include "apps/soplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stayaway::apps {
+
+Soplex::Soplex(SoplexSpec spec) : spec_(spec) {
+  SA_REQUIRE(spec.total_work_s > 0.0, "soplex needs positive total work");
+  SA_REQUIRE(spec.final_mb >= spec.initial_mb, "working set must not shrink");
+  SA_REQUIRE(spec.refactor_interval_s > 0.0, "refactor interval must be positive");
+}
+
+double Soplex::working_set_mb() const {
+  double frac = std::clamp(work_done_ / spec_.total_work_s, 0.0, 1.0);
+  return spec_.initial_mb + frac * (spec_.final_mb - spec_.initial_mb);
+}
+
+bool Soplex::refactorizing() const {
+  // Periodic in *effective* (work) time, so throttling delays the next
+  // refactorization the way pausing a real solver would.
+  double cycle = spec_.refactor_interval_s + spec_.refactor_duration_s;
+  double pos = std::fmod(work_done_, cycle);
+  return pos >= spec_.refactor_interval_s;
+}
+
+sim::ResourceDemand Soplex::demand(sim::SimTime) {
+  sim::ResourceDemand d;
+  d.cpu_cores = spec_.cpu_cores;
+  d.memory_mb = working_set_mb();
+  d.membw_mbps = refactorizing() ? spec_.refactor_membw_mbps : spec_.solve_membw_mbps;
+  return d;
+}
+
+void Soplex::advance(sim::SimTime, double dt, const sim::Allocation& alloc) {
+  work_done_ += dt * alloc.progress;
+}
+
+}  // namespace stayaway::apps

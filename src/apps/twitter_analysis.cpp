@@ -1,0 +1,48 @@
+#include "apps/twitter_analysis.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::apps {
+
+namespace {
+std::vector<Phase> make_cycle(const TwitterAnalysisSpec& spec) {
+  Phase score{"score", {}, spec.score_s};
+  score.demand.cpu_cores = spec.score_cpu;
+  score.demand.memory_mb = spec.score_mb;
+  score.demand.membw_mbps = 1200.0;
+
+  Phase scan{"scan", {}, spec.scan_s};
+  scan.demand.cpu_cores = spec.scan_cpu;
+  scan.demand.memory_mb = spec.scan_mb;
+  scan.demand.membw_mbps = spec.scan_membw_mbps;
+  scan.demand.disk_mbps = 60.0;  // partition load
+
+  return {score, scan};
+}
+}  // namespace
+
+TwitterAnalysis::TwitterAnalysis(TwitterAnalysisSpec spec)
+    : spec_(spec), cycle_(make_cycle(spec), /*loop=*/true) {
+  SA_REQUIRE(spec.score_s > 0.0 && spec.scan_s > 0.0,
+             "phase durations must be positive");
+}
+
+bool TwitterAnalysis::finished() const {
+  return spec_.total_work_s > 0.0 && work_done_ >= spec_.total_work_s;
+}
+
+bool TwitterAnalysis::in_memory_phase() const {
+  return cycle_.current().name == "scan";
+}
+
+sim::ResourceDemand TwitterAnalysis::demand(sim::SimTime) {
+  return cycle_.current().demand;
+}
+
+void TwitterAnalysis::advance(sim::SimTime, double dt,
+                              const sim::Allocation& alloc) {
+  cycle_.advance(dt, alloc.progress);
+  work_done_ += dt * alloc.progress;
+}
+
+}  // namespace stayaway::apps

@@ -1,0 +1,48 @@
+#include "apps/vlc_stream.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stayaway::apps {
+
+VlcStream::VlcStream(VlcStreamSpec spec, std::optional<trace::Trace> workload)
+    : spec_(spec),
+      workload_(std::move(workload)),
+      smoothed_fps_(spec.nominal_fps) {
+  SA_REQUIRE(spec.nominal_fps > 0.0, "nominal rate must be positive");
+  SA_REQUIRE(spec.threshold_fps > 0.0 && spec.threshold_fps <= spec.nominal_fps,
+             "threshold must be positive and achievable");
+  SA_REQUIRE(spec.smoothing > 0.0 && spec.smoothing <= 1.0,
+             "smoothing factor must be in (0,1]");
+}
+
+bool VlcStream::finished() const {
+  return spec_.duration_s > 0.0 && elapsed_s_ >= spec_.duration_s;
+}
+
+double VlcStream::intensity(sim::SimTime now) const {
+  if (!workload_.has_value()) return 1.0;
+  return std::clamp(workload_->normalized_at(now), 0.0, 1.0);
+}
+
+sim::ResourceDemand VlcStream::demand(sim::SimTime now) {
+  double w = intensity(now);
+  sim::ResourceDemand d;
+  d.cpu_cores = spec_.cpu_at_valley + w * (spec_.cpu_at_peak - spec_.cpu_at_valley);
+  d.memory_mb = spec_.memory_mb;
+  d.membw_mbps = spec_.membw_mbps * (0.4 + 0.6 * w);
+  d.net_mbps = spec_.net_at_peak_mbps * w;
+  d.disk_mbps = spec_.disk_mbps;
+  return d;
+}
+
+void VlcStream::advance(sim::SimTime, double dt, const sim::Allocation& alloc) {
+  double achieved = spec_.nominal_fps * alloc.progress;
+  smoothed_fps_ += spec_.smoothing * (achieved - smoothed_fps_);
+  latch_.update(smoothed_fps_, spec_.threshold_fps);
+  frames_delivered_ += achieved * dt;
+  elapsed_s_ += dt;
+}
+
+}  // namespace stayaway::apps

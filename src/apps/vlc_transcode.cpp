@@ -1,0 +1,31 @@
+#include "apps/vlc_transcode.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::apps {
+
+VlcTranscode::VlcTranscode(VlcTranscodeSpec spec)
+    : spec_(spec), smoothed_fps_(spec.nominal_fps) {
+  SA_REQUIRE(spec.total_frames > 0.0, "transcode needs frames to process");
+  SA_REQUIRE(spec.nominal_fps > 0.0, "nominal rate must be positive");
+  SA_REQUIRE(spec.smoothing > 0.0 && spec.smoothing <= 1.0,
+             "smoothing factor must be in (0,1]");
+}
+
+sim::ResourceDemand VlcTranscode::demand(sim::SimTime) {
+  sim::ResourceDemand d;
+  d.cpu_cores = spec_.cpu_cores;
+  d.memory_mb = spec_.memory_mb;
+  d.membw_mbps = spec_.membw_mbps;
+  d.disk_mbps = spec_.disk_mbps;
+  return d;
+}
+
+void VlcTranscode::advance(sim::SimTime, double dt, const sim::Allocation& alloc) {
+  double achieved = spec_.nominal_fps * alloc.progress;
+  smoothed_fps_ += spec_.smoothing * (achieved - smoothed_fps_);
+  latch_.update(smoothed_fps_, spec_.threshold_fps);
+  frames_done_ += achieved * dt;
+}
+
+}  // namespace stayaway::apps

@@ -1,0 +1,48 @@
+// VLC offline transcoding model.
+//
+// Used by the paper both as a batch application (§7.1 list) and as the
+// rate-thresholded app of the Figure 6 illustration ("a violation is said
+// to have occurred when the rate of transcoding frames falls below a
+// certain threshold"). It therefore implements QosProbe as well; when run
+// as a pure batch app the probe is simply never consulted.
+#pragma once
+
+#include "apps/qos_latch.hpp"
+#include "sim/app_model.hpp"
+
+namespace stayaway::apps {
+
+struct VlcTranscodeSpec {
+  double total_frames = 30000.0;  // length of the input video
+  double nominal_fps = 60.0;      // unthrottled transcode rate
+  double threshold_fps = 45.0;    // Fig. 6 violation threshold
+  double cpu_cores = 2.5;         // encoder threads
+  double memory_mb = 600.0;
+  double membw_mbps = 3500.0;
+  double disk_mbps = 40.0;
+  double smoothing = 0.35;
+};
+
+class VlcTranscode final : public sim::AppModel, public sim::QosProbe {
+ public:
+  explicit VlcTranscode(VlcTranscodeSpec spec = {});
+
+  std::string_view name() const override { return "vlc-transcode"; }
+  bool finished() const override { return frames_done_ >= spec_.total_frames; }
+  sim::ResourceDemand demand(sim::SimTime now) override;
+  void advance(sim::SimTime now, double dt, const sim::Allocation& alloc) override;
+
+  double qos_value() const override { return smoothed_fps_; }
+  double qos_threshold() const override { return spec_.threshold_fps; }
+  bool violated() const override { return latch_.violated(); }
+
+  double frames_done() const { return frames_done_; }
+
+ private:
+  VlcTranscodeSpec spec_;
+  double frames_done_ = 0.0;
+  double smoothed_fps_;
+  QosLatch latch_;
+};
+
+}  // namespace stayaway::apps

@@ -1,0 +1,6 @@
+#include "baseline/policy.hpp"
+
+// The interface and NoPrevention are header-only; this translation unit
+// anchors the vtable.
+
+namespace stayaway::baseline {}  // namespace stayaway::baseline

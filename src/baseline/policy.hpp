@@ -1,0 +1,36 @@
+// Interference-mitigation policy interface.
+//
+// The experiment harness drives any policy through this interface once
+// per control period, which is how Stay-Away is compared against the
+// paper's implicit baselines (no prevention; §7's "without any
+// prevention" upper band) and the ablation baselines (reactive-only and
+// static-threshold throttling).
+#pragma once
+
+#include <string_view>
+
+#include "sim/app_model.hpp"
+#include "sim/host.hpp"
+
+namespace stayaway::baseline {
+
+class InterferencePolicy {
+ public:
+  virtual ~InterferencePolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Invoked after each control period's simulation ticks. The policy may
+  /// pause/resume batch VMs on the host.
+  virtual void on_period(sim::SimHost& host, const sim::QosProbe& probe) = 0;
+};
+
+/// "No prevention": co-locate and never act — the upper utilization band
+/// and the violating QoS curves of Figures 8-11.
+class NoPrevention final : public InterferencePolicy {
+ public:
+  std::string_view name() const override { return "no-prevention"; }
+  void on_period(sim::SimHost&, const sim::QosProbe&) override {}
+};
+
+}  // namespace stayaway::baseline

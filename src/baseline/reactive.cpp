@@ -1,0 +1,32 @@
+#include "baseline/reactive.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::baseline {
+
+ReactiveThrottle::ReactiveThrottle(ReactiveConfig config) : config_(config) {
+  SA_REQUIRE(config.cooldown_s > 0.0, "cooldown must be positive");
+}
+
+void ReactiveThrottle::on_period(sim::SimHost& host,
+                                 const sim::QosProbe& probe) {
+  if (!paused_) {
+    if (probe.violated()) {
+      for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
+        host.vm(id).pause();
+      }
+      paused_ = true;
+      paused_at_ = host.now();
+      ++pauses_;
+    }
+    return;
+  }
+  if (host.now() - paused_at_ >= config_.cooldown_s) {
+    for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
+      host.vm(id).resume();
+    }
+    paused_ = false;
+  }
+}
+
+}  // namespace stayaway::baseline

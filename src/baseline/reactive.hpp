@@ -1,0 +1,34 @@
+// Reactive throttling baseline: act only after a violation is observed.
+//
+// This is the natural non-predictive comparator for Stay-Away — identical
+// actuation (pause/resume of batch VMs) but no state-space model, so every
+// contention episode costs at least one violated period before the pause
+// lands, and resumes are blind timeouts instead of phase-change detection.
+#pragma once
+
+#include "baseline/policy.hpp"
+
+namespace stayaway::baseline {
+
+struct ReactiveConfig {
+  /// Seconds the batch stays paused after a violation-triggered pause.
+  double cooldown_s = 10.0;
+};
+
+class ReactiveThrottle final : public InterferencePolicy {
+ public:
+  explicit ReactiveThrottle(ReactiveConfig config = {});
+
+  std::string_view name() const override { return "reactive"; }
+  void on_period(sim::SimHost& host, const sim::QosProbe& probe) override;
+
+  std::size_t pauses() const { return pauses_; }
+
+ private:
+  ReactiveConfig config_;
+  bool paused_ = false;
+  double paused_at_ = 0.0;
+  std::size_t pauses_ = 0;
+};
+
+}  // namespace stayaway::baseline

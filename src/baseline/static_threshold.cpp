@@ -1,0 +1,49 @@
+#include "baseline/static_threshold.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::baseline {
+
+StaticThreshold::StaticThreshold(StaticThresholdConfig config)
+    : config_(config) {
+  SA_REQUIRE(config.hysteresis >= 0.0, "hysteresis must be non-negative");
+}
+
+StaticThreshold::Utilization StaticThreshold::measure(const sim::SimHost& host) {
+  Utilization u;
+  const auto& spec = host.spec();
+  for (sim::VmId id = 0; id < host.vm_count(); ++id) {
+    const auto& g = host.vm(id).last_allocation().granted;
+    u.cpu += g.cpu_cores / spec.cpu_cores;
+    u.memory += g.memory_mb / spec.memory_mb;
+    u.membw += g.membw_mbps / spec.membw_mbps;
+  }
+  return u;
+}
+
+void StaticThreshold::on_period(sim::SimHost& host, const sim::QosProbe&) {
+  Utilization u = measure(host);
+  if (!paused_) {
+    bool over = u.cpu > config_.cpu_cap || u.memory > config_.memory_cap ||
+                u.membw > config_.membw_cap;
+    if (over) {
+      for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
+        host.vm(id).pause();
+      }
+      paused_ = true;
+      ++pauses_;
+    }
+    return;
+  }
+  bool clear = u.cpu < config_.cpu_cap - config_.hysteresis &&
+               u.memory < config_.memory_cap - config_.hysteresis &&
+               u.membw < config_.membw_cap - config_.hysteresis;
+  if (clear) {
+    for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
+      host.vm(id).resume();
+    }
+    paused_ = false;
+  }
+}
+
+}  // namespace stayaway::baseline

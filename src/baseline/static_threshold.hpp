@@ -1,0 +1,46 @@
+// Static-threshold baseline: throttle the batch whenever host utilization
+// of any resource crosses a fixed cap, resume below a hysteresis margin.
+//
+// This stands in for the static, profile-once approaches the paper argues
+// against (§1, §8): a fixed rule cannot distinguish harmless high
+// utilization (sensitive app comfortably at peak alone) from contention,
+// so it either over-throttles or misses swap-driven violations that occur
+// at modest CPU utilization.
+#pragma once
+
+#include "baseline/policy.hpp"
+
+namespace stayaway::baseline {
+
+struct StaticThresholdConfig {
+  double cpu_cap = 0.85;      // of host cores
+  double memory_cap = 0.90;   // of physical memory
+  double membw_cap = 0.85;    // of bus bandwidth
+  double hysteresis = 0.10;   // resume once below cap - hysteresis
+};
+
+class StaticThreshold final : public InterferencePolicy {
+ public:
+  explicit StaticThreshold(StaticThresholdConfig config = {});
+
+  std::string_view name() const override { return "static-threshold"; }
+  void on_period(sim::SimHost& host, const sim::QosProbe& probe) override;
+
+  std::size_t pauses() const { return pauses_; }
+
+ private:
+  /// Utilization fractions of the host for the last tick, computed from
+  /// granted allocations of present VMs.
+  struct Utilization {
+    double cpu = 0.0;
+    double memory = 0.0;
+    double membw = 0.0;
+  };
+  static Utilization measure(const sim::SimHost& host);
+
+  StaticThresholdConfig config_;
+  bool paused_ = false;
+  std::size_t pauses_ = 0;
+};
+
+}  // namespace stayaway::baseline

@@ -1,0 +1,70 @@
+// Configuration of the Stay-Away runtime and its components.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stayaway::core {
+
+/// Governs the pause/resume policy of §3.3.
+struct GovernorConfig {
+  /// Initial beta: "maximum allowed distance between the states before
+  /// resuming the batch application. Initially beta is set to 0.01."
+  double beta_initial = 0.01;
+  /// Added to beta when a resume immediately re-violates.
+  double beta_increment = 0.005;
+  /// A violation within this window after a beta-triggered resume counts
+  /// as a failed resume and bumps beta.
+  double resume_grace_s = 3.0;
+  /// Paused this long with sub-beta movement triggers the random
+  /// anti-starvation resume lottery.
+  double starvation_patience_s = 20.0;
+  /// Per-period probability of the anti-starvation resume once eligible.
+  double random_resume_probability = 0.15;
+};
+
+/// How the map over representatives is (re)computed each period.
+enum class EmbedMethod {
+  SmacofWarm,  // full SMACOF, warm-started from the previous layout (default)
+  SmacofCold,  // full SMACOF from a classical-MDS seed every time (ablation)
+  Landmark,    // landmark-MDS approximation (§4's fast path)
+  Pca,         // PCA projection (ablation comparator, §2.2)
+};
+
+struct StayAwayConfig {
+  /// Control period in seconds of simulated time.
+  double period_s = 1.0;
+  /// Representative-set merge radius in the normalized metric space (§4).
+  double dedup_epsilon = 0.06;
+  /// Hard bound on the representative count (embedding cost is super-
+  /// linear in it); once reached, new samples snap to their nearest
+  /// representative. 0 disables the bound.
+  std::size_t max_representatives = 256;
+  /// "with 5 samples to model uncertainty, we are able to achieve more
+  /// than 90% accuracy" (§3.2.3).
+  std::size_t prediction_samples = 5;
+  /// "Whenever a majority of the generated sample set fall within a
+  /// violation range, Stay-Away takes an action."
+  double majority_fraction = 0.5;
+  /// Observations a mode's trajectory model needs before it predicts.
+  std::size_t min_mode_observations = 6;
+  /// Bins of the step-length and angle histograms.
+  std::size_t histogram_bins = 24;
+  /// When false the runtime observes, maps and predicts but never acts —
+  /// used by the template-validation experiment (Fig. 18) and by the
+  /// prediction-accuracy bench.
+  bool actions_enabled = true;
+  /// §2.1: "if multiple sensitive applications are co-scheduled Stay-Away
+  /// can choose to migrate or scale resources of the lower priority
+  /// sensitive application." When enabled and a pause is required while
+  /// no batch VM is running, sensitive VMs with a lower priority than the
+  /// highest-priority present sensitive VM are throttled instead.
+  bool allow_sensitive_demotion = false;
+  EmbedMethod embed_method = EmbedMethod::SmacofWarm;
+  /// Landmark count when embed_method == Landmark.
+  std::size_t landmark_count = 24;
+  GovernorConfig governor;
+  std::uint64_t seed = 1234;
+};
+
+}  // namespace stayaway::core

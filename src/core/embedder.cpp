@@ -1,0 +1,103 @@
+#include "core/embedder.hpp"
+
+#include <algorithm>
+
+#include "mds/distance.hpp"
+#include "mds/incremental.hpp"
+#include "mds/landmark.hpp"
+#include "mds/pca.hpp"
+#include "mds/procrustes.hpp"
+#include "mds/smacof.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::core {
+
+MapEmbedder::MapEmbedder(EmbedMethod method, std::size_t landmark_count)
+    : method_(method), landmark_count_(std::max<std::size_t>(landmark_count, 3)) {}
+
+const mds::Embedding& MapEmbedder::update(
+    const monitor::RepresentativeSet& reps) {
+  if (reps.size() == positions_.size()) return positions_;
+  SA_REQUIRE(reps.size() > positions_.size(),
+             "representative sets only ever grow");
+  embed(reps);
+  return positions_;
+}
+
+void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
+  const auto& vectors = reps.all();
+  const std::size_t n = vectors.size();
+  if (n == 1) {
+    positions_ = {mds::Point2{}};
+    stress_ = 0.0;
+    return;
+  }
+
+  linalg::Matrix delta = mds::distance_matrix(vectors);
+
+  switch (method_) {
+    case EmbedMethod::Pca: {
+      positions_ = mds::pca_embed(vectors);
+      stress_ = mds::normalized_stress(delta, positions_);
+      return;
+    }
+    case EmbedMethod::Landmark: {
+      if (n > landmark_count_) {
+        mds::Embedding prev = positions_;
+        positions_ = mds::landmark_embed(vectors, landmark_count_);
+        stress_ = mds::normalized_stress(delta, positions_);
+        if (prev.size() >= 2) {
+          mds::Embedding head(positions_.begin(),
+                              positions_.begin() +
+                                  static_cast<std::ptrdiff_t>(prev.size()));
+          auto align = mds::procrustes_align(head, prev,
+                                             {.allow_reflection = true,
+                                              .allow_scaling = false});
+          positions_ = align.transform.apply(positions_);
+        }
+        return;
+      }
+      // Too few points for landmarks: fall through to full SMACOF.
+      [[fallthrough]];
+    }
+    case EmbedMethod::SmacofCold:
+    case EmbedMethod::SmacofWarm: {
+      mds::Embedding prev = positions_;
+      mds::SmacofResult res = mds::smacof(delta);  // classical-MDS seed
+      total_iterations_ += res.iterations;
+      if (method_ == EmbedMethod::SmacofWarm && !prev.empty()) {
+        // Warm seed: old points keep their spot; each new one is placed
+        // against everything already positioned. Warm starts converge in
+        // a couple of iterations but can inherit a local minimum, so keep
+        // whichever of (warm, cold) configuration has lower stress.
+        mds::SmacofOptions opts;
+        mds::Embedding init = prev;
+        for (std::size_t i = prev.size(); i < n; ++i) {
+          std::vector<double> d(i, 0.0);
+          for (std::size_t j = 0; j < i; ++j) d[j] = delta.at(i, j);
+          init.push_back(mds::place_point(init, d));
+        }
+        opts.initial = std::move(init);
+        mds::SmacofResult warm = mds::smacof(delta, opts);
+        total_iterations_ += warm.iterations;
+        if (warm.stress < res.stress) res = std::move(warm);
+      }
+      positions_ = std::move(res.points);
+      stress_ = res.stress;
+      if (method_ == EmbedMethod::SmacofWarm && prev.size() >= 2) {
+        // Whichever solution won, rotate/flip it back onto the previous
+        // layout so directions in the map stay meaningful across periods.
+        mds::Embedding head(positions_.begin(),
+                            positions_.begin() +
+                                static_cast<std::ptrdiff_t>(prev.size()));
+        auto align = mds::procrustes_align(head, prev,
+                                           {.allow_reflection = true,
+                                            .allow_scaling = false});
+        positions_ = align.transform.apply(positions_);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace stayaway::core

@@ -1,0 +1,48 @@
+// Map embedder: keeps the 2-D layout of the representative set up to
+// date across periods.
+//
+// The layout is recomputed only when the representative set grows (§4's
+// dedup means most periods reuse an existing representative). New points
+// are seeded by incremental placement and the whole configuration is then
+// polished with SMACOF warm-started from the previous layout, finally
+// Procrustes-aligned onto it so the map does not rotate or flip between
+// periods — the trajectory model depends on directions staying put.
+#pragma once
+
+#include "core/config.hpp"
+#include "linalg/matrix.hpp"
+#include "mds/point.hpp"
+#include "monitor/representative.hpp"
+
+namespace stayaway::core {
+
+class MapEmbedder {
+ public:
+  explicit MapEmbedder(EmbedMethod method, std::size_t landmark_count = 24);
+
+  /// Brings the embedding in sync with the representative set and returns
+  /// it. Positions are stable (not recomputed) while the set is unchanged.
+  const mds::Embedding& update(const monitor::RepresentativeSet& reps);
+
+  const mds::Embedding& positions() const { return positions_; }
+
+  /// Normalized stress-1 of the current layout (0 when fewer than two
+  /// points). §5: persistent high stress signals that 2-D is too tight.
+  double stress() const { return stress_; }
+
+  /// Cumulative SMACOF iterations spent (overhead accounting, §4).
+  std::size_t total_iterations() const { return total_iterations_; }
+
+  EmbedMethod method() const { return method_; }
+
+ private:
+  void embed(const monitor::RepresentativeSet& reps);
+
+  EmbedMethod method_;
+  std::size_t landmark_count_;
+  mds::Embedding positions_;
+  double stress_ = 0.0;
+  std::size_t total_iterations_ = 0;
+};
+
+}  // namespace stayaway::core

@@ -1,0 +1,83 @@
+#include "core/governor.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::core {
+
+const char* to_string(ThrottleAction action) {
+  switch (action) {
+    case ThrottleAction::None:
+      return "none";
+    case ThrottleAction::Pause:
+      return "pause";
+    case ThrottleAction::Resume:
+      return "resume";
+  }
+  return "unknown";
+}
+
+ThrottleGovernor::ThrottleGovernor(GovernorConfig config, Rng rng)
+    : config_(config), rng_(rng), beta_(config.beta_initial) {
+  SA_REQUIRE(config.beta_initial > 0.0, "beta must start positive");
+  SA_REQUIRE(config.beta_increment >= 0.0, "beta increment must be >= 0");
+}
+
+ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
+                                        bool violation_predicted,
+                                        bool violation_observed,
+                                        const mds::Point2& mapped_state) {
+  if (!batch_paused) {
+    bool in_probation = resumed_at_.has_value() &&
+                        now - *resumed_at_ <= config_.resume_grace_s;
+    if (violation_observed && in_probation &&
+        last_resume_reason_ == ResumeReason::BetaExceeded) {
+      // The phase change beta detected was not enough: learn a larger one.
+      beta_ += config_.beta_increment;
+      ++failed_resumes_;
+    }
+    // §3.3: a resume is a deliberate probe "in hope that the batch
+    // application may experience a phase transition"; it is cut short only
+    // if the sensitive application actually degrades ("if the batch
+    // application continues to degrade performance ... it is paused
+    // again"). Within the probation window, predictions — made from map
+    // states of the paused regime, hence stale — do not cancel the probe.
+    bool prediction_counts = violation_predicted && !in_probation;
+    if (prediction_counts || violation_observed) {
+      ++pauses_;
+      paused_since_ = now;
+      last_paused_state_.reset();  // next period seeds the distance chain
+      resumed_at_.reset();
+      return ThrottleAction::Pause;
+    }
+    return ThrottleAction::None;
+  }
+
+  // Batch is paused: only the sensitive app runs, so consecutive states
+  // cluster unless its phase or workload changes (§3.3).
+  ThrottleAction action = ThrottleAction::None;
+  if (last_paused_state_.has_value()) {
+    double moved = mds::distance(*last_paused_state_, mapped_state);
+    if (moved > beta_) {
+      action = ThrottleAction::Resume;
+      last_resume_reason_ = ResumeReason::BetaExceeded;
+    }
+  }
+  if (action == ThrottleAction::None &&
+      now - paused_since_ >= config_.starvation_patience_s &&
+      rng_.chance(config_.random_resume_probability)) {
+    action = ThrottleAction::Resume;
+    last_resume_reason_ = ResumeReason::AntiStarvation;
+    ++random_resumes_;
+  }
+
+  if (action == ThrottleAction::Resume) {
+    ++resumes_;
+    resumed_at_ = now;
+    last_paused_state_.reset();
+  } else {
+    last_paused_state_ = mapped_state;
+  }
+  return action;
+}
+
+}  // namespace stayaway::core

@@ -1,0 +1,66 @@
+// Throttle governor — "What Action to take and When to Stop?" (§3.3).
+//
+// Pausing is triggered by a predicted or observed violation. Resuming is
+// governed by the adaptive distance threshold beta over consecutive
+// sensitive-only states: small movement means the sensitive app is still
+// in the contending phase; movement beyond beta signals a phase or
+// workload change worth trying a resume on. A resume that immediately
+// re-violates bumps beta; a long quiet pause triggers a randomized
+// anti-starvation resume.
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "mds/point.hpp"
+#include "util/rng.hpp"
+
+namespace stayaway::core {
+
+enum class ThrottleAction {
+  None,
+  Pause,
+  Resume,
+};
+
+const char* to_string(ThrottleAction action);
+
+/// Why the most recent Resume fired (diagnostics + beta bookkeeping).
+enum class ResumeReason {
+  BetaExceeded,
+  AntiStarvation,
+};
+
+class ThrottleGovernor {
+ public:
+  ThrottleGovernor(GovernorConfig config, Rng rng);
+
+  /// One decision per control period.
+  /// now: simulated time; batch_paused: whether the batch is currently
+  /// paused; violation_predicted/observed: this period's signals;
+  /// mapped_state: the sensitive run's current point in the map.
+  ThrottleAction decide(double now, bool batch_paused,
+                        bool violation_predicted, bool violation_observed,
+                        const mds::Point2& mapped_state);
+
+  double beta() const { return beta_; }
+  std::size_t pauses() const { return pauses_; }
+  std::size_t resumes() const { return resumes_; }
+  std::size_t failed_resumes() const { return failed_resumes_; }
+  std::size_t random_resumes() const { return random_resumes_; }
+
+ private:
+  GovernorConfig config_;
+  Rng rng_;
+  double beta_;
+  std::optional<mds::Point2> last_paused_state_;
+  double paused_since_ = 0.0;
+  std::optional<double> resumed_at_;
+  std::optional<ResumeReason> last_resume_reason_;
+  std::size_t pauses_ = 0;
+  std::size_t resumes_ = 0;
+  std::size_t failed_resumes_ = 0;
+  std::size_t random_resumes_ = 0;
+};
+
+}  // namespace stayaway::core

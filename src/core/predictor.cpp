@@ -1,0 +1,38 @@
+#include "core/predictor.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::core {
+
+Predictor::Predictor(std::size_t sample_count, double majority_fraction,
+                     std::size_t min_observations)
+    : sample_count_(sample_count),
+      majority_fraction_(majority_fraction),
+      min_observations_(min_observations) {
+  SA_REQUIRE(sample_count > 0, "need at least one prediction sample");
+  SA_REQUIRE(majority_fraction >= 0.0 && majority_fraction <= 1.0,
+             "majority fraction must be in [0,1]");
+}
+
+Prediction Predictor::predict(const StateSpace& space,
+                              const ModeTrajectories& modes,
+                              monitor::ExecutionMode mode,
+                              const mds::Point2& current, Rng& rng) const {
+  Prediction out;
+  const TrajectoryModel& model = modes.model(mode);
+  if (!model.ready(min_observations_) || space.violation_count() == 0) {
+    return out;  // nothing to predict against yet
+  }
+  out.model_ready = true;
+  out.candidates = model.sample_future(current, sample_count_, rng);
+  out.samples = out.candidates.size();
+  for (const auto& p : out.candidates) {
+    if (space.in_violation_region(p)) ++out.samples_in_violation;
+  }
+  double fraction = static_cast<double>(out.samples_in_violation) /
+                    static_cast<double>(out.samples);
+  out.violation_predicted = fraction > majority_fraction_;
+  return out;
+}
+
+}  // namespace stayaway::core

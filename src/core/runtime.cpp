@@ -1,0 +1,201 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace stayaway::core {
+
+double PredictionTally::accuracy() const {
+  std::size_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(t);
+}
+
+StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
+                                 StayAwayConfig config,
+                                 monitor::SamplerOptions sampler_options)
+    : host_(&host),
+      probe_(&probe),
+      config_(config),
+      sampler_(host, std::move(sampler_options)),
+      normalizer_(host.spec(), sampler_.layout()),
+      reps_(config.dedup_epsilon, config.max_representatives),
+      embedder_(config.embed_method, config.landmark_count),
+      modes_(/*max_step=*/std::sqrt(
+                 static_cast<double>(sampler_.layout().dimension())),
+             config.histogram_bins),
+      predictor_(config.prediction_samples, config.majority_fraction,
+                 config.min_mode_observations),
+      governor_(config.governor, Rng(config.seed)),
+      rng_(config.seed ^ 0x5eedF00dULL) {
+  SA_REQUIRE(config.period_s > 0.0, "control period must be positive");
+}
+
+void StayAwayRuntime::seed_template(const StateTemplate& t) {
+  SA_REQUIRE(reps_.size() == 0, "templates must be seeded before any period");
+  for (const auto& entry : t.entries) {
+    SA_REQUIRE(entry.vector.size() == sampler_.layout().dimension(),
+               "template dimension does not match the sampler layout");
+    auto assignment = reps_.assign(entry.vector);
+    if (assignment.is_new) {
+      space_.add_state(entry.label);
+    } else if (entry.label == StateLabel::Violation) {
+      space_.mark_violation(assignment.representative);
+    }
+  }
+  space_.sync_positions(embedder_.update(reps_));
+}
+
+StateTemplate StayAwayRuntime::export_template(
+    std::string sensitive_app_name) const {
+  StateTemplate t;
+  t.sensitive_app = std::move(sensitive_app_name);
+  t.entries.reserve(reps_.size());
+  for (std::size_t i = 0; i < reps_.size(); ++i) {
+    t.entries.push_back({reps_.representative(i), space_.label(i)});
+  }
+  return t;
+}
+
+const PeriodRecord& StayAwayRuntime::on_period() {
+  PeriodRecord rec;
+  rec.time = host_->now();
+  rec.mode = monitor::detect_mode(*host_);
+
+  // --- Mapping (§3.1): sample, normalize, dedup, embed. ---
+  monitor::Measurement m = sampler_.sample();
+  std::vector<double> normalized = normalizer_.normalize(m);
+  monitor::Assignment assignment = reps_.assign(normalized);
+  rec.representative = assignment.representative;
+  rec.new_representative = assignment.is_new;
+  if (assignment.is_new) space_.add_state(StateLabel::Safe);
+  space_.sync_positions(embedder_.update(reps_));
+  rec.state = space_.position(assignment.representative);
+  rec.stress = embedder_.stress();
+
+  // QoS label (§3.1: the application reports violations). Labels are
+  // evidence based (see StateSpace): each period contributes one
+  // (visit, violated?) observation to its representative.
+  rec.violation_observed = probe_->violated();
+  space_.observe_visit(assignment.representative, rec.violation_observed);
+
+  // Trajectory observation: within-mode steps only; positions are looked
+  // up fresh so re-embeddings cannot smear old coordinates into the model.
+  if (prev_rep_.has_value() && prev_mode_ == rec.mode) {
+    modes_.model(rec.mode).observe(space_.position(*prev_rep_), rec.state);
+  }
+
+  // --- Prediction (§3.2). ---
+  Prediction prediction = predictor_.predict(space_, modes_, rec.mode,
+                                             rec.state, rng_);
+  rec.model_ready = prediction.model_ready;
+  rec.violation_predicted = prediction.violation_predicted;
+
+  // Passive accuracy tally: last period's forecast ("will the execution
+  // progress into the violation region?", §3.2) against this period's
+  // realised outcome (did the mapped state actually enter the region?).
+  // Only meaningful when forecasts are not acted upon.
+  if (prev_predicted_.has_value()) {
+    bool entered = space_.in_violation_region(rec.state);
+    if (*prev_predicted_ && entered) ++tally_.true_positive;
+    if (*prev_predicted_ && !entered) ++tally_.false_positive;
+    if (!*prev_predicted_ && entered) ++tally_.false_negative;
+    if (!*prev_predicted_ && !entered) ++tally_.true_negative;
+  }
+  prev_predicted_ = prediction.model_ready
+                        ? std::optional<bool>(prediction.violation_predicted)
+                        : std::nullopt;
+
+  // --- Action (§3.3). In passive mode the governor is not consulted at
+  // all: a decision that is never applied must not advance its state
+  // (pause ledger, beta chain).
+  ThrottleAction action = ThrottleAction::None;
+  if (config_.actions_enabled) {
+    action = governor_.decide(rec.time, batch_paused_, rec.violation_predicted,
+                              rec.violation_observed, rec.state);
+  }
+  apply_action(action);
+  rec.action = action;
+  rec.batch_paused_after = batch_paused_;
+  rec.beta = governor_.beta();
+
+  prev_rep_ = assignment.representative;
+  prev_mode_ = rec.mode;
+  records_.push_back(rec);
+  return records_.back();
+}
+
+std::vector<sim::VmId> StayAwayRuntime::throttle_targets() const {
+  // Rank active batch VMs by their demand footprint (CPU share + memory
+  // share + bus share) and take the head of the ranking until it covers
+  // the majority of the total batch footprint.
+  struct Entry {
+    sim::VmId id;
+    double footprint;
+  };
+  std::vector<Entry> entries;
+  double total = 0.0;
+  const auto& spec = host_->spec();
+  for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Batch)) {
+    const auto& vm = host_->vm(id);
+    if (!vm.present(host_->now())) continue;
+    const auto& g = vm.last_allocation().granted;
+    double f = g.cpu_cores / spec.cpu_cores + g.memory_mb / spec.memory_mb +
+               g.membw_mbps / spec.membw_mbps;
+    entries.push_back({id, f});
+    total += f;
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.footprint > b.footprint;
+  });
+
+  std::vector<sim::VmId> out;
+  double covered = 0.0;
+  for (const auto& e : entries) {
+    out.push_back(e.id);
+    covered += e.footprint;
+    if (total > 0.0 && covered / total >= 0.75) break;
+  }
+
+  // §2.1 fallback: with no batch VM to throttle, sacrifice lower-priority
+  // sensitive VMs (when the deployment opted in).
+  if (out.empty() && config_.allow_sensitive_demotion) {
+    int top = std::numeric_limits<int>::min();
+    for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Sensitive)) {
+      const auto& vm = host_->vm(id);
+      if (vm.present(host_->now())) top = std::max(top, vm.priority());
+    }
+    for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Sensitive)) {
+      const auto& vm = host_->vm(id);
+      if (vm.present(host_->now()) && vm.priority() < top) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void StayAwayRuntime::apply_action(ThrottleAction action) {
+  switch (action) {
+    case ThrottleAction::None:
+      return;
+    case ThrottleAction::Pause: {
+      throttled_ = throttle_targets();
+      for (sim::VmId id : throttled_) host_->vm(id).pause();
+      batch_paused_ = true;
+      return;
+    }
+    case ThrottleAction::Resume: {
+      // Resume exactly what this runtime paused (batch VMs and, under
+      // §2.1 demotion, lower-priority sensitive VMs).
+      for (sim::VmId id : throttled_) host_->vm(id).resume();
+      throttled_.clear();
+      batch_paused_ = false;
+      return;
+    }
+  }
+}
+
+}  // namespace stayaway::core

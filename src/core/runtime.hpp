@@ -1,0 +1,123 @@
+// StayAwayRuntime — the per-host middleware loop (§3 of the paper):
+// Mapping, Prediction, Action, performed every control period.
+//
+// Usage pattern (see src/harness/experiment.cpp and examples/):
+//   sim::SimHost host{spec};
+//   ... add sensitive + batch VMs ...
+//   StayAwayRuntime runtime{host, sensitive_id, probe, config};
+//   while (...) { host.run(ticks_per_period); runtime.on_period(); }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/embedder.hpp"
+#include "core/governor.hpp"
+#include "core/predictor.hpp"
+#include "core/statespace.hpp"
+#include "core/template_store.hpp"
+#include "core/trajectory.hpp"
+#include "monitor/mode.hpp"
+#include "monitor/normalizer.hpp"
+#include "monitor/representative.hpp"
+#include "monitor/sampler.hpp"
+#include "sim/host.hpp"
+#include "util/rng.hpp"
+
+namespace stayaway::core {
+
+/// Everything the runtime learned and did in one control period.
+struct PeriodRecord {
+  double time = 0.0;
+  monitor::ExecutionMode mode = monitor::ExecutionMode::Idle;
+  mds::Point2 state;
+  std::size_t representative = 0;
+  bool new_representative = false;
+  bool violation_observed = false;
+  bool violation_predicted = false;
+  bool model_ready = false;
+  ThrottleAction action = ThrottleAction::None;
+  bool batch_paused_after = false;
+  double stress = 0.0;
+  double beta = 0.0;
+};
+
+/// Passive prediction-vs-outcome tallies: each period's forecast ("will
+/// the execution progress into the violation region?") scored against the
+/// next period's realised map position. Meaningful when actions are
+/// disabled (an acted-on prediction masks its own outcome).
+struct PredictionTally {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double accuracy() const;
+};
+
+class StayAwayRuntime {
+ public:
+  /// host and probe must outlive the runtime. `probe` is the sensitive
+  /// app's QoS reporting channel (§3.1). The sampler defaults aggregate
+  /// all batch VMs into one logical entity (§5).
+  StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
+                  StayAwayConfig config,
+                  monitor::SamplerOptions sampler_options = {});
+
+  /// Pre-loads the labelled states of a previous run (§6). Must be called
+  /// before the first on_period(); entry dimensions must match the
+  /// sampler layout.
+  void seed_template(const StateTemplate& t);
+
+  /// Exports the current labelled representative set as a template.
+  StateTemplate export_template(std::string sensitive_app_name) const;
+
+  /// Runs one control period: sample, map, predict, act.
+  const PeriodRecord& on_period();
+
+  const StateSpace& state_space() const { return space_; }
+  const MapEmbedder& embedder() const { return embedder_; }
+  const ThrottleGovernor& governor() const { return governor_; }
+  const monitor::RepresentativeSet& representatives() const { return reps_; }
+  const monitor::MetricLayout& layout() const { return sampler_.layout(); }
+  const ModeTrajectories& trajectories() const { return modes_; }
+  const std::vector<PeriodRecord>& records() const { return records_; }
+  const PredictionTally& tally() const { return tally_; }
+  const StayAwayConfig& config() const { return config_; }
+
+  bool batch_paused() const { return batch_paused_; }
+
+ private:
+  void apply_action(ThrottleAction action);
+  /// Batch VMs consuming the major share of batch resources (§5:
+  /// "batch applications consuming a majority share of resources are
+  /// collectively throttled").
+  std::vector<sim::VmId> throttle_targets() const;
+
+  sim::SimHost* host_;
+  const sim::QosProbe* probe_;
+  StayAwayConfig config_;
+  monitor::HostSampler sampler_;
+  monitor::CapacityNormalizer normalizer_;
+  monitor::RepresentativeSet reps_;
+  StateSpace space_;
+  MapEmbedder embedder_;
+  ModeTrajectories modes_;
+  Predictor predictor_;
+  ThrottleGovernor governor_;
+  Rng rng_;
+  bool batch_paused_ = false;
+  std::vector<sim::VmId> throttled_;  // VMs paused by the last Pause action
+  std::optional<std::size_t> prev_rep_;
+  std::optional<monitor::ExecutionMode> prev_mode_;
+  std::optional<bool> prev_predicted_;  // last period's passive prediction
+  std::vector<PeriodRecord> records_;
+  PredictionTally tally_;
+};
+
+}  // namespace stayaway::core

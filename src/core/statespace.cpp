@@ -1,0 +1,108 @@
+#include "core/statespace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/rayleigh.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::core {
+
+void StateSpace::add_state(StateLabel label) {
+  forced_.push_back(label == StateLabel::Violation);
+  visits_.push_back(0);
+  violating_.push_back(0);
+  positions_.emplace_back();
+}
+
+void StateSpace::observe_visit(std::size_t i, bool violated) {
+  SA_REQUIRE(i < forced_.size(), "state index out of range");
+  ++visits_[i];
+  if (violated) ++violating_[i];
+}
+
+void StateSpace::force_violation(std::size_t i) {
+  SA_REQUIRE(i < forced_.size(), "state index out of range");
+  forced_[i] = true;
+}
+
+void StateSpace::sync_positions(const mds::Embedding& positions) {
+  SA_REQUIRE(positions.size() == forced_.size(),
+             "positions must cover every state");
+  positions_ = positions;
+}
+
+StateLabel StateSpace::label(std::size_t i) const {
+  SA_REQUIRE(i < forced_.size(), "state index out of range");
+  if (forced_[i]) return StateLabel::Violation;
+  if (violating_[i] == 0) return StateLabel::Safe;
+  double fraction = static_cast<double>(violating_[i]) /
+                    static_cast<double>(visits_[i]);
+  return fraction >= kViolationEvidenceFraction ? StateLabel::Violation
+                                                : StateLabel::Safe;
+}
+
+const mds::Point2& StateSpace::position(std::size_t i) const {
+  SA_REQUIRE(i < positions_.size(), "state index out of range");
+  return positions_[i];
+}
+
+std::size_t StateSpace::visits(std::size_t i) const {
+  SA_REQUIRE(i < visits_.size(), "state index out of range");
+  return visits_[i];
+}
+
+std::size_t StateSpace::violating_visits(std::size_t i) const {
+  SA_REQUIRE(i < violating_.size(), "state index out of range");
+  return violating_[i];
+}
+
+std::size_t StateSpace::violation_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < forced_.size(); ++i) {
+    if (label(i) == StateLabel::Violation) ++n;
+  }
+  return n;
+}
+
+double StateSpace::scale() const {
+  return mds::median_coordinate_range(positions_);
+}
+
+std::optional<double> StateSpace::nearest_safe_distance(
+    const mds::Point2& from) const {
+  double best = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t i = 0; i < forced_.size(); ++i) {
+    if (label(i) != StateLabel::Safe) continue;
+    best = std::min(best, mds::distance(from, positions_[i]));
+    found = true;
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+std::vector<ViolationRange> StateSpace::violation_ranges() const {
+  std::vector<ViolationRange> out;
+  double c = scale();
+  for (std::size_t i = 0; i < forced_.size(); ++i) {
+    if (label(i) != StateLabel::Violation) continue;
+    ViolationRange range;
+    range.state = i;
+    range.center = positions_[i];
+    auto d = nearest_safe_distance(positions_[i]);
+    range.radius = d.has_value() ? stats::rayleigh_radius(*d, c) : 0.0;
+    out.push_back(range);
+  }
+  return out;
+}
+
+bool StateSpace::in_violation_region(const mds::Point2& p, double slack) const {
+  for (const auto& range : violation_ranges()) {
+    double d = mds::distance(p, range.center);
+    if (d <= range.radius + slack) return true;
+  }
+  return false;
+}
+
+}  // namespace stayaway::core

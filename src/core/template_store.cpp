@@ -1,0 +1,60 @@
+#include "core/template_store.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace stayaway::core {
+
+std::size_t StateTemplate::violation_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries) {
+    if (e.label == StateLabel::Violation) ++n;
+  }
+  return n;
+}
+
+void StateTemplate::save(std::ostream& out) const {
+  CsvWriter w(out);
+  w.row(std::vector<std::string>{"app", sensitive_app});
+  for (const auto& e : entries) {
+    std::vector<std::string> cells;
+    cells.reserve(e.vector.size() + 1);
+    cells.push_back(e.label == StateLabel::Violation ? "violation" : "safe");
+    for (double v : e.vector) cells.push_back(format_double(v, 9));
+    w.row(cells);
+  }
+}
+
+StateTemplate StateTemplate::load(std::istream& in) {
+  auto rows = parse_csv(in);
+  SA_REQUIRE(!rows.empty(), "template file is empty");
+  SA_REQUIRE(rows.front().size() == 2 && rows.front()[0] == "app",
+             "template file lacks the provenance row");
+  StateTemplate t;
+  t.sensitive_app = rows.front()[1];
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    SA_REQUIRE(cells.size() >= 2, "template rows need a label and a vector");
+    TemplateEntry e;
+    if (cells[0] == "violation") {
+      e.label = StateLabel::Violation;
+    } else {
+      SA_REQUIRE(cells[0] == "safe", "unknown template label: " + cells[0]);
+      e.label = StateLabel::Safe;
+    }
+    std::vector<std::string> nums(cells.begin() + 1, cells.end());
+    e.vector = csv_row_to_doubles(nums);
+    if (!t.entries.empty()) {
+      SA_REQUIRE(e.vector.size() == t.entries.front().vector.size(),
+                 "template vectors must share a dimension");
+    }
+    t.entries.push_back(std::move(e));
+  }
+  return t;
+}
+
+}  // namespace stayaway::core

@@ -1,0 +1,36 @@
+// Violation templates (§6 of the paper).
+//
+// "The captured states for a performance sensitive application double as
+// a template ... that can be used for future executions alongside a
+// different set of application co-locations." A template is the set of
+// labelled high-dimensional (normalized) representatives from a previous
+// run; because measurement vectors are normalized per resource capacity,
+// states mean the same thing across runs and the violation labels remain
+// valid under any batch neighbour.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/statespace.hpp"
+
+namespace stayaway::core {
+
+struct TemplateEntry {
+  std::vector<double> vector;  // normalized measurement representative
+  StateLabel label = StateLabel::Safe;
+};
+
+struct StateTemplate {
+  std::string sensitive_app;  // provenance, informational
+  std::vector<TemplateEntry> entries;
+
+  std::size_t violation_count() const;
+
+  /// CSV round trip: header row, then label,v0,v1,...
+  void save(std::ostream& out) const;
+  static StateTemplate load(std::istream& in);
+};
+
+}  // namespace stayaway::core

@@ -1,0 +1,58 @@
+#include "core/trajectory.hpp"
+
+#include "stats/sampler.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::core {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+TrajectoryModel::TrajectoryModel(double max_step, std::size_t bins)
+    // Step lengths concentrate near zero (states mostly linger or move a
+    // little), so the step histogram gets 4x the angular resolution: with
+    // the default range of a normalized space, plain `bins` would be
+    // coarser than a typical step and quantize every mode to bin 0.
+    : steps_(0.0, max_step, bins * 4), angles_(-kPi, kPi, bins) {
+  SA_REQUIRE(max_step > 0.0, "max step must be positive");
+}
+
+void TrajectoryModel::observe(const mds::Point2& from, const mds::Point2& to) {
+  steps_.add(mds::distance(from, to));
+  angles_.add(mds::step_angle(from, to));
+  ++observations_;
+}
+
+std::vector<mds::Point2> TrajectoryModel::sample_future(
+    const mds::Point2& current, std::size_t count, Rng& rng) const {
+  SA_REQUIRE(observations_ > 0, "trajectory model has no observations");
+  stats::InverseTransformSampler step_sampler(steps_);
+  stats::InverseTransformSampler angle_sampler(angles_);
+  std::vector<mds::Point2> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double d = step_sampler.sample(rng);
+    double a = angle_sampler.sample(rng);
+    out.push_back(mds::step_from(current, d, a));
+  }
+  return out;
+}
+
+ModeTrajectories::ModeTrajectories(double max_step, std::size_t bins) {
+  models_.reserve(monitor::kExecutionModeCount);
+  for (std::size_t i = 0; i < monitor::kExecutionModeCount; ++i) {
+    models_.emplace_back(max_step, bins);
+  }
+}
+
+TrajectoryModel& ModeTrajectories::model(monitor::ExecutionMode mode) {
+  return models_[static_cast<std::size_t>(mode)];
+}
+
+const TrajectoryModel& ModeTrajectories::model(
+    monitor::ExecutionMode mode) const {
+  return models_[static_cast<std::size_t>(mode)];
+}
+
+}  // namespace stayaway::core

@@ -1,0 +1,163 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/webservice.hpp"
+#include "baseline/reactive.hpp"
+#include "baseline/static_threshold.hpp"
+#include "harness/stayaway_policy.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::harness {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::NoPrevention:
+      return "no-prevention";
+    case PolicyKind::StayAway:
+      return "stay-away";
+    case PolicyKind::Reactive:
+      return "reactive";
+    case PolicyKind::StaticThreshold:
+      return "static-threshold";
+  }
+  return "unknown";
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  SA_REQUIRE(spec.duration_s > 0.0, "experiment duration must be positive");
+  SA_REQUIRE(spec.period_s >= spec.tick_s, "period must cover >= one tick");
+
+  sim::SimHost host(spec.host, spec.tick_s);
+
+  SensitiveSetup sensitive = make_sensitive(
+      spec.sensitive, spec.workload, spec.duration_s - spec.sensitive_start_s,
+      spec.seed);
+  const sim::QosProbe* probe = sensitive.probe;
+  const auto* webservice =
+      dynamic_cast<const apps::Webservice*>(sensitive.app.get());
+  std::string sensitive_name(sensitive.app->name());
+  sim::VmId sensitive_id =
+      host.add_vm(std::move(sensitive_name), sim::VmKind::Sensitive,
+                  std::move(sensitive.app), spec.sensitive_start_s);
+
+  std::vector<sim::VmId> batch_ids;
+  for (auto& app : make_batch(spec.batch)) {
+    std::string batch_name(app->name());
+    batch_ids.push_back(host.add_vm(std::move(batch_name), sim::VmKind::Batch,
+                                    std::move(app), spec.batch_start_s));
+  }
+
+  monitor::SamplerOptions sampler = spec.sampler;
+  sampler.seed = spec.seed ^ 0xabcdULL;
+  core::StayAwayConfig sa_config = spec.stayaway;
+  sa_config.period_s = spec.period_s;
+  sa_config.seed = spec.seed;
+
+  std::unique_ptr<baseline::InterferencePolicy> policy;
+  StayAwayPolicy* stayaway = nullptr;
+  switch (spec.policy) {
+    case PolicyKind::NoPrevention:
+      policy = std::make_unique<baseline::NoPrevention>();
+      break;
+    case PolicyKind::StayAway: {
+      auto p = std::make_unique<StayAwayPolicy>(host, *probe, sa_config,
+                                                sampler, spec.seed_template);
+      stayaway = p.get();
+      policy = std::move(p);
+      break;
+    }
+    case PolicyKind::Reactive:
+      policy = std::make_unique<baseline::ReactiveThrottle>();
+      break;
+    case PolicyKind::StaticThreshold:
+      policy = std::make_unique<baseline::StaticThreshold>();
+      break;
+  }
+
+  ExperimentResult result;
+  auto ticks_per_period =
+      static_cast<std::size_t>(std::llround(spec.period_s / spec.tick_s));
+  auto periods =
+      static_cast<std::size_t>(std::llround(spec.duration_s / spec.period_s));
+
+  for (std::size_t p = 0; p < periods; ++p) {
+    double util_acc = 0.0;
+    for (std::size_t t = 0; t < ticks_per_period; ++t) {
+      host.step();
+      util_acc += host.instantaneous_cpu_utilization();
+    }
+    policy->on_period(host, *probe);
+
+    bool sensitive_up = host.vm(sensitive_id).present(host.now());
+    result.time.push_back(host.now());
+    result.qos.push_back(sensitive_up ? probe->normalized_qos() : 1.0);
+    bool violated = sensitive_up && probe->violated();
+    result.violated.push_back(violated ? 1 : 0);
+    result.utilization.push_back(util_acc /
+                                 static_cast<double>(ticks_per_period));
+    bool any_batch = false;
+    for (sim::VmId id : batch_ids) {
+      if (host.vm(id).active(host.now())) any_batch = true;
+    }
+    result.batch_running.push_back(any_batch ? 1 : 0);
+    if (webservice != nullptr) {
+      result.offered_tps.push_back(webservice->offered_rps(host.now()));
+      result.completed_tps.push_back(webservice->completed_tps());
+    }
+    if (violated) ++result.violation_periods;
+  }
+
+  // Aggregates.
+  if (!result.qos.empty()) {
+    double qacc = 0.0;
+    double uacc = 0.0;
+    for (std::size_t i = 0; i < result.qos.size(); ++i) {
+      qacc += result.qos[i];
+      uacc += result.utilization[i];
+    }
+    result.avg_qos = qacc / static_cast<double>(result.qos.size());
+    result.avg_utilization = uacc / static_cast<double>(result.qos.size());
+    result.violation_fraction = static_cast<double>(result.violation_periods) /
+                                static_cast<double>(result.qos.size());
+  }
+  result.sensitive_cpu_work = host.vm(sensitive_id).cpu_work_done();
+  for (sim::VmId id : batch_ids) {
+    result.batch_cpu_work += host.vm(id).cpu_work_done();
+  }
+
+  if (stayaway != nullptr) {
+    const auto& rt = stayaway->runtime();
+    result.stayaway_records = rt.records();
+    result.tally = rt.tally();
+    result.pauses = rt.governor().pauses();
+    result.resumes = rt.governor().resumes();
+    result.final_beta = rt.governor().beta();
+    result.representative_count = rt.representatives().size();
+    result.final_stress = rt.embedder().stress();
+    result.exported_template =
+        rt.export_template(to_string(spec.sensitive));
+    result.final_map = rt.state_space().positions();
+  }
+  return result;
+}
+
+ExperimentResult run_isolated(ExperimentSpec spec) {
+  spec.batch = BatchKind::None;
+  spec.policy = PolicyKind::NoPrevention;
+  return run_experiment(spec);
+}
+
+std::vector<double> gained_utilization(const ExperimentResult& colocated,
+                                       const ExperimentResult& isolated) {
+  SA_REQUIRE(colocated.utilization.size() == isolated.utilization.size(),
+             "series must come from equally long runs");
+  std::vector<double> out(colocated.utilization.size(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::max(0.0, colocated.utilization[i] - isolated.utilization[i]);
+  }
+  return out;
+}
+
+}  // namespace stayaway::harness

@@ -1,0 +1,75 @@
+#include "harness/report.hpp"
+
+#include <ostream>
+
+#include "util/ascii_plot.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace stayaway::harness {
+
+void print_series_csv(std::ostream& out, const std::vector<std::string>& names,
+                      const std::vector<const std::vector<double>*>& series) {
+  SA_REQUIRE(names.size() == series.size(), "one name per series");
+  CsvWriter w(out);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::vector<std::string> cells{names[i]};
+    for (double v : *series[i]) cells.push_back(format_double(v, 4));
+    w.row(cells);
+  }
+}
+
+void print_summary_header(std::ostream& out) {
+  out << pad_right("experiment", 40) << pad_left("viol%", 8)
+      << pad_left("avg_qos", 9) << pad_left("avg_util", 10)
+      << pad_left("batch_cpu_s", 13) << pad_left("pauses", 8)
+      << pad_left("reps", 6) << "\n";
+}
+
+void print_summary_row(std::ostream& out, const std::string& label,
+                       const ExperimentResult& result) {
+  out << pad_right(label, 40)
+      << pad_left(format_double(result.violation_fraction * 100.0, 1), 8)
+      << pad_left(format_double(result.avg_qos, 3), 9)
+      << pad_left(format_double(result.avg_utilization * 100.0, 1), 10)
+      << pad_left(format_double(result.batch_cpu_work, 1), 13)
+      << pad_left(std::to_string(result.pauses), 8)
+      << pad_left(std::to_string(result.representative_count), 6) << "\n";
+}
+
+std::string render_qos_figure(const std::string& title,
+                              const ExperimentResult& with,
+                              const ExperimentResult& without) {
+  std::vector<double> threshold(with.qos.size(), 1.0);
+  PlotOptions opts;
+  opts.title = title;
+  return plot_lines({with.qos, without.qos, threshold},
+                    {"stay-away", "no-prevention", "threshold"}, opts);
+}
+
+std::string render_state_space(const std::string& title,
+                               const core::StateSpace& space) {
+  ScatterGroup safe{"safe", '.', {}};
+  ScatterGroup violation{"violation", '#', {}};
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto& p = space.position(i);
+    if (space.label(i) == core::StateLabel::Violation) {
+      violation.points.emplace_back(p.x, p.y);
+    } else {
+      safe.points.emplace_back(p.x, p.y);
+    }
+  }
+  PlotOptions opts;
+  opts.title = title;
+  return plot_scatter({safe, violation}, opts);
+}
+
+double series_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : xs) acc += v;
+  return acc / static_cast<double>(xs.size());
+}
+
+}  // namespace stayaway::harness

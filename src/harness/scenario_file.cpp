@@ -1,0 +1,163 @@
+#include "harness/scenario_file.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace stayaway::harness {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw PreconditionError("scenario line " + std::to_string(line) + ": " +
+                          message);
+}
+
+double parse_double(std::size_t line, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(value, &pos);
+    if (pos != value.size()) fail(line, "trailing characters in number");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "expected a number, got '" + value + "'");
+  }
+}
+
+bool parse_bool(std::size_t line, const std::string& value) {
+  if (value == "true" || value == "yes" || value == "1") return true;
+  if (value == "false" || value == "no" || value == "0") return false;
+  fail(line, "expected true/false, got '" + value + "'");
+}
+
+}  // namespace
+
+SensitiveKind sensitive_kind_from_string(const std::string& name) {
+  for (auto kind : {SensitiveKind::VlcStream, SensitiveKind::WebserviceCpu,
+                    SensitiveKind::WebserviceMem, SensitiveKind::WebserviceMix,
+                    SensitiveKind::VlcTranscode}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw PreconditionError("unknown sensitive app: " + name);
+}
+
+BatchKind batch_kind_from_string(const std::string& name) {
+  for (auto kind : {BatchKind::None, BatchKind::CpuBomb, BatchKind::MemBomb,
+                    BatchKind::Soplex, BatchKind::TwitterAnalysis,
+                    BatchKind::VlcTranscode, BatchKind::Batch1,
+                    BatchKind::Batch2}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw PreconditionError("unknown batch app: " + name);
+}
+
+PolicyKind policy_kind_from_string(const std::string& name) {
+  for (auto kind : {PolicyKind::NoPrevention, PolicyKind::StayAway,
+                    PolicyKind::Reactive, PolicyKind::StaticThreshold}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw PreconditionError("unknown policy: " + name);
+}
+
+Scenario parse_scenario(std::istream& in) {
+  Scenario scenario;
+  std::string workload = "constant";
+  double workload_cycles = 1.5;
+
+  std::set<std::string> seen;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+    if (!seen.insert(key).second) fail(line_no, "duplicate key '" + key + "'");
+
+    auto& spec = scenario.spec;
+    try {
+      if (key == "sensitive") {
+        spec.sensitive = sensitive_kind_from_string(value);
+      } else if (key == "batch") {
+        spec.batch = batch_kind_from_string(value);
+      } else if (key == "policy") {
+        spec.policy = policy_kind_from_string(value);
+      } else if (key == "duration_s") {
+        spec.duration_s = parse_double(line_no, value);
+      } else if (key == "period_s") {
+        spec.period_s = parse_double(line_no, value);
+      } else if (key == "tick_s") {
+        spec.tick_s = parse_double(line_no, value);
+      } else if (key == "batch_start_s") {
+        spec.batch_start_s = parse_double(line_no, value);
+      } else if (key == "sensitive_start_s") {
+        spec.sensitive_start_s = parse_double(line_no, value);
+      } else if (key == "seed") {
+        spec.seed = static_cast<std::uint64_t>(parse_double(line_no, value));
+      } else if (key == "workload") {
+        if (value != "constant" && value != "diurnal") {
+          fail(line_no, "workload must be 'constant' or 'diurnal'");
+        }
+        workload = value;
+      } else if (key == "workload_cycles") {
+        workload_cycles = parse_double(line_no, value);
+      } else if (key == "dedup_epsilon") {
+        spec.stayaway.dedup_epsilon = parse_double(line_no, value);
+      } else if (key == "prediction_samples") {
+        spec.stayaway.prediction_samples =
+            static_cast<std::size_t>(parse_double(line_no, value));
+      } else if (key == "beta_initial") {
+        spec.stayaway.governor.beta_initial = parse_double(line_no, value);
+      } else if (key == "actions_enabled") {
+        spec.stayaway.actions_enabled = parse_bool(line_no, value);
+      } else if (key == "allow_sensitive_demotion") {
+        spec.stayaway.allow_sensitive_demotion = parse_bool(line_no, value);
+      } else if (key == "aggregate_batch") {
+        spec.sampler.aggregate_batch = parse_bool(line_no, value);
+      } else if (key == "noise_fraction") {
+        spec.sampler.noise_fraction = parse_double(line_no, value);
+      } else if (key == "compare") {
+        scenario.compare = parse_bool(line_no, value);
+      } else if (key == "template_in") {
+        scenario.template_in = value;
+      } else if (key == "template_out") {
+        scenario.template_out = value;
+      } else if (key == "series_csv") {
+        scenario.series_csv = value;
+      } else {
+        fail(line_no, "unknown key '" + key + "'");
+      }
+    } catch (const PreconditionError& e) {
+      // Re-tag enum-lookup errors with the line number.
+      std::string what = e.what();
+      if (what.rfind("scenario line", 0) == 0) throw;
+      fail(line_no, what);
+    }
+  }
+
+  if (workload == "diurnal") {
+    scenario.spec.workload = compressed_diurnal(
+        scenario.spec.duration_s, workload_cycles, scenario.spec.seed);
+  }
+  return scenario;
+}
+
+}  // namespace stayaway::harness

@@ -1,0 +1,45 @@
+// Scenario files: a small key = value format describing an experiment,
+// consumed by the stayaway_sim command-line tool (tools/). Lets a user
+// run co-location studies without writing C++.
+//
+//   # VLC protected from the Twitter analytics job
+//   sensitive   = vlc-stream
+//   batch       = twitter-analysis
+//   policy      = stay-away
+//   duration_s  = 300
+//   workload    = diurnal
+//   compare     = true          # also run no-prevention + isolated
+//   template_out = vlc.template.csv
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+namespace stayaway::harness {
+
+/// Enum lookups (throw PreconditionError on unknown names).
+SensitiveKind sensitive_kind_from_string(const std::string& name);
+BatchKind batch_kind_from_string(const std::string& name);
+PolicyKind policy_kind_from_string(const std::string& name);
+
+struct Scenario {
+  ExperimentSpec spec;
+  /// Also run the no-prevention and isolated references and report the
+  /// gained utilization / violation comparison.
+  bool compare = false;
+  /// Load a template before the run / save the learned one after.
+  std::optional<std::string> template_in;
+  std::optional<std::string> template_out;
+  /// Dump the per-period series to this CSV path.
+  std::optional<std::string> series_csv;
+};
+
+/// Parses a scenario document. Unknown keys, malformed lines and invalid
+/// values throw PreconditionError naming the offending line. Empty lines
+/// and '#' comments are ignored; keys may appear at most once.
+Scenario parse_scenario(std::istream& in);
+
+}  // namespace stayaway::harness

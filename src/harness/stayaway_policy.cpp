@@ -1,0 +1,21 @@
+#include "harness/stayaway_policy.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::harness {
+
+StayAwayPolicy::StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
+                               core::StayAwayConfig config,
+                               monitor::SamplerOptions sampler_options,
+                               std::optional<core::StateTemplate> seed)
+    : runtime_(std::make_unique<core::StayAwayRuntime>(
+          host, probe, config, std::move(sampler_options))) {
+  if (seed.has_value()) runtime_->seed_template(*seed);
+}
+
+void StayAwayPolicy::on_period(sim::SimHost&, const sim::QosProbe&) {
+  // The runtime is already bound to its host and probe from construction.
+  runtime_->on_period();
+}
+
+}  // namespace stayaway::harness

@@ -1,0 +1,33 @@
+// Adapter exposing StayAwayRuntime through the InterferencePolicy
+// interface so the harness can swap it against the baselines.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "baseline/policy.hpp"
+#include "core/runtime.hpp"
+#include "core/template_store.hpp"
+
+namespace stayaway::harness {
+
+class StayAwayPolicy final : public baseline::InterferencePolicy {
+ public:
+  /// The runtime binds to this host and probe; both must outlive the
+  /// policy. Pass a template to seed the map from a previous run (§6).
+  StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
+                 core::StayAwayConfig config,
+                 monitor::SamplerOptions sampler_options = {},
+                 std::optional<core::StateTemplate> seed = std::nullopt);
+
+  std::string_view name() const override { return "stay-away"; }
+  void on_period(sim::SimHost& host, const sim::QosProbe& probe) override;
+
+  const core::StayAwayRuntime& runtime() const { return *runtime_; }
+  core::StayAwayRuntime& runtime() { return *runtime_; }
+
+ private:
+  std::unique_ptr<core::StayAwayRuntime> runtime_;
+};
+
+}  // namespace stayaway::harness

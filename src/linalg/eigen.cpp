@@ -1,0 +1,74 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace stayaway::linalg {
+
+EigenDecomposition eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
+  SA_REQUIRE(a.rows() == a.cols(), "eigendecomposition requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = r + 1; c < n; ++c) off += d.at(r, c) * d.at(r, c);
+    }
+    if (off < 1e-20) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double apq = d.at(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        double app = d.at(p, p);
+        double aqq = d.at(q, q);
+        double theta = 0.5 * (aqq - app) / apq;
+        double t = ((theta >= 0.0) ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          double dkp = d.at(k, p);
+          double dkq = d.at(k, q);
+          d.at(k, p) = c * dkp - s * dkq;
+          d.at(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double dpk = d.at(p, k);
+          double dqk = d.at(q, k);
+          d.at(p, k) = c * dpk - s * dqk;
+          d.at(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double vkp = v.at(k, p);
+          double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t lhs, std::size_t rhs) {
+    return d.at(lhs, lhs) > d.at(rhs, rhs);
+  });
+
+  EigenDecomposition out;
+  out.values.reserve(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.values.push_back(d.at(order[i], order[i]));
+    for (std::size_t k = 0; k < n; ++k) out.vectors.at(i, k) = v.at(k, order[i]);
+  }
+  return out;
+}
+
+}  // namespace stayaway::linalg

@@ -1,0 +1,26 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Classical MDS (Torgerson) and PCA both need the top eigenpairs of a
+// symmetric matrix: the double-centred Gram matrix (n x n, n bounded by
+// the representative-set size) or a metric covariance (m x m, m small).
+// Jacobi is simple, robust and plenty fast at these sizes.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace stayaway::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues sorted descending.
+  std::vector<double> values;
+  /// eigenvectors.row(i) is the unit eigenvector for values[i].
+  Matrix vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix. Requires square input;
+/// symmetry is assumed (the strictly-lower triangle is ignored in checks).
+EigenDecomposition eigen_symmetric(const Matrix& a, std::size_t max_sweeps = 64);
+
+}  // namespace stayaway::linalg

@@ -1,0 +1,62 @@
+#include "linalg/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stayaway::linalg {
+
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b) {
+  SA_REQUIRE(a.rows() == a.cols(), "solve requires a square matrix");
+  SA_REQUIRE(a.rows() == b.size(), "dimension mismatch between A and b");
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  std::vector<double> x = b;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: bring the largest remaining entry into the diagonal.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(m.at(r, col)) > std::abs(m.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(m.at(pivot, col)) < 1e-12) {
+      throw PreconditionError("solve: matrix is singular or near-singular");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(m.at(pivot, c), m.at(col, c));
+      std::swap(x[pivot], x[col]);
+    }
+    double inv = 1.0 / m.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      double factor = m.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) m.at(r, c) -= factor * m.at(col, c);
+      x[r] -= factor * x[col];
+    }
+  }
+
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= m.at(ri, c) * x[c];
+    x[ri] = acc / m.at(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b,
+                                        double lambda) {
+  SA_REQUIRE(a.rows() == b.size(), "dimension mismatch between A and b");
+  SA_REQUIRE(lambda >= 0.0, "ridge parameter must be non-negative");
+  Matrix at = a.transposed();
+  Matrix ata = at.multiply(a);
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata.at(i, i) += lambda;
+  std::vector<double> atb(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) atb[c] += a.at(r, c) * b[r];
+  }
+  return solve(ata, atb);
+}
+
+}  // namespace stayaway::linalg

@@ -1,0 +1,21 @@
+// Dense linear solves via Gaussian elimination with partial pivoting.
+// Used by the VAR(1) forecaster's normal equations.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace stayaway::linalg {
+
+/// Solves A x = b for square A. Throws PreconditionError if A is singular
+/// (pivot below tolerance).
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
+
+/// Solves the least-squares problem min ||A x - b||_2 via normal equations
+/// with Tikhonov ridge `lambda` (>= 0) for conditioning.
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b,
+                                        double lambda = 0.0);
+
+}  // namespace stayaway::linalg

@@ -1,0 +1,62 @@
+#include "mds/classical.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::mds {
+
+linalg::Matrix double_centered_gram(const linalg::Matrix& distances) {
+  SA_REQUIRE(distances.rows() == distances.cols(),
+             "distance matrix must be square");
+  const std::size_t n = distances.rows();
+  linalg::Matrix sq(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double d = distances.at(i, j);
+      sq.at(i, j) = d * d;
+    }
+  }
+
+  std::vector<double> row_mean(n, 0.0);
+  double grand = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row_mean[i] += sq.at(i, j);
+    row_mean[i] /= static_cast<double>(n);
+    grand += row_mean[i];
+  }
+  grand /= static_cast<double>(n);
+
+  linalg::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b.at(i, j) = -0.5 * (sq.at(i, j) - row_mean[i] - row_mean[j] + grand);
+    }
+  }
+  return b;
+}
+
+Embedding classical_mds(const linalg::Matrix& distances) {
+  SA_REQUIRE(distances.rows() == distances.cols(),
+             "distance matrix must be square");
+  const std::size_t n = distances.rows();
+  Embedding out(n);
+  if (n == 1) return out;
+
+  linalg::Matrix b = double_centered_gram(distances);
+  linalg::EigenDecomposition eig = linalg::eigen_symmetric(b);
+
+  // Negative eigenvalues (non-Euclidean noise) contribute nothing.
+  double l0 = eig.values.size() > 0 ? std::max(eig.values[0], 0.0) : 0.0;
+  double l1 = eig.values.size() > 1 ? std::max(eig.values[1], 0.0) : 0.0;
+  double s0 = std::sqrt(l0);
+  double s1 = std::sqrt(l1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].x = s0 * eig.vectors.at(0, i);
+    out[i].y = (eig.values.size() > 1) ? s1 * eig.vectors.at(1, i) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace stayaway::mds

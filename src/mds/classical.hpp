@@ -1,0 +1,22 @@
+// Classical (Torgerson) metric MDS.
+//
+// Double-centres the squared-distance matrix into a Gram matrix and takes
+// its top-2 eigenpairs. Used to seed SMACOF (a good start cuts majorization
+// iterations dramatically) and as the base step of landmark MDS.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "mds/point.hpp"
+
+namespace stayaway::mds {
+
+/// Embeds the n points described by the symmetric distance matrix into 2-D.
+/// Requires a square matrix; n == 1 maps to the origin.
+Embedding classical_mds(const linalg::Matrix& distances);
+
+/// The double-centred Gram matrix B = -1/2 J D^2 J used by Torgerson
+/// scaling; exposed for landmark MDS, which needs it to triangulate
+/// non-landmark points.
+linalg::Matrix double_centered_gram(const linalg::Matrix& distances);
+
+}  // namespace stayaway::mds

@@ -1,0 +1,31 @@
+#include "mds/distance.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::mds {
+
+linalg::Matrix distance_matrix(const std::vector<std::vector<double>>& vectors) {
+  SA_REQUIRE(!vectors.empty(), "distance matrix of an empty set");
+  const std::size_t n = vectors.size();
+  linalg::Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double dist = linalg::euclidean_distance(vectors[i], vectors[j]);
+      d.at(i, j) = dist;
+      d.at(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+std::vector<double> distances_to(const std::vector<std::vector<double>>& vectors,
+                                 const std::vector<double>& v) {
+  std::vector<double> out;
+  out.reserve(vectors.size());
+  for (const auto& row : vectors) {
+    out.push_back(linalg::euclidean_distance(row, v));
+  }
+  return out;
+}
+
+}  // namespace stayaway::mds

@@ -1,0 +1,18 @@
+// Pairwise distance matrices over high-dimensional measurement vectors.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace stayaway::mds {
+
+/// Symmetric n x n matrix of Euclidean distances between the rows of
+/// `vectors`. All rows must share a dimension.
+linalg::Matrix distance_matrix(const std::vector<std::vector<double>>& vectors);
+
+/// Distances from one vector to each row of `vectors`.
+std::vector<double> distances_to(const std::vector<std::vector<double>>& vectors,
+                                 const std::vector<double>& v);
+
+}  // namespace stayaway::mds

@@ -1,0 +1,36 @@
+// Incremental single-point placement against a fixed configuration.
+//
+// The Stay-Away runtime re-embeds the representative set only when it
+// changes; within a period the newest measurement is placed by minimizing
+// its own stress term against the existing map. This is the restriction of
+// the Guttman transform to one free point and converges in a handful of
+// iterations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mds/point.hpp"
+
+namespace stayaway::mds {
+
+struct PlacementOptions {
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-9;  // squared movement per iteration
+};
+
+/// Places a new point whose high-dimensional distances to the already
+/// embedded points are `target_distances` (aligned with `anchors`).
+/// Starts from the anchor with the smallest target distance.
+/// Requires non-empty, equal-length inputs.
+Point2 place_point(const Embedding& anchors,
+                   const std::vector<double>& target_distances,
+                   const PlacementOptions& options = {});
+
+/// Local (per-point) stress of a placement: sum of squared residuals
+/// between target distances and realized map distances.
+double placement_stress(const Embedding& anchors,
+                        const std::vector<double>& target_distances,
+                        const Point2& p);
+
+}  // namespace stayaway::mds

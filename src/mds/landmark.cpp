@@ -1,0 +1,103 @@
+#include "mds/landmark.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/eigen.hpp"
+#include "mds/classical.hpp"
+#include "mds/distance.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::mds {
+
+Point2 LandmarkModel::place(const std::vector<double>& d) const {
+  SA_REQUIRE(d.size() == mean_sq.size(),
+             "distance count must match the landmark count");
+  Point2 out;
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    double centered = d[j] * d[j] - mean_sq[j];
+    out.x += -0.5 * pinv_x[j] * centered;
+    out.y += -0.5 * pinv_y[j] * centered;
+  }
+  return out;
+}
+
+std::vector<std::size_t> select_landmarks_maxmin(
+    const std::vector<std::vector<double>>& vectors, std::size_t k) {
+  SA_REQUIRE(!vectors.empty(), "landmark selection over an empty set");
+  SA_REQUIRE(k >= 1 && k <= vectors.size(), "invalid landmark count");
+
+  std::vector<std::size_t> chosen{0};
+  std::vector<double> best(vectors.size(),
+                           std::numeric_limits<double>::infinity());
+  while (chosen.size() < k) {
+    std::size_t last = chosen.back();
+    std::size_t argmax = 0;
+    double maxdist = -1.0;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      double dist = linalg::euclidean_distance(vectors[i], vectors[last]);
+      if (dist < best[i]) best[i] = dist;
+      if (best[i] > maxdist) {
+        maxdist = best[i];
+        argmax = i;
+      }
+    }
+    chosen.push_back(argmax);
+  }
+  return chosen;
+}
+
+LandmarkModel fit_landmark_mds(const std::vector<std::vector<double>>& vectors,
+                               std::size_t k) {
+  SA_REQUIRE(k >= 2, "landmark MDS needs at least two landmarks");
+  SA_REQUIRE(k <= vectors.size(), "more landmarks than points");
+
+  LandmarkModel model;
+  model.landmark_indices = select_landmarks_maxmin(vectors, k);
+
+  std::vector<std::vector<double>> landmarks;
+  landmarks.reserve(k);
+  for (std::size_t idx : model.landmark_indices) landmarks.push_back(vectors[idx]);
+
+  linalg::Matrix dist = distance_matrix(landmarks);
+  linalg::Matrix gram = double_centered_gram(dist);
+  linalg::EigenDecomposition eig = linalg::eigen_symmetric(gram);
+
+  double l0 = std::max(eig.values[0], 0.0);
+  double l1 = (eig.values.size() > 1) ? std::max(eig.values[1], 0.0) : 0.0;
+  double s0 = std::sqrt(l0);
+  double s1 = std::sqrt(l1);
+
+  model.landmark_points.resize(k);
+  model.pinv_x.assign(k, 0.0);
+  model.pinv_y.assign(k, 0.0);
+  model.mean_sq.assign(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    model.landmark_points[i].x = s0 * eig.vectors.at(0, i);
+    model.landmark_points[i].y = s1 * eig.vectors.at(1, i);
+    model.pinv_x[i] = (s0 > 1e-12) ? eig.vectors.at(0, i) / s0 : 0.0;
+    model.pinv_y[i] = (s1 > 1e-12) ? eig.vectors.at(1, i) / s1 : 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      model.mean_sq[i] += dist.at(j, i) * dist.at(j, i);
+    }
+    model.mean_sq[i] /= static_cast<double>(k);
+  }
+  return model;
+}
+
+Embedding landmark_embed(const std::vector<std::vector<double>>& vectors,
+                         std::size_t k) {
+  LandmarkModel model = fit_landmark_mds(vectors, k);
+  Embedding out;
+  out.reserve(vectors.size());
+  std::vector<double> d(model.landmark_indices.size(), 0.0);
+  for (const auto& v : vectors) {
+    for (std::size_t j = 0; j < model.landmark_indices.size(); ++j) {
+      d[j] = linalg::euclidean_distance(vectors[model.landmark_indices[j]], v);
+    }
+    out.push_back(model.place(d));
+  }
+  return out;
+}
+
+}  // namespace stayaway::mds

@@ -1,0 +1,45 @@
+// Landmark MDS — the fast approximation path referenced in §4 of the
+// paper ("existing work ... capable of doing incremental MDS with high
+// performance and very low overhead", de Silva & Tenenbaum-style).
+//
+// A subset of k landmark points is embedded exactly with classical MDS;
+// every other point is triangulated from its distances to the landmarks.
+// Cost drops from O(n^2) per solve to O(nk + k^3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mds/point.hpp"
+
+namespace stayaway::mds {
+
+struct LandmarkModel {
+  std::vector<std::size_t> landmark_indices;  // into the fit data set
+  Embedding landmark_points;
+  // Triangulation data: pseudo-inverse rows and column means of the
+  // landmark squared-distance matrix.
+  std::vector<double> pinv_x;
+  std::vector<double> pinv_y;
+  std::vector<double> mean_sq;
+
+  /// Places a point given its distances to each landmark (same order as
+  /// landmark_indices).
+  Point2 place(const std::vector<double>& distances_to_landmarks) const;
+};
+
+/// Chooses k landmarks by maxmin (farthest-point) selection, which spreads
+/// them across the data set; the first landmark is index 0 (deterministic).
+std::vector<std::size_t> select_landmarks_maxmin(
+    const std::vector<std::vector<double>>& vectors, std::size_t k);
+
+/// Fits a landmark model on the given high-dimensional vectors.
+/// Requires 2 <= k <= vectors.size().
+LandmarkModel fit_landmark_mds(const std::vector<std::vector<double>>& vectors,
+                               std::size_t k);
+
+/// Convenience: fit on `vectors` and embed all of them.
+Embedding landmark_embed(const std::vector<std::vector<double>>& vectors,
+                         std::size_t k);
+
+}  // namespace stayaway::mds

@@ -1,0 +1,77 @@
+#include "mds/pca.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::mds {
+
+Point2 PcaModel::project(const std::vector<double>& v) const {
+  SA_REQUIRE(v.size() == mean.size(), "vector dimension mismatch");
+  Point2 out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    double centered = v[i] - mean[i];
+    out.x += centered * component_x[i];
+    out.y += centered * component_y[i];
+  }
+  return out;
+}
+
+PcaModel fit_pca(const std::vector<std::vector<double>>& vectors) {
+  SA_REQUIRE(!vectors.empty(), "PCA needs at least one sample");
+  const std::size_t dim = vectors.front().size();
+  SA_REQUIRE(dim > 0, "PCA needs non-empty vectors");
+  const double n = static_cast<double>(vectors.size());
+
+  PcaModel model;
+  model.mean.assign(dim, 0.0);
+  for (const auto& v : vectors) {
+    SA_REQUIRE(v.size() == dim, "all samples must share a dimension");
+    for (std::size_t i = 0; i < dim; ++i) model.mean[i] += v[i];
+  }
+  for (double& m : model.mean) m /= n;
+
+  linalg::Matrix cov(dim, dim);
+  for (const auto& v : vectors) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      double ci = v[i] - model.mean[i];
+      for (std::size_t j = i; j < dim; ++j) {
+        cov.at(i, j) += ci * (v[j] - model.mean[j]);
+      }
+    }
+  }
+  double denom = (vectors.size() > 1) ? n - 1.0 : 1.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = i; j < dim; ++j) {
+      cov.at(i, j) /= denom;
+      cov.at(j, i) = cov.at(i, j);
+    }
+  }
+
+  linalg::EigenDecomposition eig = linalg::eigen_symmetric(cov);
+  model.component_x.assign(dim, 0.0);
+  model.component_y.assign(dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    model.component_x[i] = eig.vectors.at(0, i);
+    model.component_y[i] = (dim > 1) ? eig.vectors.at(1, i) : 0.0;
+  }
+
+  double total = 0.0;
+  for (double v : eig.values) total += std::max(v, 0.0);
+  double top2 = std::max(eig.values[0], 0.0) +
+                ((dim > 1) ? std::max(eig.values[1], 0.0) : 0.0);
+  model.explained_fraction = (total > 0.0) ? top2 / total : 1.0;
+  return model;
+}
+
+Embedding pca_embed(const std::vector<std::vector<double>>& vectors) {
+  PcaModel model = fit_pca(vectors);
+  Embedding out;
+  out.reserve(vectors.size());
+  for (const auto& v : vectors) out.push_back(model.project(v));
+  return out;
+}
+
+}  // namespace stayaway::mds

@@ -1,0 +1,31 @@
+// Principal component analysis to 2-D.
+//
+// §2.2 contrasts MDS against projection operators like PCA, which
+// "superpose in the direction of projection". PCA is implemented as the
+// ablation comparator (bench_abl_mds_vs_pca): how much violation/safe
+// separability is lost when projecting instead of preserving distances.
+#pragma once
+
+#include <vector>
+
+#include "mds/point.hpp"
+
+namespace stayaway::mds {
+
+struct PcaModel {
+  std::vector<double> mean;         // per-dimension mean of the fit data
+  std::vector<double> component_x;  // first principal axis (unit)
+  std::vector<double> component_y;  // second principal axis (unit)
+  double explained_fraction = 0.0;  // variance captured by the two axes
+
+  /// Projects a vector of the fitted dimensionality.
+  Point2 project(const std::vector<double>& v) const;
+};
+
+/// Fits PCA on the rows of `vectors` (all equal length, at least one row).
+PcaModel fit_pca(const std::vector<std::vector<double>>& vectors);
+
+/// Convenience: fit and project every input row.
+Embedding pca_embed(const std::vector<std::vector<double>>& vectors);
+
+}  // namespace stayaway::mds

@@ -1,0 +1,47 @@
+#include "mds/point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stayaway::mds {
+
+double distance(const Point2& a, const Point2& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double step_angle(const Point2& a, const Point2& b) {
+  double dx = b.x - a.x;
+  double dy = b.y - a.y;
+  if (dx == 0.0 && dy == 0.0) return 0.0;
+  return std::atan2(dy, dx);
+}
+
+Point2 step_from(const Point2& from, double length, double angle) {
+  return {from.x + length * std::cos(angle), from.y + length * std::sin(angle)};
+}
+
+BoundingBox bounding_box(const Embedding& points) {
+  SA_REQUIRE(!points.empty(), "bounding box of an empty embedding");
+  BoundingBox box{points.front().x, points.front().x, points.front().y,
+                  points.front().y};
+  for (const auto& p : points) {
+    box.min_x = std::min(box.min_x, p.x);
+    box.max_x = std::max(box.max_x, p.x);
+    box.min_y = std::min(box.min_y, p.y);
+    box.max_y = std::max(box.max_y, p.y);
+  }
+  return box;
+}
+
+double median_coordinate_range(const Embedding& points) {
+  if (points.empty()) return 1e-6;
+  BoundingBox box = bounding_box(points);
+  double c = 0.5 * (box.range_x() + box.range_y());
+  return std::max(c, 1e-6);
+}
+
+}  // namespace stayaway::mds

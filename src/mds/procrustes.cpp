@@ -1,0 +1,114 @@
+#include "mds/procrustes.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stayaway::mds {
+
+namespace {
+
+Point2 centroid(const Embedding& pts) {
+  Point2 c;
+  for (const auto& p : pts) {
+    c.x += p.x;
+    c.y += p.y;
+  }
+  double n = static_cast<double>(pts.size());
+  return {c.x / n, c.y / n};
+}
+
+struct Candidate {
+  double rotation = 0.0;
+  bool reflected = false;
+  double scale = 1.0;
+  double error = 0.0;  // sum of squared residuals in centered coordinates
+};
+
+/// Best pure-rotation (plus optional scale) fit of centered source onto
+/// centered target, with the source optionally pre-reflected.
+Candidate fit_rotation(const Embedding& src_centered,
+                       const Embedding& tgt_centered, bool reflect,
+                       bool allow_scaling) {
+  double cross = 0.0;  // sum of (a x b) terms -> sin component
+  double dot = 0.0;    // sum of (a . b) terms -> cos component
+  double src_norm = 0.0;
+  double tgt_norm = 0.0;
+  for (std::size_t i = 0; i < src_centered.size(); ++i) {
+    double ax = src_centered[i].x;
+    double ay = reflect ? -src_centered[i].y : src_centered[i].y;
+    double bx = tgt_centered[i].x;
+    double by = tgt_centered[i].y;
+    dot += ax * bx + ay * by;
+    cross += ax * by - ay * bx;
+    src_norm += ax * ax + ay * ay;
+    tgt_norm += bx * bx + by * by;
+  }
+
+  Candidate c;
+  c.reflected = reflect;
+  c.rotation = std::atan2(cross, dot);
+  double aligned_dot = std::sqrt(dot * dot + cross * cross);
+  if (allow_scaling && src_norm > 1e-15) {
+    c.scale = aligned_dot / src_norm;
+  }
+  // ||sRa - b||^2 = s^2 |a|^2 - 2 s (aligned dot) + |b|^2
+  c.error = c.scale * c.scale * src_norm - 2.0 * c.scale * aligned_dot + tgt_norm;
+  return c;
+}
+
+}  // namespace
+
+Point2 ProcrustesTransform::apply(const Point2& p) const {
+  double y = reflected ? -p.y : p.y;
+  double cs = std::cos(rotation);
+  double sn = std::sin(rotation);
+  return {scale * (cs * p.x - sn * y) + translation.x,
+          scale * (sn * p.x + cs * y) + translation.y};
+}
+
+Embedding ProcrustesTransform::apply(const Embedding& points) const {
+  Embedding out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(apply(p));
+  return out;
+}
+
+ProcrustesResult procrustes_align(const Embedding& source,
+                                  const Embedding& target,
+                                  const ProcrustesOptions& options) {
+  SA_REQUIRE(!source.empty(), "procrustes of empty configurations");
+  SA_REQUIRE(source.size() == target.size(),
+             "configurations must have equal sizes");
+
+  Point2 sc = centroid(source);
+  Point2 tc = centroid(target);
+  Embedding s(source.size());
+  Embedding t(target.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    s[i] = source[i] - sc;
+    t[i] = target[i] - tc;
+  }
+
+  Candidate best = fit_rotation(s, t, false, options.allow_scaling);
+  if (options.allow_reflection) {
+    Candidate mirrored = fit_rotation(s, t, true, options.allow_scaling);
+    if (mirrored.error < best.error) best = mirrored;
+  }
+
+  ProcrustesResult result;
+  result.transform.rotation = best.rotation;
+  result.transform.reflected = best.reflected;
+  result.transform.scale = best.scale;
+  // translation = tc - s*R*(sc) so that apply() works on raw coordinates.
+  ProcrustesTransform centered = result.transform;
+  centered.translation = Point2{};
+  Point2 rotated_sc = centered.apply(sc);
+  result.transform.translation = {tc.x - rotated_sc.x, tc.y - rotated_sc.y};
+
+  double mse = std::max(best.error, 0.0) / static_cast<double>(source.size());
+  result.rms_error = std::sqrt(mse);
+  return result;
+}
+
+}  // namespace stayaway::mds

@@ -1,0 +1,41 @@
+// Procrustes alignment between two 2-D configurations.
+//
+// MDS embeddings are unique only up to rotation, reflection, translation
+// and (for normalized stress) scale. Comparing two maps — e.g. validating
+// that a template's violation states land where a fresh run's violations
+// land (§6, Figures 17/18) — first requires aligning one onto the other.
+#pragma once
+
+#include "mds/point.hpp"
+
+namespace stayaway::mds {
+
+struct ProcrustesTransform {
+  double rotation = 0.0;      // radians
+  bool reflected = false;     // whether the source is mirrored (y negated)
+  double scale = 1.0;
+  Point2 translation;         // applied after rotation and scaling
+
+  Point2 apply(const Point2& p) const;
+  Embedding apply(const Embedding& points) const;
+};
+
+struct ProcrustesResult {
+  ProcrustesTransform transform;
+  /// Root-mean-square residual after alignment.
+  double rms_error = 0.0;
+};
+
+struct ProcrustesOptions {
+  bool allow_reflection = true;
+  bool allow_scaling = true;
+};
+
+/// Finds the similarity transform taking `source` as close as possible to
+/// `target` (least squares). Requires equal non-zero sizes; point i of the
+/// source corresponds to point i of the target.
+ProcrustesResult procrustes_align(const Embedding& source,
+                                  const Embedding& target,
+                                  const ProcrustesOptions& options = {});
+
+}  // namespace stayaway::mds

@@ -1,0 +1,47 @@
+// SMACOF — Scaling by MAjorizing a COmplicated Function.
+//
+// §2.2 of the paper: coordinates are assigned by minimizing the raw stress
+//   Loss(X) = sum_{i<j} w_ij (delta_ij - d_ij(X))^2
+// iteratively via the Guttman transform, which majorizes the stress with a
+// quadratic at every step and is guaranteed non-increasing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "mds/point.hpp"
+
+namespace stayaway::mds {
+
+struct SmacofOptions {
+  std::size_t max_iterations = 300;
+  /// Stop when the relative stress decrease per iteration falls below this.
+  double tolerance = 1e-6;
+  /// Optional warm start. Must match the point count; when absent the run
+  /// is seeded with classical MDS. Warm-starting from the previous period's
+  /// map keeps the layout stable across periods, which the trajectory model
+  /// depends on.
+  std::optional<Embedding> initial;
+};
+
+struct SmacofResult {
+  Embedding points;
+  /// Normalized stress-1 in [0,1]: sqrt(raw stress / sum of delta^2).
+  double stress = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Embeds the points described by the symmetric dissimilarity matrix into
+/// 2-D. Requires a square matrix with a zero diagonal.
+SmacofResult smacof(const linalg::Matrix& dissimilarities,
+                    const SmacofOptions& options = {});
+
+/// Normalized stress-1 of a given configuration against a dissimilarity
+/// matrix (diagnostic; §5 uses high stress as the signal that 2-D is no
+/// longer an adequate representation).
+double normalized_stress(const linalg::Matrix& dissimilarities,
+                         const Embedding& points);
+
+}  // namespace stayaway::mds

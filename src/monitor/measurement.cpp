@@ -1,0 +1,61 @@
+#include "monitor/measurement.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::monitor {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Cpu:
+      return "cpu";
+    case MetricKind::Memory:
+      return "mem";
+    case MetricKind::MemBandwidth:
+      return "membw";
+    case MetricKind::DiskIo:
+      return "io";
+    case MetricKind::Network:
+      return "net";
+  }
+  return "unknown";
+}
+
+std::size_t MetricLayout::index_of(std::size_t entity, std::size_t metric) const {
+  SA_REQUIRE(entity < entities.size(), "entity index out of range");
+  SA_REQUIRE(metric < metrics.size(), "metric index out of range");
+  return entity * metrics.size() + metric;
+}
+
+std::string MetricLayout::dimension_name(std::size_t flat_index) const {
+  SA_REQUIRE(flat_index < dimension(), "dimension index out of range");
+  std::size_t entity = flat_index / metrics.size();
+  std::size_t metric = flat_index % metrics.size();
+  return entities[entity] + "." + to_string(metrics[metric]);
+}
+
+double metric_value(const MetricLayout& layout, const Measurement& m,
+                    std::size_t entity, std::size_t metric) {
+  std::size_t i = layout.index_of(entity, metric);
+  SA_REQUIRE(i < m.values.size(), "measurement shorter than its layout");
+  return m.values[i];
+}
+
+double allocation_metric(const sim::Allocation& alloc, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Cpu:
+      return alloc.granted.cpu_cores;
+    case MetricKind::Memory:
+      return alloc.granted.memory_mb;
+    case MetricKind::MemBandwidth:
+      return alloc.granted.membw_mbps;
+    case MetricKind::DiskIo:
+      // Swap traffic is disk traffic: this is where thrashing becomes
+      // visible to the monitor.
+      return alloc.granted.disk_mbps + alloc.swap_io_mbps;
+    case MetricKind::Network:
+      return alloc.granted.net_mbps;
+  }
+  return 0.0;
+}
+
+}  // namespace stayaway::monitor

@@ -1,0 +1,34 @@
+#include "monitor/mode.hpp"
+
+namespace stayaway::monitor {
+
+const char* to_string(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::Idle:
+      return "idle";
+    case ExecutionMode::BatchOnly:
+      return "batch-only";
+    case ExecutionMode::SensitiveOnly:
+      return "sensitive-only";
+    case ExecutionMode::CoLocated:
+      return "co-located";
+  }
+  return "unknown";
+}
+
+ExecutionMode detect_mode(const sim::SimHost& host) {
+  bool sensitive = false;
+  bool batch = false;
+  for (sim::VmId id = 0; id < host.vm_count(); ++id) {
+    const auto& vm = host.vm(id);
+    if (!vm.active(host.now())) continue;
+    if (vm.kind() == sim::VmKind::Sensitive) sensitive = true;
+    if (vm.kind() == sim::VmKind::Batch) batch = true;
+  }
+  if (sensitive && batch) return ExecutionMode::CoLocated;
+  if (sensitive) return ExecutionMode::SensitiveOnly;
+  if (batch) return ExecutionMode::BatchOnly;
+  return ExecutionMode::Idle;
+}
+
+}  // namespace stayaway::monitor

@@ -1,0 +1,28 @@
+// Execution-mode detection (§3.2.3).
+//
+// "At any point in time, one of these 4 execution modes hold true: no
+// application is running; batch application runs alone; latency-sensitive
+// application runs alone; co-located execution." The middleware manages
+// the VMs, so the current mode is always known exactly — a paused batch
+// VM does not count as running.
+#pragma once
+
+#include "sim/host.hpp"
+
+namespace stayaway::monitor {
+
+enum class ExecutionMode {
+  Idle = 0,
+  BatchOnly = 1,
+  SensitiveOnly = 2,
+  CoLocated = 3,
+};
+
+constexpr std::size_t kExecutionModeCount = 4;
+
+const char* to_string(ExecutionMode mode);
+
+/// Determines the current execution mode from VM activity.
+ExecutionMode detect_mode(const sim::SimHost& host);
+
+}  // namespace stayaway::monitor

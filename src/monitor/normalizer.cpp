@@ -1,0 +1,61 @@
+#include "monitor/normalizer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stayaway::monitor {
+
+CapacityNormalizer::CapacityNormalizer(const sim::HostSpec& spec,
+                                       MetricLayout layout)
+    : spec_(spec), layout_(std::move(layout)) {
+  SA_REQUIRE(layout_.dimension() > 0, "normalizer needs a non-empty layout");
+}
+
+double CapacityNormalizer::capacity_of(MetricKind kind) const {
+  switch (kind) {
+    case MetricKind::Cpu:
+      return spec_.cpu_cores;
+    case MetricKind::Memory:
+      return spec_.memory_mb;
+    case MetricKind::MemBandwidth:
+      return spec_.membw_mbps;
+    case MetricKind::DiskIo:
+      return spec_.disk_mbps;
+    case MetricKind::Network:
+      return spec_.net_mbps;
+  }
+  return 1.0;
+}
+
+std::vector<double> CapacityNormalizer::normalize(const Measurement& m) const {
+  SA_REQUIRE(m.values.size() == layout_.dimension(),
+             "measurement does not match the layout");
+  std::vector<double> out(m.values.size(), 0.0);
+  for (std::size_t e = 0; e < layout_.entities.size(); ++e) {
+    for (std::size_t k = 0; k < layout_.metrics.size(); ++k) {
+      std::size_t i = layout_.index_of(e, k);
+      double cap = capacity_of(layout_.metrics[k]);
+      out[i] = std::clamp(m.values[i] / cap, 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+RunningNormalizer::RunningNormalizer(std::size_t dimension)
+    : bounds_(dimension) {
+  SA_REQUIRE(dimension > 0, "normalizer needs a positive dimension");
+}
+
+std::vector<double> RunningNormalizer::observe(const std::vector<double>& values) {
+  SA_REQUIRE(values.size() == bounds_.size(), "dimension mismatch");
+  std::vector<double> out(values.size(), 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    bounds_[i].observe(values[i]);
+    double range = bounds_[i].range();
+    out[i] = (range > 0.0) ? (values[i] - bounds_[i].min()) / range : 0.0;
+  }
+  return out;
+}
+
+}  // namespace stayaway::monitor

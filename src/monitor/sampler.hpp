@@ -1,0 +1,49 @@
+// Host sampler: turns the host's per-VM granted allocations into
+// measurement vectors, with optional measurement noise and the §5
+// aggregation of all batch VMs into one logical VM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/measurement.hpp"
+#include "sim/host.hpp"
+#include "util/rng.hpp"
+
+namespace stayaway::monitor {
+
+struct SamplerOptions {
+  std::vector<MetricKind> metrics = {MetricKind::Cpu, MetricKind::Memory,
+                                     MetricKind::DiskIo, MetricKind::Network};
+  /// §5: "The monitored metrics of all the batch applications are
+  /// aggregated together to model their collective behaviour as a single
+  /// logical VM." Keeps the mapped space 2-D-representable regardless of
+  /// how many batch VMs are co-located.
+  bool aggregate_batch = true;
+  /// Multiplicative gaussian noise, as a fraction of each reading —
+  /// real /proc and perf counters are never exact.
+  double noise_fraction = 0.01;
+  std::uint64_t seed = 17;
+};
+
+class HostSampler {
+ public:
+  /// The host must outlive the sampler. The layout is fixed at
+  /// construction from the host's current VM set.
+  HostSampler(const sim::SimHost& host, SamplerOptions options = {});
+
+  const MetricLayout& layout() const { return layout_; }
+
+  /// Samples the most recent tick's granted usage.
+  Measurement sample();
+
+ private:
+  const sim::SimHost* host_;
+  SamplerOptions options_;
+  MetricLayout layout_;
+  /// entity index -> VM ids contributing to it
+  std::vector<std::vector<sim::VmId>> entity_vms_;
+  Rng rng_;
+};
+
+}  // namespace stayaway::monitor

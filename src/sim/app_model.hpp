@@ -1,0 +1,58 @@
+// Application model interface implemented by every simulated workload.
+#pragma once
+
+#include <string_view>
+
+#include "sim/resource.hpp"
+
+namespace stayaway::sim {
+
+/// A workload running inside one VM. The host queries its demand each tick
+/// and reports back what was granted; the app advances its internal state
+/// (work completed, phase position, QoS metric) accordingly.
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// True once the app has completed all its work; a finished app demands
+  /// nothing and its VM is considered inactive.
+  virtual bool finished() const { return false; }
+
+  /// Desired resources for the tick beginning at `now`.
+  virtual ResourceDemand demand(SimTime now) = 0;
+
+  /// Advances the app by dt seconds given the allocation it received.
+  virtual void advance(SimTime now, double dt, const Allocation& alloc) = 0;
+};
+
+/// Implemented additionally by latency-sensitive apps. §3.1: "Stay-Away
+/// relies on the application to report whenever a QoS violation happens";
+/// this is that reporting channel.
+class QosProbe {
+ public:
+  virtual ~QosProbe() = default;
+
+  /// Current QoS metric, where higher is better (e.g. transcode rate,
+  /// transactions per second).
+  virtual double qos_value() const = 0;
+
+  /// Metric value below which the app considers its QoS violated.
+  virtual double qos_threshold() const = 0;
+
+  /// Whether the app currently reports a QoS violation. The default is a
+  /// plain threshold comparison; apps with episodic QoS (buffered video,
+  /// request SLOs) override this with a hysteresis latch so a violation
+  /// episode ends only once the metric has clearly recovered.
+  virtual bool violated() const { return qos_value() < qos_threshold(); }
+
+  /// QoS normalized so the threshold sits at 1.0 (paper figures 8/9/14-16
+  /// plot normalized QoS against a threshold line).
+  double normalized_qos() const {
+    double t = qos_threshold();
+    return (t > 0.0) ? qos_value() / t : qos_value();
+  }
+};
+
+}  // namespace stayaway::sim

@@ -1,0 +1,21 @@
+// Proportional-share contention resolution.
+//
+// Rates (CPU, memory bandwidth, disk, network) are shared proportionally
+// to demand when oversubscribed — the fair-share behaviour of CFS, the
+// memory bus and block/network schedulers. Memory capacity is different:
+// demand beyond physical memory forces swapping, and a VM with swapped
+// pages pays a multiplicative progress penalty (the cliff §7.2 relies on).
+#pragma once
+
+#include <vector>
+
+#include "sim/resource.hpp"
+
+namespace stayaway::sim {
+
+/// Resolves one tick of contention. demands[i] describes VM i; the result
+/// is aligned by index. Zero-demand entries receive zero and progress 1.
+std::vector<Allocation> resolve_contention(const HostSpec& host,
+                                           const std::vector<ResourceDemand>& demands);
+
+}  // namespace stayaway::sim

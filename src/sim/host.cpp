@@ -1,0 +1,82 @@
+#include "sim/host.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace stayaway::sim {
+
+SimHost::SimHost(HostSpec spec, double tick_seconds)
+    : spec_(spec), tick_seconds_(tick_seconds) {
+  SA_REQUIRE(tick_seconds > 0.0, "tick must be positive");
+}
+
+VmId SimHost::add_vm(std::string name, VmKind kind,
+                     std::unique_ptr<AppModel> app, SimTime start_time,
+                     int priority) {
+  VmId id = vms_.size();
+  vms_.push_back(std::make_unique<SimVm>(id, std::move(name), kind,
+                                         std::move(app), start_time, priority));
+  return id;
+}
+
+SimVm& SimHost::vm(VmId id) {
+  SA_REQUIRE(id < vms_.size(), "unknown VM id");
+  return *vms_[id];
+}
+
+const SimVm& SimHost::vm(VmId id) const {
+  SA_REQUIRE(id < vms_.size(), "unknown VM id");
+  return *vms_[id];
+}
+
+void SimHost::step() {
+  std::vector<ResourceDemand> demands(vms_.size());
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    auto& v = *vms_[i];
+    if (v.active(now_)) {
+      demands[i] = v.app().demand(now_);
+    } else {
+      demands[i] = ResourceDemand{};  // absent/paused/finished: no demand
+      if (v.present(now_) && v.paused()) v.add_paused_time(tick_seconds_);
+    }
+  }
+
+  std::vector<Allocation> allocations = resolve_contention(spec_, demands);
+
+  double cpu_used = 0.0;
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    auto& v = *vms_[i];
+    v.set_last_allocation(allocations[i]);
+    if (v.active(now_)) {
+      v.app().advance(now_, tick_seconds_, allocations[i]);
+    }
+    double granted_cpu = allocations[i].granted.cpu_cores;
+    cpu_used += granted_cpu;
+    v.add_cpu_work(granted_cpu * tick_seconds_);
+  }
+  last_utilization_ = cpu_used / spec_.cpu_cores;
+  total_cpu_work_ += cpu_used * tick_seconds_;
+  now_ += tick_seconds_;
+}
+
+void SimHost::run(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) step();
+}
+
+bool SimHost::all_finished() const {
+  for (const auto& v : vms_) {
+    if (!v->app().finished()) return false;
+  }
+  return true;
+}
+
+std::vector<VmId> SimHost::vms_of_kind(VmKind kind) const {
+  std::vector<VmId> out;
+  for (const auto& v : vms_) {
+    if (v->kind() == kind) out.push_back(v->id());
+  }
+  return out;
+}
+
+}  // namespace stayaway::sim

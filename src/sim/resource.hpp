@@ -1,0 +1,70 @@
+// Host resource model.
+//
+// The paper's testbed is a 4-core i5 running LXC containers; Stay-Away
+// observes per-container CPU / memory / disk-I/O / network usage. The
+// simulator models those four subsystems plus memory bandwidth, with
+// proportional sharing under contention and a swap cliff when working
+// sets exceed physical memory.
+#pragma once
+
+namespace stayaway::sim {
+
+/// Simulated wall-clock time in seconds.
+using SimTime = double;
+
+struct HostSpec {
+  double cpu_cores = 4.0;        // total compute capacity, in cores
+  double memory_mb = 4096.0;     // physical memory
+  double membw_mbps = 16000.0;   // memory-bus bandwidth
+  double disk_mbps = 200.0;      // disk I/O bandwidth
+  double net_mbps = 1000.0;      // network bandwidth
+  /// Progress divisor weight while a VM has pages swapped out: progress is
+  /// multiplied by 1 / (1 + swap_penalty * swapped_fraction). The default
+  /// makes even a 10% swapped working set roughly halve throughput — the
+  /// latency cliff §7.2 attributes to forced page swapping.
+  double swap_penalty = 8.0;
+  /// Co-run efficiency loss when CPU demand exceeds capacity: every VM's
+  /// progress is multiplied by 1 / (1 + friction * excess) where excess =
+  /// max(0, total_cpu_demand/cores - 1). Models the shared-cache and
+  /// context-switch interference that makes co-located VMs slower than
+  /// their granted CPU share alone predicts — the effect Stay-Away exists
+  /// to dodge. Zero disables it (pure fair-share world).
+  double contention_friction = 0.8;
+};
+
+/// Per-tick resource demand of one VM. memory_mb is the active working set
+/// (a capacity, not a rate); the rest are rates.
+struct ResourceDemand {
+  double cpu_cores = 0.0;
+  double memory_mb = 0.0;
+  double membw_mbps = 0.0;
+  double disk_mbps = 0.0;
+  double net_mbps = 0.0;
+
+  ResourceDemand& operator+=(const ResourceDemand& o) {
+    cpu_cores += o.cpu_cores;
+    memory_mb += o.memory_mb;
+    membw_mbps += o.membw_mbps;
+    disk_mbps += o.disk_mbps;
+    net_mbps += o.net_mbps;
+    return *this;
+  }
+};
+
+/// What one VM actually received this tick.
+struct Allocation {
+  ResourceDemand granted;
+  /// Fraction of the VM's working set that is swapped out, in [0,1].
+  double swapped_fraction = 0.0;
+  /// Page-in/out traffic caused by swapping, MB/s. This is the signal a
+  /// monitor actually sees when a host thrashes (iostat/vmstat): swap
+  /// pressure that barely moves CPU or granted-memory readings lights up
+  /// the disk, which is what lets the state space separate swap-driven
+  /// violation states from benign ones.
+  double swap_io_mbps = 0.0;
+  /// End-to-end progress factor in [0,1]: 1 means the app ran at full
+  /// demanded speed; the bottleneck resource and the swap penalty set it.
+  double progress = 1.0;
+};
+
+}  // namespace stayaway::sim

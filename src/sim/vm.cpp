@@ -1,0 +1,27 @@
+#include "sim/vm.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace stayaway::sim {
+
+SimVm::SimVm(VmId id, std::string name, VmKind kind,
+             std::unique_ptr<AppModel> app, SimTime start_time, int priority)
+    : id_(id),
+      name_(std::move(name)),
+      kind_(kind),
+      app_(std::move(app)),
+      start_time_(start_time),
+      priority_(priority) {
+  SA_REQUIRE(app_ != nullptr, "VM requires an application model");
+  SA_REQUIRE(start_time >= 0.0, "start time must be non-negative");
+}
+
+bool SimVm::active(SimTime now) const { return present(now) && !paused_; }
+
+bool SimVm::present(SimTime now) const {
+  return now >= start_time_ && !app_->finished();
+}
+
+}  // namespace stayaway::sim

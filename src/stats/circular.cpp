@@ -1,0 +1,35 @@
+#include "stats/circular.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace stayaway::stats {
+
+double wrap_angle(double radians) {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  double w = std::fmod(radians + std::numbers::pi, two_pi);
+  if (w < 0.0) w += two_pi;
+  return w - std::numbers::pi;
+}
+
+double angle_difference(double a, double b) { return wrap_angle(a - b); }
+
+CircularSummary circular_summary(std::span<const double> angles) {
+  SA_REQUIRE(!angles.empty(), "circular summary of an empty set");
+  double sx = 0.0;
+  double sy = 0.0;
+  for (double a : angles) {
+    sx += std::cos(a);
+    sy += std::sin(a);
+  }
+  double n = static_cast<double>(angles.size());
+  CircularSummary out;
+  out.resultant = std::sqrt(sx * sx + sy * sy) / n;
+  out.mean = std::atan2(sy, sx);
+  out.variance = 1.0 - out.resultant;
+  return out;
+}
+
+}  // namespace stayaway::stats

@@ -1,0 +1,31 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stayaway::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  SA_REQUIRE(!sorted_.empty(), "ECDF needs at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  SA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (sorted_.size() == 1) return sorted_.front();
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+}  // namespace stayaway::stats

@@ -1,0 +1,29 @@
+// Empirical cumulative distribution function over a sample set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace stayaway::stats {
+
+class Ecdf {
+ public:
+  /// Builds from the given samples (copied and sorted). Requires non-empty.
+  explicit Ecdf(std::span<const double> samples);
+
+  /// Fraction of samples <= x.
+  double at(double x) const;
+
+  /// Inverse CDF with linear interpolation between order statistics.
+  /// Requires q in [0,1].
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace stayaway::stats

@@ -1,0 +1,51 @@
+#include "stats/kde.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/online.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::stats {
+
+Kde::Kde(std::span<const double> samples, double bandwidth)
+    : samples_(samples.begin(), samples.end()), bandwidth_(bandwidth) {
+  SA_REQUIRE(!samples_.empty(), "KDE needs at least one sample");
+  SA_REQUIRE(bandwidth > 0.0, "KDE bandwidth must be positive");
+}
+
+Kde Kde::with_silverman_bandwidth(std::span<const double> samples) {
+  SA_REQUIRE(!samples.empty(), "KDE needs at least one sample");
+  OnlineMoments m;
+  for (double s : samples) m.observe(s);
+  double sigma = m.stddev();
+  double n = static_cast<double>(samples.size());
+  double h = 1.06 * sigma * std::pow(n, -0.2);
+  if (!(h > 0.0)) h = 1e-3;  // degenerate spread: keep evaluation defined
+  return Kde(samples, h);
+}
+
+double Kde::evaluate(double x) const {
+  constexpr double inv_sqrt_2pi = 0.3989422804014327;
+  double acc = 0.0;
+  for (double s : samples_) {
+    double z = (x - s) / bandwidth_;
+    acc += inv_sqrt_2pi * std::exp(-0.5 * z * z);
+  }
+  return acc / (static_cast<double>(samples_.size()) * bandwidth_);
+}
+
+std::vector<double> Kde::evaluate_grid(double lo, double hi,
+                                       std::size_t points) const {
+  SA_REQUIRE(lo <= hi, "grid bounds must be ordered");
+  SA_REQUIRE(points >= 2, "grid needs at least two points");
+  std::vector<double> out;
+  out.reserve(points);
+  double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    out.push_back(evaluate(lo + static_cast<double>(i) * step));
+  }
+  return out;
+}
+
+}  // namespace stayaway::stats

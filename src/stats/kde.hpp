@@ -1,0 +1,38 @@
+// Gaussian kernel density estimation.
+//
+// Figure 5 of the paper plots "the smoothed version of the histogram using
+// kernel density estimation" for the step-length and angle distributions of
+// each execution mode; this module provides that smoothing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stayaway::stats {
+
+class Kde {
+ public:
+  /// Builds an estimator over the samples with explicit bandwidth (> 0).
+  Kde(std::span<const double> samples, double bandwidth);
+
+  /// Builds an estimator using Silverman's rule-of-thumb bandwidth.
+  /// Requires at least two samples with non-zero spread; otherwise falls
+  /// back to a small positive bandwidth so evaluation stays defined.
+  static Kde with_silverman_bandwidth(std::span<const double> samples);
+
+  double bandwidth() const { return bandwidth_; }
+  std::size_t sample_count() const { return samples_.size(); }
+
+  /// Density estimate at x.
+  double evaluate(double x) const;
+
+  /// Density sampled on a uniform grid of `points` values across [lo, hi].
+  std::vector<double> evaluate_grid(double lo, double hi, std::size_t points) const;
+
+ private:
+  std::vector<double> samples_;
+  double bandwidth_;
+};
+
+}  // namespace stayaway::stats

@@ -1,0 +1,54 @@
+#include "stats/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stayaway::stats {
+
+void OnlineMinMax::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+}
+
+double OnlineMinMax::min() const {
+  SA_REQUIRE(count_ > 0, "min of an empty stream");
+  return min_;
+}
+
+double OnlineMinMax::max() const {
+  SA_REQUIRE(count_ > 0, "max of an empty stream");
+  return max_;
+}
+
+double OnlineMinMax::range() const {
+  SA_REQUIRE(count_ > 0, "range of an empty stream");
+  return max_ - min_;
+}
+
+void OnlineMoments::observe(double v) {
+  ++count_;
+  double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+}
+
+double OnlineMoments::mean() const {
+  SA_REQUIRE(count_ > 0, "mean of an empty stream");
+  return mean_;
+}
+
+double OnlineMoments::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace stayaway::stats

@@ -1,0 +1,42 @@
+// Streaming statistics: running min/max and Welford mean/variance.
+// Used by the monitor's normalizer and by diagnostics across the library.
+#pragma once
+
+#include <cstddef>
+
+namespace stayaway::stats {
+
+/// Running minimum and maximum of a stream of doubles.
+class OnlineMinMax {
+ public:
+  void observe(double v);
+  bool empty() const { return count_ == 0; }
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  /// max - min; zero before two distinct values have been seen.
+  double range() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Welford's online algorithm for mean and (sample) variance.
+class OnlineMoments {
+ public:
+  void observe(double v);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; zero with fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace stayaway::stats

@@ -1,0 +1,25 @@
+#include "stats/rayleigh.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stayaway::stats {
+
+double rayleigh_radius(double d, double c) {
+  SA_REQUIRE(d >= 0.0, "distance must be non-negative");
+  SA_REQUIRE(c > 0.0, "scale must be positive");
+  return d * std::exp(-(d * d) / (2.0 * c * c));
+}
+
+double rayleigh_peak_distance(double c) {
+  SA_REQUIRE(c > 0.0, "scale must be positive");
+  return c;
+}
+
+double rayleigh_peak_radius(double c) {
+  SA_REQUIRE(c > 0.0, "scale must be positive");
+  return c * std::exp(-0.5);
+}
+
+}  // namespace stayaway::stats

@@ -1,0 +1,24 @@
+// Rayleigh-scaled violation-range radius (§3.2.2 of the paper).
+//
+//   R = d * exp(-d^2 / (2 c^2))
+//
+// where d is the distance between a violation-state and its nearest
+// safe-state and c is the median coordinate range of the mapped space.
+// The shape grows near-linearly for small d (little is known near the
+// violation: keep a wide berth) and fades for large d (plenty of safe
+// territory in between: allow exploration).
+#pragma once
+
+namespace stayaway::stats {
+
+/// Radius of the violation-range. Requires d >= 0 and c > 0.
+double rayleigh_radius(double d, double c);
+
+/// The d at which rayleigh_radius(d, c) peaks (d == c), where the model is
+/// maximally conservative.
+double rayleigh_peak_distance(double c);
+
+/// Peak radius value, c * exp(-1/2).
+double rayleigh_peak_radius(double c);
+
+}  // namespace stayaway::stats

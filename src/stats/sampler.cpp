@@ -1,0 +1,39 @@
+#include "stats/sampler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stayaway::stats {
+
+InverseTransformSampler::InverseTransformSampler(const Histogram& hist)
+    : lo_(hist.lo()), bin_width_(hist.bin_width()) {
+  SA_REQUIRE(!hist.empty(), "cannot sample from an empty histogram");
+  cumulative_.reserve(hist.bins());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < hist.bins(); ++i) {
+    acc += hist.mass(i);
+    cumulative_.push_back(acc);
+  }
+  // Guard against floating-point drift so upper_bound always lands in range.
+  cumulative_.back() = 1.0;
+}
+
+double InverseTransformSampler::sample(Rng& rng) const {
+  double u = rng.uniform();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  auto bin = static_cast<std::size_t>(it - cumulative_.begin());
+  double jitter = rng.uniform();
+  return lo_ + (static_cast<double>(bin) + jitter) * bin_width_;
+}
+
+std::vector<double> InverseTransformSampler::sample_n(Rng& rng,
+                                                      std::size_t n) const {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+}  // namespace stayaway::stats

@@ -1,0 +1,32 @@
+// Inverse-transform sampling from empirical distributions.
+//
+// §3.2.3: "A random set of samples are then generated following the
+// histogram using the inverse transform method, which computes a mapping
+// from a uniform distribution to an arbitrary distribution."
+#pragma once
+
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace stayaway::stats {
+
+/// Draws values distributed like the observations recorded in a Histogram.
+/// Within the selected bin the value is uniformly jittered, which matches
+/// the piecewise-constant density the histogram represents.
+class InverseTransformSampler {
+ public:
+  /// Snapshots the histogram's bin masses. Requires a non-empty histogram.
+  explicit InverseTransformSampler(const Histogram& hist);
+
+  double sample(Rng& rng) const;
+  std::vector<double> sample_n(Rng& rng, std::size_t n) const;
+
+ private:
+  double lo_;
+  double bin_width_;
+  std::vector<double> cumulative_;  // cumulative mass per bin; back() == 1
+};
+
+}  // namespace stayaway::stats

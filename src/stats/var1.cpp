@@ -1,0 +1,62 @@
+#include "stats/var1.hpp"
+
+#include "linalg/solve.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::stats {
+
+Var1Model::Var1Model(linalg::Matrix transition, std::vector<double> intercept)
+    : transition_(std::move(transition)), intercept_(std::move(intercept)) {}
+
+Var1Model Var1Model::fit(const std::vector<std::vector<double>>& series,
+                         double ridge) {
+  SA_REQUIRE(series.size() >= 3, "VAR(1) needs at least three observations");
+  const std::size_t dim = series.front().size();
+  SA_REQUIRE(dim > 0, "VAR(1) needs non-empty state vectors");
+  SA_REQUIRE(series.size() >= dim + 2,
+             "VAR(1) needs more samples than dimensions");
+  for (const auto& s : series) {
+    SA_REQUIRE(s.size() == dim, "all state vectors must share a dimension");
+  }
+
+  // Design matrix: each row is [x_t, 1]; target column d is x_{t+1}[d].
+  const std::size_t n = series.size() - 1;
+  linalg::Matrix design(n, dim + 1);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t c = 0; c < dim; ++c) design.at(t, c) = series[t][c];
+    design.at(t, dim) = 1.0;
+  }
+
+  linalg::Matrix transition(dim, dim);
+  std::vector<double> intercept(dim, 0.0);
+  std::vector<double> target(n, 0.0);
+  for (std::size_t d = 0; d < dim; ++d) {
+    for (std::size_t t = 0; t < n; ++t) target[t] = series[t + 1][d];
+    std::vector<double> coeff = linalg::solve_least_squares(design, target, ridge);
+    for (std::size_t c = 0; c < dim; ++c) transition.at(d, c) = coeff[c];
+    intercept[d] = coeff[dim];
+  }
+  return Var1Model(std::move(transition), std::move(intercept));
+}
+
+std::vector<double> Var1Model::predict(const std::vector<double>& state) const {
+  SA_REQUIRE(state.size() == dimension(), "state dimension mismatch");
+  std::vector<double> out(dimension(), 0.0);
+  for (std::size_t r = 0; r < dimension(); ++r) {
+    double acc = intercept_[r];
+    for (std::size_t c = 0; c < dimension(); ++c) {
+      acc += transition_.at(r, c) * state[c];
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Var1Model::predict_k(const std::vector<double>& state,
+                                         std::size_t steps) const {
+  std::vector<double> cur = state;
+  for (std::size_t i = 0; i < steps; ++i) cur = predict(cur);
+  return cur;
+}
+
+}  // namespace stayaway::stats

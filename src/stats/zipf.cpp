@@ -1,0 +1,36 @@
+#include "stats/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stayaway::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  SA_REQUIRE(n > 0, "zipf needs a non-empty keyspace");
+  SA_REQUIRE(exponent >= 0.0, "zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  double u = rng.uniform();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::mass(std::size_t rank) const {
+  SA_REQUIRE(rank < cdf_.size(), "rank out of range");
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace stayaway::stats

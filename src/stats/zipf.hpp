@@ -1,0 +1,32 @@
+// Zipf-distributed key sampling.
+//
+// The paper's Webservice serves a Memcached-backed dataset; real key-value
+// workloads are heavily skewed, so the simulated service samples keys from
+// a Zipf distribution over its keyspace. Sampling uses a precomputed CDF
+// with binary search.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stayaway::stats {
+
+class ZipfSampler {
+ public:
+  /// Ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^exponent.
+  /// Requires n > 0 and exponent >= 0 (0 gives a uniform distribution).
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of a given rank.
+  double mass(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace stayaway::stats

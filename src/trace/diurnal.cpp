@@ -1,0 +1,40 @@
+#include "trace/diurnal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stayaway::trace {
+
+Trace generate_diurnal(const DiurnalSpec& spec) {
+  SA_REQUIRE(spec.base > 0.0, "base intensity must be positive");
+  SA_REQUIRE(spec.days > 0.0, "trace length must be positive");
+  SA_REQUIRE(spec.sample_interval_s > 0.0, "sample interval must be positive");
+
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  constexpr double day_s = 86400.0;
+  constexpr double week_s = 7.0 * day_s;
+
+  Rng rng(spec.seed);
+  auto n = static_cast<std::size_t>(spec.days * day_s / spec.sample_interval_s) + 1;
+  std::vector<double> samples;
+  samples.reserve(n);
+
+  double peak_phase = two_pi * spec.peak_hour / 24.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) * spec.sample_interval_s;
+    double daily = std::cos(two_pi * t / day_s - peak_phase);
+    double half_day = std::cos(2.0 * (two_pi * t / day_s - peak_phase));
+    double weekly = std::cos(two_pi * t / week_s);
+    double v = spec.base *
+               (1.0 + spec.daily_amplitude * daily +
+                spec.second_harmonic * half_day + spec.weekly_amplitude * weekly);
+    v += rng.normal(0.0, spec.noise_fraction * spec.base);
+    samples.push_back(std::max(v, 0.05 * spec.base));
+  }
+  return Trace(std::move(samples), spec.sample_interval_s);
+}
+
+}  // namespace stayaway::trace

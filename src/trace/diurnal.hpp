@@ -1,0 +1,32 @@
+// Synthetic diurnal workload generator.
+//
+// Figure 1 of the paper shows the Wikipedia total read workload over four
+// months: a strong 24-hour cycle with clear low-intensity valleys, a
+// weekly modulation and noise. The original AWS-hosted dataset link is
+// dead, so this generator produces traces with the same structure; only
+// the diurnal *shape* (valleys Stay-Away can exploit) matters downstream.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace stayaway::trace {
+
+struct DiurnalSpec {
+  double base = 1000.0;            // mean intensity (requests/s)
+  double daily_amplitude = 0.45;   // fraction of base swung by the 24h cycle
+  double second_harmonic = 0.12;   // fraction for the 12h harmonic
+  double weekly_amplitude = 0.10;  // weekend dip fraction
+  double noise_fraction = 0.04;    // gaussian noise as a fraction of base
+  double peak_hour = 20.0;         // local hour of daily peak (Wikipedia ~20:00 UTC)
+  double days = 4.0;               // trace length
+  double sample_interval_s = 3600.0;  // one sample per hour, like Fig. 1
+  std::uint64_t seed = 42;
+};
+
+/// Generates a trace following the spec. Intensities are floored at 5% of
+/// base so a valley never reaches zero (Wikipedia traffic never does).
+Trace generate_diurnal(const DiurnalSpec& spec);
+
+}  // namespace stayaway::trace

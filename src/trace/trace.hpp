@@ -1,0 +1,50 @@
+// Workload intensity traces.
+//
+// A Trace is a uniformly sampled series of request intensities; apps look
+// up the intensity for the current simulated time (linear interpolation)
+// to scale their demand. The Wikipedia read trace the paper uses (Fig. 1)
+// is no longer downloadable, so traces here come from the generator in
+// diurnal.hpp or from CSV files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stayaway::trace {
+
+class Trace {
+ public:
+  /// samples[i] is the intensity at time i * sample_interval_s.
+  /// Requires at least one sample and a positive interval.
+  Trace(std::vector<double> samples, double sample_interval_s);
+
+  std::size_t size() const { return samples_.size(); }
+  double sample_interval() const { return interval_; }
+  double duration() const;
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Intensity at time t (seconds), linearly interpolated. Times before
+  /// the start clamp to the first sample, past the end to the last.
+  double at(double t) const;
+
+  /// Intensity normalized to [0,1] by the trace's own min/max.
+  double normalized_at(double t) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Returns a copy rescaled so values span [lo, hi].
+  Trace rescaled(double lo, double hi) const;
+
+  /// Serialization as a two-column CSV (time_s, value).
+  void save_csv(std::ostream& out) const;
+  static Trace load_csv(std::istream& in);
+
+ private:
+  std::vector<double> samples_;
+  double interval_;
+};
+
+}  // namespace stayaway::trace

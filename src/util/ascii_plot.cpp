@@ -1,0 +1,127 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace stayaway {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+struct Bounds {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    if (std::isfinite(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  bool valid() const { return lo <= hi; }
+  double span() const { return (hi > lo) ? hi - lo : 1.0; }
+};
+
+std::size_t clamp_cell(double frac, std::size_t n) {
+  if (!(frac >= 0.0)) frac = 0.0;
+  if (frac > 1.0) frac = 1.0;
+  auto cell = static_cast<std::size_t>(frac * static_cast<double>(n - 1) + 0.5);
+  return std::min(cell, n - 1);
+}
+
+std::string render(const std::vector<std::string>& grid, const Bounds& ybounds,
+                   const PlotOptions& options, const std::string& legend) {
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  for (std::size_t r = 0; r < grid.size(); ++r) {
+    if (options.show_axes) {
+      double frac = (grid.size() <= 1)
+                        ? 0.0
+                        : static_cast<double>(grid.size() - 1 - r) /
+                              static_cast<double>(grid.size() - 1);
+      double y = ybounds.lo + frac * ybounds.span();
+      out += pad_left(format_double(y, 2), 9) + " |";
+    }
+    out += grid[r];
+    out += '\n';
+  }
+  if (options.show_axes) {
+    out += std::string(9, ' ') + " +" + std::string(options.width, '-') + "\n";
+  }
+  if (!legend.empty()) out += legend + "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string plot_lines(const std::vector<std::vector<double>>& series,
+                       const std::vector<std::string>& labels,
+                       const PlotOptions& options) {
+  SA_REQUIRE(options.width >= 8 && options.height >= 4, "plot area too small");
+  Bounds yb;
+  std::size_t max_len = 0;
+  for (const auto& s : series) {
+    max_len = std::max(max_len, s.size());
+    for (double v : s) yb.include(v);
+  }
+  if (!yb.valid() || max_len == 0) return options.title + "\n  (no data)\n";
+
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    char glyph = kGlyphs[si % (sizeof kGlyphs)];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!std::isfinite(s[i])) continue;
+      double xfrac = (s.size() <= 1)
+                         ? 0.0
+                         : static_cast<double>(i) / static_cast<double>(s.size() - 1);
+      double yfrac = (s[i] - yb.lo) / yb.span();
+      std::size_t col = clamp_cell(xfrac, options.width);
+      std::size_t row = options.height - 1 - clamp_cell(yfrac, options.height);
+      grid[row][col] = glyph;
+    }
+  }
+
+  std::string legend;
+  for (std::size_t si = 0; si < labels.size() && si < series.size(); ++si) {
+    if (si != 0) legend += "   ";
+    legend += std::string(1, kGlyphs[si % (sizeof kGlyphs)]) + " " + labels[si];
+  }
+  return render(grid, yb, options, legend);
+}
+
+std::string plot_scatter(const std::vector<ScatterGroup>& groups,
+                         const PlotOptions& options) {
+  SA_REQUIRE(options.width >= 8 && options.height >= 4, "plot area too small");
+  Bounds xb, yb;
+  for (const auto& g : groups) {
+    for (const auto& [x, y] : g.points) {
+      xb.include(x);
+      yb.include(y);
+    }
+  }
+  if (!xb.valid() || !yb.valid()) return options.title + "\n  (no data)\n";
+
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  for (const auto& g : groups) {
+    for (const auto& [x, y] : g.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      std::size_t col = clamp_cell((x - xb.lo) / xb.span(), options.width);
+      std::size_t row = options.height - 1 - clamp_cell((y - yb.lo) / yb.span(), options.height);
+      grid[row][col] = g.glyph;
+    }
+  }
+
+  std::string legend;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    if (gi != 0) legend += "   ";
+    legend += std::string(1, groups[gi].glyph) + " " + groups[gi].label;
+  }
+  return render(grid, yb, options, legend);
+}
+
+}  // namespace stayaway

@@ -1,0 +1,36 @@
+// Terminal plotting for bench output: line charts for time series and
+// scatter charts for 2-D state-space maps. The paper's figures are either
+// of these two shapes, so every bench can render a visual check next to
+// its CSV series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stayaway {
+
+struct PlotOptions {
+  std::size_t width = 72;
+  std::size_t height = 18;
+  std::string title;
+  bool show_axes = true;
+};
+
+/// Renders one or more aligned series as a line chart. Each series gets a
+/// distinct glyph ('*', '+', 'o', ...). Series may have different lengths;
+/// x is the sample index.
+std::string plot_lines(const std::vector<std::vector<double>>& series,
+                       const std::vector<std::string>& labels,
+                       const PlotOptions& options = {});
+
+/// Renders labelled 2-D point groups as a scatter chart (state-space maps).
+struct ScatterGroup {
+  std::string label;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+std::string plot_scatter(const std::vector<ScatterGroup>& groups,
+                         const PlotOptions& options = {});
+
+}  // namespace stayaway

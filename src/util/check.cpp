@@ -1,0 +1,32 @@
+#include "util/check.hpp"
+
+namespace stayaway::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  std::string out;
+  out += kind;
+  out += " failed: ";
+  out += expr;
+  out += " (";
+  out += msg;
+  out += ") at ";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  return out;
+}
+}  // namespace
+
+void fail_precondition(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+void fail_invariant(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InvariantError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace stayaway::detail

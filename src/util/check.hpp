@@ -1,0 +1,47 @@
+// Contract helpers: precondition / invariant checks that throw on failure.
+//
+// These are enabled in all build types: the library is a control system
+// whose failures should be loud, and none of the checks sit on hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stayaway {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void fail_precondition(const char* expr, const char* file, int line,
+                                    const std::string& msg);
+[[noreturn]] void fail_invariant(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace stayaway
+
+/// Check a documented precondition of a public API.
+#define SA_REQUIRE(expr, msg)                                                      \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::stayaway::detail::fail_precondition(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                              \
+  } while (false)
+
+/// Check an internal invariant.
+#define SA_ENSURE(expr, msg)                                                       \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::stayaway::detail::fail_invariant(#expr, __FILE__, __LINE__, (msg));        \
+    }                                                                              \
+  } while (false)

@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace stayaway {
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  row(columns);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, 6));
+  row(cells);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << values[i];
+  }
+  *out_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(line);
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    if (!line.empty() && line.back() == ',') cells.emplace_back();
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+std::vector<double> csv_row_to_doubles(const std::vector<std::string>& cells) {
+  std::vector<double> out;
+  out.reserve(cells.size());
+  for (const auto& c : cells) {
+    try {
+      std::size_t pos = 0;
+      double v = std::stod(c, &pos);
+      SA_REQUIRE(pos == c.size(), "trailing characters in numeric cell");
+      out.push_back(v);
+    } catch (const std::logic_error&) {
+      throw PreconditionError("non-numeric CSV cell: " + c);
+    }
+  }
+  return out;
+}
+
+}  // namespace stayaway

@@ -1,0 +1,33 @@
+// Minimal CSV writing/reading used by benches (series dumps) and the
+// template store (persisting violation templates across runs).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stayaway {
+
+/// Streams rows of doubles/strings as comma-separated values.
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(const std::vector<std::string>& columns);
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parses a CSV document into rows of cells. Quoting is not supported;
+/// the library only reads files it wrote itself.
+std::vector<std::vector<std::string>> parse_csv(std::istream& in);
+
+/// Converts a parsed row of cells to doubles. Throws PreconditionError on
+/// non-numeric cells.
+std::vector<double> csv_row_to_doubles(const std::vector<std::string>& cells);
+
+}  // namespace stayaway

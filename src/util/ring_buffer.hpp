@@ -1,0 +1,63 @@
+// Fixed-capacity ring buffer used for sliding windows of measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stayaway {
+
+/// Keeps the most recent `capacity` elements pushed into it.
+/// Index 0 is the oldest retained element; size()-1 the newest.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : capacity_(capacity) {
+    SA_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+    data_.reserve(capacity);
+  }
+
+  void push(T value) {
+    if (data_.size() < capacity_) {
+      data_.push_back(std::move(value));
+    } else {
+      data_[head_] = std::move(value);
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return data_.empty(); }
+  bool full() const { return data_.size() == capacity_; }
+
+  /// i == 0 is the oldest element, i == size()-1 the newest.
+  const T& operator[](std::size_t i) const {
+    SA_REQUIRE(i < data_.size(), "ring buffer index out of range");
+    return data_[(head_ + i) % data_.size()];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size() - 1]; }
+
+  void clear() {
+    data_.clear();
+    head_ = 0;
+  }
+
+  /// Copies contents oldest-to-newest into a flat vector.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(data_.size());
+    for (std::size_t i = 0; i < data_.size(); ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of the oldest element once full
+  std::vector<T> data_;
+};
+
+}  // namespace stayaway

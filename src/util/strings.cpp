@@ -1,0 +1,39 @@
+#include "util/strings.hpp"
+
+#include <cstdio>
+
+namespace stayaway {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    std::size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') last = (last == 0) ? 0 : last - 1;
+    s.erase(last + 1);
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace stayaway

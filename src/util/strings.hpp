@@ -1,0 +1,21 @@
+// Small string/number formatting helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stayaway {
+
+/// Formats v with fixed precision, trimming trailing zeros ("1.5", "0.001").
+std::string format_double(double v, int precision);
+
+/// Left-pads s with spaces to the given width.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads s with spaces to the given width.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Joins parts with the given separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace stayaway

@@ -1,0 +1,186 @@
+// Unit tests for the baseline policies: no-prevention, reactive throttle,
+// static threshold.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/cpubomb.hpp"
+#include "apps/vlc_stream.hpp"
+#include "baseline/policy.hpp"
+#include "baseline/reactive.hpp"
+#include "baseline/static_threshold.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::baseline {
+namespace {
+
+sim::HostSpec host_spec() {
+  sim::HostSpec spec;
+  spec.cpu_cores = 4.0;
+  spec.memory_mb = 4096.0;
+  return spec;
+}
+
+struct Rig {
+  sim::SimHost host;
+  const sim::QosProbe* probe = nullptr;
+  sim::VmId batch;
+
+  Rig() : host(host_spec(), 0.1), batch(0) {
+    auto vlc = std::make_unique<apps::VlcStream>();
+    probe = vlc.get();
+    host.add_vm("vlc", sim::VmKind::Sensitive, std::move(vlc));
+    batch = host.add_vm("bomb", sim::VmKind::Batch,
+                        std::make_unique<apps::CpuBomb>());
+  }
+};
+
+TEST(NoPrevention, NeverActs) {
+  Rig rig;
+  NoPrevention policy;
+  for (int p = 0; p < 20; ++p) {
+    rig.host.run(10);
+    policy.on_period(rig.host, *rig.probe);
+  }
+  EXPECT_FALSE(rig.host.vm(rig.batch).paused());
+  EXPECT_DOUBLE_EQ(rig.host.vm(rig.batch).paused_time(), 0.0);
+  EXPECT_TRUE(rig.probe->violated());  // contention unchecked
+}
+
+TEST(Reactive, PausesAfterObservedViolation) {
+  Rig rig;
+  ReactiveThrottle policy;
+  int periods_until_pause = 0;
+  for (int p = 0; p < 20 && !rig.host.vm(rig.batch).paused(); ++p) {
+    rig.host.run(10);
+    policy.on_period(rig.host, *rig.probe);
+    ++periods_until_pause;
+  }
+  EXPECT_TRUE(rig.host.vm(rig.batch).paused());
+  EXPECT_GE(policy.pauses(), 1u);
+  // The violation had to be *observed* first: at least one period passed.
+  EXPECT_GE(periods_until_pause, 1);
+}
+
+TEST(Reactive, ResumesAfterCooldown) {
+  Rig rig;
+  ReactiveConfig cfg;
+  cfg.cooldown_s = 3.0;
+  ReactiveThrottle policy(cfg);
+  // Drive to a pause.
+  while (!rig.host.vm(rig.batch).paused()) {
+    rig.host.run(10);
+    policy.on_period(rig.host, *rig.probe);
+  }
+  double paused_at = rig.host.now();
+  // Run until resume.
+  while (rig.host.vm(rig.batch).paused()) {
+    rig.host.run(10);
+    policy.on_period(rig.host, *rig.probe);
+  }
+  EXPECT_GE(rig.host.now() - paused_at, 3.0 - 1e-9);
+}
+
+TEST(Reactive, RepausesOnRecurringViolation) {
+  Rig rig;
+  ReactiveConfig cfg;
+  cfg.cooldown_s = 2.0;
+  ReactiveThrottle policy(cfg);
+  for (int p = 0; p < 60; ++p) {
+    rig.host.run(10);
+    policy.on_period(rig.host, *rig.probe);
+  }
+  // CPUBomb always re-violates after resume: multiple pause cycles.
+  EXPECT_GE(policy.pauses(), 2u);
+}
+
+TEST(Reactive, InvalidCooldownRejected) {
+  ReactiveConfig cfg;
+  cfg.cooldown_s = 0.0;
+  EXPECT_THROW(ReactiveThrottle{cfg}, PreconditionError);
+}
+
+TEST(StaticThreshold, PausesOnHighCpuUtilization) {
+  Rig rig;
+  StaticThresholdConfig cfg;
+  cfg.cpu_cap = 0.85;
+  StaticThreshold policy(cfg);
+  for (int p = 0; p < 5; ++p) {
+    rig.host.run(10);
+    policy.on_period(rig.host, *rig.probe);
+  }
+  // VLC (2.6) + CPUBomb (4) saturate the host: utilization ~1 > cap.
+  EXPECT_TRUE(rig.host.vm(rig.batch).paused());
+  EXPECT_GE(policy.pauses(), 1u);
+}
+
+TEST(StaticThreshold, ResumesBelowHysteresis) {
+  Rig rig;
+  StaticThresholdConfig cfg;
+  cfg.cpu_cap = 0.85;
+  cfg.hysteresis = 0.1;
+  StaticThreshold policy(cfg);
+  // Pause under load.
+  for (int p = 0; p < 5; ++p) {
+    rig.host.run(10);
+    policy.on_period(rig.host, *rig.probe);
+  }
+  ASSERT_TRUE(rig.host.vm(rig.batch).paused());
+  // With the bomb paused, VLC alone uses 2.6/4 = 0.65 < 0.75: resume.
+  for (int p = 0; p < 3; ++p) {
+    rig.host.run(10);
+    policy.on_period(rig.host, *rig.probe);
+  }
+  EXPECT_FALSE(rig.host.vm(rig.batch).paused());
+}
+
+TEST(StaticThreshold, BlindToSwapViolations) {
+  // A memory-driven violation at modest CPU utilization slips under a
+  // CPU-cap policy — the paper's core argument against static rules.
+  sim::SimHost host(host_spec(), 0.1);
+  auto vlc = std::make_unique<apps::VlcStream>();
+  const sim::QosProbe* probe = vlc.get();
+  host.add_vm("vlc", sim::VmKind::Sensitive, std::move(vlc));
+
+  // Batch that holds a huge working set but almost no CPU.
+  class MemHog final : public sim::AppModel {
+   public:
+    std::string_view name() const override { return "memhog"; }
+    sim::ResourceDemand demand(sim::SimTime) override {
+      sim::ResourceDemand d;
+      d.cpu_cores = 0.1;
+      d.memory_mb = 4200.0;  // alone it swaps a little; with VLC, a lot
+      return d;
+    }
+    void advance(sim::SimTime, double, const sim::Allocation&) override {}
+  };
+  auto hog_id = host.add_vm("hog", sim::VmKind::Batch,
+                            std::make_unique<MemHog>());
+
+  StaticThresholdConfig cfg;
+  cfg.cpu_cap = 0.9;
+  cfg.memory_cap = 2.0;  // memory rule effectively disabled
+  cfg.membw_cap = 0.9;
+  StaticThreshold policy(cfg);
+  for (int p = 0; p < 20; ++p) {
+    host.run(10);
+    policy.on_period(host, *probe);
+  }
+  EXPECT_FALSE(host.vm(hog_id).paused());
+  EXPECT_TRUE(probe->violated());  // swap hurt VLC, policy never noticed
+}
+
+TEST(StaticThreshold, InvalidHysteresisRejected) {
+  StaticThresholdConfig cfg;
+  cfg.hysteresis = -0.1;
+  EXPECT_THROW(StaticThreshold{cfg}, PreconditionError);
+}
+
+TEST(PolicyNames, Stable) {
+  EXPECT_EQ(NoPrevention{}.name(), "no-prevention");
+  EXPECT_EQ(ReactiveThrottle{}.name(), "reactive");
+  EXPECT_EQ(StaticThreshold{}.name(), "static-threshold");
+}
+
+}  // namespace
+}  // namespace stayaway::baseline

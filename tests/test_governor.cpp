@@ -1,0 +1,153 @@
+// Unit tests for the throttle governor (§3.3): pause triggers, beta-based
+// resume, failed-resume learning and anti-starvation.
+#include <gtest/gtest.h>
+
+#include "core/governor.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::core {
+namespace {
+
+GovernorConfig test_config() {
+  GovernorConfig c;
+  c.beta_initial = 0.01;
+  c.beta_increment = 0.005;
+  c.resume_grace_s = 3.0;
+  c.starvation_patience_s = 20.0;
+  c.random_resume_probability = 1.0;  // deterministic once eligible
+  return c;
+}
+
+TEST(Governor, PausesOnPredictedViolation) {
+  ThrottleGovernor gov(test_config(), Rng(1));
+  auto action = gov.decide(0.0, /*paused=*/false, /*predicted=*/true,
+                           /*observed=*/false, {0.0, 0.0});
+  EXPECT_EQ(action, ThrottleAction::Pause);
+  EXPECT_EQ(gov.pauses(), 1u);
+}
+
+TEST(Governor, PausesOnObservedViolation) {
+  ThrottleGovernor gov(test_config(), Rng(1));
+  auto action = gov.decide(0.0, false, false, /*observed=*/true, {0.0, 0.0});
+  EXPECT_EQ(action, ThrottleAction::Pause);
+}
+
+TEST(Governor, NoActionWhenQuiet) {
+  ThrottleGovernor gov(test_config(), Rng(1));
+  EXPECT_EQ(gov.decide(0.0, false, false, false, {0.0, 0.0}),
+            ThrottleAction::None);
+  EXPECT_EQ(gov.pauses(), 0u);
+}
+
+TEST(Governor, ResumesWhenMovementExceedsBeta) {
+  ThrottleGovernor gov(test_config(), Rng(1));
+  gov.decide(0.0, false, true, false, {0.0, 0.0});  // Pause
+  // First paused period seeds the distance chain, no resume yet.
+  EXPECT_EQ(gov.decide(1.0, true, false, false, {0.5, 0.5}),
+            ThrottleAction::None);
+  // Tiny movement below beta: stay paused.
+  EXPECT_EQ(gov.decide(2.0, true, false, false, {0.505, 0.5}),
+            ThrottleAction::None);
+  // Large movement (phase change): resume.
+  EXPECT_EQ(gov.decide(3.0, true, false, false, {0.8, 0.8}),
+            ThrottleAction::Resume);
+  EXPECT_EQ(gov.resumes(), 1u);
+}
+
+TEST(Governor, FailedResumeBumpsBeta) {
+  GovernorConfig cfg = test_config();
+  cfg.random_resume_probability = 0.0;
+  ThrottleGovernor gov(cfg, Rng(1));
+  double beta0 = gov.beta();
+
+  gov.decide(0.0, false, true, false, {0.0, 0.0});    // Pause
+  gov.decide(1.0, true, false, false, {0.0, 0.0});    // seed chain
+  gov.decide(2.0, true, false, false, {1.0, 1.0});    // Resume (beta exceeded)
+  // Violation within the grace window: beta must grow.
+  auto action = gov.decide(3.0, false, false, /*observed=*/true, {1.0, 1.0});
+  EXPECT_EQ(action, ThrottleAction::Pause);  // re-pause on violation
+  EXPECT_GT(gov.beta(), beta0);
+  EXPECT_EQ(gov.failed_resumes(), 1u);
+}
+
+TEST(Governor, LateViolationDoesNotBumpBeta) {
+  GovernorConfig cfg = test_config();
+  cfg.resume_grace_s = 1.0;
+  cfg.random_resume_probability = 0.0;
+  ThrottleGovernor gov(cfg, Rng(1));
+  gov.decide(0.0, false, true, false, {0.0, 0.0});
+  gov.decide(1.0, true, false, false, {0.0, 0.0});
+  gov.decide(2.0, true, false, false, {1.0, 1.0});  // Resume at t=2
+  double beta_after_resume = gov.beta();
+  // Violation at t=10, far past the grace window.
+  gov.decide(10.0, false, false, true, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(gov.beta(), beta_after_resume);
+  EXPECT_EQ(gov.failed_resumes(), 0u);
+}
+
+TEST(Governor, AntiStarvationResumesAfterPatience) {
+  ThrottleGovernor gov(test_config(), Rng(1));
+  gov.decide(0.0, false, true, false, {0.0, 0.0});  // Pause at t=0
+  // Stationary states well past the patience window.
+  for (double t = 1.0; t < 20.0; t += 1.0) {
+    EXPECT_EQ(gov.decide(t, true, false, false, {0.0, 0.0}),
+              ThrottleAction::None)
+        << "at t=" << t;
+  }
+  // At t=20 patience is reached; probability 1 -> resume.
+  EXPECT_EQ(gov.decide(20.0, true, false, false, {0.0, 0.0}),
+            ThrottleAction::Resume);
+  EXPECT_EQ(gov.random_resumes(), 1u);
+}
+
+TEST(Governor, AntiStarvationRespectsProbability) {
+  GovernorConfig cfg = test_config();
+  cfg.random_resume_probability = 0.0;
+  ThrottleGovernor gov(cfg, Rng(1));
+  gov.decide(0.0, false, true, false, {0.0, 0.0});
+  for (double t = 1.0; t < 100.0; t += 1.0) {
+    EXPECT_EQ(gov.decide(t, true, false, false, {0.0, 0.0}),
+              ThrottleAction::None);
+  }
+  EXPECT_EQ(gov.random_resumes(), 0u);
+}
+
+TEST(Governor, AntiStarvationViolationDoesNotBumpBeta) {
+  // §3.3: a random resume that fails just re-pauses; only beta-triggered
+  // resumes teach beta.
+  ThrottleGovernor gov(test_config(), Rng(1));
+  double beta0 = gov.beta();
+  gov.decide(0.0, false, true, false, {0.0, 0.0});   // Pause
+  gov.decide(25.0, true, false, false, {0.0, 0.0});  // seed chain
+  auto action = gov.decide(26.0, true, false, false, {0.0, 0.0});
+  EXPECT_EQ(action, ThrottleAction::Resume);  // anti-starvation fires
+  gov.decide(27.0, false, false, true, {0.0, 0.0});  // violates right away
+  EXPECT_DOUBLE_EQ(gov.beta(), beta0);
+  EXPECT_EQ(gov.failed_resumes(), 0u);
+}
+
+TEST(Governor, PauseResetsDistanceChain) {
+  ThrottleGovernor gov(test_config(), Rng(1));
+  gov.decide(0.0, false, true, false, {0.0, 0.0});  // Pause
+  gov.decide(1.0, true, false, false, {5.0, 5.0});  // seeds at (5,5)
+  gov.decide(2.0, true, false, false, {5.6, 5.0});  // resume (move 0.6)
+  // New pause: the old chain must not leak into the new one.
+  gov.decide(3.0, false, true, false, {9.0, 9.0});  // Pause again
+  EXPECT_EQ(gov.decide(4.0, true, false, false, {0.0, 0.0}),
+            ThrottleAction::None);  // first period only seeds
+}
+
+TEST(Governor, InvalidConfigRejected) {
+  GovernorConfig cfg = test_config();
+  cfg.beta_initial = 0.0;
+  EXPECT_THROW(ThrottleGovernor(cfg, Rng(1)), PreconditionError);
+}
+
+TEST(Governor, ActionNamesStable) {
+  EXPECT_STREQ(to_string(ThrottleAction::None), "none");
+  EXPECT_STREQ(to_string(ThrottleAction::Pause), "pause");
+  EXPECT_STREQ(to_string(ThrottleAction::Resume), "resume");
+}
+
+}  // namespace
+}  // namespace stayaway::core

@@ -1,0 +1,144 @@
+// End-to-end integration tests: the paper's headline behaviours on full
+// experiment runs — QoS protection across co-locations, utilization
+// recovery, template transfer (§6), and policy comparisons.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/scenarios.hpp"
+
+namespace stayaway::harness {
+namespace {
+
+ExperimentSpec base_spec(SensitiveKind sensitive, BatchKind batch) {
+  ExperimentSpec spec;
+  spec.sensitive = sensitive;
+  spec.batch = batch;
+  spec.policy = PolicyKind::StayAway;
+  spec.duration_s = 180.0;
+  spec.batch_start_s = 10.0;
+  return spec;
+}
+
+TEST(Integration, VlcWithCpuBombHeadline) {
+  // Fig. 8/10: CPUBomb is the worst case — without prevention VLC
+  // violates persistently; with Stay-Away violations nearly vanish and
+  // the utilization gain is small (the bomb simply cannot run).
+  ExperimentSpec spec = base_spec(SensitiveKind::VlcStream, BatchKind::CpuBomb);
+  ExperimentResult sa = run_experiment(spec);
+  spec.policy = PolicyKind::NoPrevention;
+  ExperimentResult np = run_experiment(spec);
+  ExperimentResult iso = run_isolated(spec);
+
+  EXPECT_GT(np.violation_fraction, 0.6);
+  EXPECT_LT(sa.violation_fraction, 0.15);
+  double gain_sa = series_mean(gained_utilization(sa, iso));
+  double gain_np = series_mean(gained_utilization(np, iso));
+  EXPECT_LT(gain_sa, 0.5 * gain_np);  // most of the bomb's use is unsafe
+}
+
+TEST(Integration, VlcWithTwitterRecoversUtilization) {
+  // Fig. 9/11: Twitter-Analysis phases let Stay-Away keep a large share
+  // of the co-location's utilization gain while protecting QoS.
+  ExperimentSpec spec =
+      base_spec(SensitiveKind::VlcStream, BatchKind::TwitterAnalysis);
+  spec.workload = compressed_diurnal(spec.duration_s, 1.5, 11);
+  ExperimentResult sa = run_experiment(spec);
+  spec.policy = PolicyKind::NoPrevention;
+  ExperimentResult np = run_experiment(spec);
+  ExperimentResult iso = run_isolated(spec);
+
+  EXPECT_LE(sa.violation_fraction, np.violation_fraction);
+  double gain_sa = series_mean(gained_utilization(sa, iso));
+  EXPECT_GT(gain_sa, 0.10);  // much better than the CPUBomb case
+}
+
+TEST(Integration, WebserviceMemProtectedFromSwapThrashing) {
+  // Fig. 16: memory-intensive Webservice + memory-hungry batch forces
+  // swapping without prevention; Stay-Away mostly avoids it.
+  ExperimentSpec spec =
+      base_spec(SensitiveKind::WebserviceMem, BatchKind::MemBomb);
+  ExperimentResult sa = run_experiment(spec);
+  spec.policy = PolicyKind::NoPrevention;
+  ExperimentResult np = run_experiment(spec);
+
+  EXPECT_GT(np.violation_fraction, 0.4);
+  EXPECT_LT(sa.violation_fraction, 0.5 * np.violation_fraction);
+  EXPECT_GT(sa.avg_qos, np.avg_qos);
+}
+
+TEST(Integration, Batch1CombinationThrottledCollectively) {
+  // Table 1 / §5: two batch apps are handled as one logical VM.
+  ExperimentSpec spec =
+      base_spec(SensitiveKind::WebserviceMix, BatchKind::Batch1);
+  ExperimentResult sa = run_experiment(spec);
+  spec.policy = PolicyKind::NoPrevention;
+  ExperimentResult np = run_experiment(spec);
+  EXPECT_LT(sa.violation_fraction, np.violation_fraction + 1e-9);
+  EXPECT_GT(sa.pauses, 0u);
+}
+
+TEST(Integration, TemplateTransfersAcrossBatchApps) {
+  // §6 / Fig. 17-18: a template captured against CPUBomb remains valid
+  // against Soplex — the new run starts with the violation states known.
+  ExperimentSpec capture =
+      base_spec(SensitiveKind::VlcStream, BatchKind::CpuBomb);
+  ExperimentResult first = run_experiment(capture);
+  ASSERT_TRUE(first.exported_template.has_value());
+  EXPECT_GT(first.exported_template->violation_count(), 0u);
+
+  ExperimentSpec reuse = base_spec(SensitiveKind::VlcStream, BatchKind::Soplex);
+  reuse.seed_template = first.exported_template;
+  ExperimentResult seeded = run_experiment(reuse);
+  // The seeded run starts with at least the template's states.
+  EXPECT_GE(seeded.representative_count,
+            first.exported_template->entries.size());
+
+  // And the seeded run should not be worse than an unseeded one.
+  ExperimentSpec cold = reuse;
+  cold.seed_template.reset();
+  ExperimentResult unseeded = run_experiment(cold);
+  EXPECT_LE(seeded.violation_fraction, unseeded.violation_fraction + 0.05);
+}
+
+TEST(Integration, ProactiveBeatsReactiveOnViolations) {
+  // The ablation argument: identical actuation, but predicting violations
+  // before they land avoids the mandatory first-violation of reactive.
+  ExperimentSpec spec =
+      base_spec(SensitiveKind::VlcStream, BatchKind::CpuBomb);
+  spec.duration_s = 240.0;
+  ExperimentResult sa = run_experiment(spec);
+  spec.policy = PolicyKind::Reactive;
+  ExperimentResult reactive = run_experiment(spec);
+  EXPECT_LT(sa.violation_fraction, reactive.violation_fraction);
+}
+
+TEST(Integration, WorkloadValleysExploited) {
+  // Fig. 13: with a strongly diurnal workload, the batch app must get CPU
+  // during valleys even under Stay-Away.
+  ExperimentSpec spec =
+      base_spec(SensitiveKind::WebserviceCpu, BatchKind::TwitterAnalysis);
+  spec.workload = compressed_diurnal(spec.duration_s, 2.0, 5);
+  ExperimentResult sa = run_experiment(spec);
+  EXPECT_GT(sa.batch_cpu_work, 20.0);  // batch genuinely ran
+  EXPECT_LT(sa.violation_fraction, 0.2);
+  // The batch was running for a meaningful share of the periods.
+  int running = 0;
+  for (int b : sa.batch_running) running += b;
+  EXPECT_GT(running, static_cast<int>(sa.batch_running.size() / 5));
+}
+
+TEST(Integration, PredictionAccuracyHighInPassiveMode) {
+  // §3.2.3: ">90% accuracy on average" with 5 samples. Measured passively
+  // (actions disabled) so predictions do not mask their own outcomes.
+  ExperimentSpec spec =
+      base_spec(SensitiveKind::VlcStream, BatchKind::CpuBomb);
+  spec.stayaway.actions_enabled = false;
+  spec.duration_s = 240.0;
+  ExperimentResult passive = run_experiment(spec);
+  ASSERT_GT(passive.tally.total(), 50u);
+  EXPECT_GT(passive.tally.accuracy(), 0.8);
+}
+
+}  // namespace
+}  // namespace stayaway::harness

@@ -1,0 +1,327 @@
+// Unit tests for src/monitor: measurement layout, host sampler (incl. §5
+// batch aggregation), normalizers, representative dedup, mode detection.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/cpubomb.hpp"
+#include "monitor/measurement.hpp"
+#include "monitor/mode.hpp"
+#include "monitor/normalizer.hpp"
+#include "monitor/representative.hpp"
+#include "monitor/sampler.hpp"
+#include "sim/host.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::monitor {
+namespace {
+
+sim::HostSpec test_spec() {
+  sim::HostSpec spec;
+  spec.cpu_cores = 4.0;
+  spec.memory_mb = 4096.0;
+  spec.membw_mbps = 16000.0;
+  spec.disk_mbps = 200.0;
+  spec.net_mbps = 1000.0;
+  return spec;
+}
+
+std::unique_ptr<sim::AppModel> cpu_app(double cores) {
+  return std::make_unique<apps::CpuBomb>(cores);
+}
+
+// ------------------------------------------------------------ measurement
+TEST(MetricLayout, IndexingAndNames) {
+  MetricLayout layout;
+  layout.entities = {"vlc", "batch"};
+  layout.metrics = {MetricKind::Cpu, MetricKind::Memory};
+  EXPECT_EQ(layout.dimension(), 4u);
+  EXPECT_EQ(layout.index_of(0, 1), 1u);
+  EXPECT_EQ(layout.index_of(1, 0), 2u);
+  EXPECT_EQ(layout.dimension_name(0), "vlc.cpu");
+  EXPECT_EQ(layout.dimension_name(3), "batch.mem");
+  EXPECT_THROW(layout.index_of(2, 0), PreconditionError);
+  EXPECT_THROW(layout.dimension_name(4), PreconditionError);
+}
+
+TEST(Measurement, MetricValueExtraction) {
+  MetricLayout layout;
+  layout.entities = {"a", "b"};
+  layout.metrics = {MetricKind::Cpu, MetricKind::Network};
+  Measurement m;
+  m.values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(metric_value(layout, m, 1, 0), 3.0);
+  Measurement short_m;
+  short_m.values = {1.0};
+  EXPECT_THROW(metric_value(layout, short_m, 1, 0), PreconditionError);
+}
+
+TEST(Measurement, AllocationMetricMapsKinds) {
+  sim::Allocation a;
+  a.granted.cpu_cores = 1.5;
+  a.granted.memory_mb = 100.0;
+  a.granted.membw_mbps = 200.0;
+  a.granted.disk_mbps = 30.0;
+  a.granted.net_mbps = 40.0;
+  EXPECT_DOUBLE_EQ(allocation_metric(a, MetricKind::Cpu), 1.5);
+  EXPECT_DOUBLE_EQ(allocation_metric(a, MetricKind::Memory), 100.0);
+  EXPECT_DOUBLE_EQ(allocation_metric(a, MetricKind::MemBandwidth), 200.0);
+  EXPECT_DOUBLE_EQ(allocation_metric(a, MetricKind::DiskIo), 30.0);
+  EXPECT_DOUBLE_EQ(allocation_metric(a, MetricKind::Network), 40.0);
+}
+
+// --------------------------------------------------------------- sampler
+TEST(Sampler, AggregatesBatchVmsIntoLogicalEntity) {
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("sensitive", sim::VmKind::Sensitive, cpu_app(1.0));
+  host.add_vm("b1", sim::VmKind::Batch, cpu_app(1.0));
+  host.add_vm("b2", sim::VmKind::Batch, cpu_app(0.5));
+  SamplerOptions opts;
+  opts.aggregate_batch = true;
+  opts.noise_fraction = 0.0;
+  HostSampler sampler(host, opts);
+  ASSERT_EQ(sampler.layout().entities.size(), 2u);
+  EXPECT_EQ(sampler.layout().entities[1], "batch-aggregate");
+
+  host.run(2);
+  Measurement m = sampler.sample();
+  // Batch entity CPU = 1.0 + 0.5 summed.
+  EXPECT_NEAR(metric_value(sampler.layout(), m, 1, 0), 1.5, 1e-9);
+  EXPECT_NEAR(metric_value(sampler.layout(), m, 0, 0), 1.0, 1e-9);
+}
+
+TEST(Sampler, SingleBatchKeepsItsName) {
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("sensitive", sim::VmKind::Sensitive, cpu_app(1.0));
+  host.add_vm("soplex", sim::VmKind::Batch, cpu_app(1.0));
+  HostSampler sampler(host, {});
+  EXPECT_EQ(sampler.layout().entities[1], "soplex");
+}
+
+TEST(Sampler, PerVmModeKeepsAllEntities) {
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("s", sim::VmKind::Sensitive, cpu_app(1.0));
+  host.add_vm("b1", sim::VmKind::Batch, cpu_app(1.0));
+  host.add_vm("b2", sim::VmKind::Batch, cpu_app(1.0));
+  SamplerOptions opts;
+  opts.aggregate_batch = false;
+  HostSampler sampler(host, opts);
+  EXPECT_EQ(sampler.layout().entities.size(), 3u);
+}
+
+TEST(Sampler, NoiseIsDeterministicPerSeed) {
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("s", sim::VmKind::Sensitive, cpu_app(2.0));
+  host.run(1);
+  SamplerOptions opts;
+  opts.noise_fraction = 0.05;
+  opts.seed = 7;
+  HostSampler a(host, opts);
+  HostSampler b(host, opts);
+  auto ma = a.sample();
+  auto mb = b.sample();
+  for (std::size_t i = 0; i < ma.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ma.values[i], mb.values[i]);
+  }
+}
+
+TEST(Sampler, NoiseNeverProducesNegativeReadings) {
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("s", sim::VmKind::Sensitive, cpu_app(0.01));
+  host.run(1);
+  SamplerOptions opts;
+  opts.noise_fraction = 2.0;  // extreme noise
+  HostSampler sampler(host, opts);
+  for (int i = 0; i < 100; ++i) {
+    for (double v : sampler.sample().values) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Sampler, PausedVmReadsZero) {
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("s", sim::VmKind::Sensitive, cpu_app(1.0));
+  host.add_vm("b", sim::VmKind::Batch, cpu_app(2.0));
+  SamplerOptions opts;
+  opts.noise_fraction = 0.0;
+  HostSampler sampler(host, opts);
+  host.vm(1).pause();
+  host.run(1);
+  Measurement m = sampler.sample();
+  EXPECT_DOUBLE_EQ(metric_value(sampler.layout(), m, 1, 0), 0.0);
+}
+
+// ------------------------------------------------------------ normalizer
+TEST(CapacityNormalizer, NormalizesByHostCapacity) {
+  MetricLayout layout;
+  layout.entities = {"a"};
+  layout.metrics = {MetricKind::Cpu, MetricKind::Memory, MetricKind::Network};
+  CapacityNormalizer norm(test_spec(), layout);
+  Measurement m;
+  m.values = {2.0, 2048.0, 500.0};
+  auto n = norm.normalize(m);
+  EXPECT_DOUBLE_EQ(n[0], 0.5);
+  EXPECT_DOUBLE_EQ(n[1], 0.5);
+  EXPECT_DOUBLE_EQ(n[2], 0.5);
+}
+
+TEST(CapacityNormalizer, ClampsOverCapacityReadings) {
+  MetricLayout layout;
+  layout.entities = {"a"};
+  layout.metrics = {MetricKind::Cpu};
+  CapacityNormalizer norm(test_spec(), layout);
+  Measurement m;
+  m.values = {99.0};
+  EXPECT_DOUBLE_EQ(norm.normalize(m)[0], 1.0);
+}
+
+TEST(CapacityNormalizer, LayoutMismatchRejected) {
+  MetricLayout layout;
+  layout.entities = {"a"};
+  layout.metrics = {MetricKind::Cpu};
+  CapacityNormalizer norm(test_spec(), layout);
+  Measurement m;
+  m.values = {1.0, 2.0};
+  EXPECT_THROW(norm.normalize(m), PreconditionError);
+}
+
+TEST(RunningNormalizer, AdaptsToObservedRange) {
+  RunningNormalizer norm(1);
+  EXPECT_DOUBLE_EQ(norm.observe({5.0})[0], 0.0);  // single point: no range
+  EXPECT_DOUBLE_EQ(norm.observe({10.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(norm.observe({7.5})[0], 0.5);
+  EXPECT_DOUBLE_EQ(norm.observe({0.0})[0], 0.0);  // new minimum
+  EXPECT_DOUBLE_EQ(norm.observe({10.0})[0], 1.0);
+}
+
+// --------------------------------------------------------- representative
+TEST(RepresentativeSet, MergesNearbyVectors) {
+  RepresentativeSet reps(0.1);
+  auto a = reps.assign({0.5, 0.5});
+  EXPECT_TRUE(a.is_new);
+  EXPECT_EQ(a.representative, 0u);
+  auto b = reps.assign({0.52, 0.51});  // within epsilon
+  EXPECT_FALSE(b.is_new);
+  EXPECT_EQ(b.representative, 0u);
+  EXPECT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps.weight(0), 2u);
+  EXPECT_EQ(reps.total_observed(), 2u);
+}
+
+TEST(RepresentativeSet, DistantVectorCreatesNewRepresentative) {
+  RepresentativeSet reps(0.1);
+  reps.assign({0.0, 0.0});
+  auto b = reps.assign({1.0, 1.0});
+  EXPECT_TRUE(b.is_new);
+  EXPECT_EQ(reps.size(), 2u);
+}
+
+TEST(RepresentativeSet, AssignsToNearestRepresentative) {
+  RepresentativeSet reps(0.3);
+  reps.assign({0.0, 0.0});
+  reps.assign({1.0, 0.0});
+  auto c = reps.assign({0.9, 0.1});
+  EXPECT_FALSE(c.is_new);
+  EXPECT_EQ(c.representative, 1u);
+  EXPECT_GT(c.distance, 0.0);
+}
+
+TEST(RepresentativeSet, ZeroEpsilonKeepsEverythingDistinct) {
+  RepresentativeSet reps(0.0);
+  reps.assign({0.0});
+  auto b = reps.assign({1e-9});
+  EXPECT_TRUE(b.is_new);
+  // Exact duplicates still merge at epsilon 0.
+  auto c = reps.assign({0.0});
+  EXPECT_FALSE(c.is_new);
+}
+
+TEST(RepresentativeSet, DimensionMismatchRejected) {
+  RepresentativeSet reps(0.1);
+  reps.assign({0.0, 0.0});
+  EXPECT_THROW(reps.assign({0.0}), PreconditionError);
+  EXPECT_THROW(reps.assign({}), PreconditionError);
+}
+
+TEST(RepresentativeSet, ReductionShrinksNoisyStream) {
+  // A noisy stationary stream must collapse into a handful of
+  // representatives — the §4 optimisation that keeps SMACOF cheap.
+  RepresentativeSet reps(0.05);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    reps.assign({0.5 + rng.normal(0.0, 0.005), 0.3 + rng.normal(0.0, 0.005)});
+  }
+  EXPECT_LT(reps.size(), 10u);
+  EXPECT_EQ(reps.total_observed(), 500u);
+}
+
+TEST(RepresentativeSet, CapSnapsToNearestOnceFull) {
+  RepresentativeSet reps(0.0, /*max_size=*/3);
+  reps.assign({0.0});
+  reps.assign({1.0});
+  reps.assign({2.0});
+  EXPECT_TRUE(reps.full());
+  // A distant vector would normally create a new representative; at the
+  // cap it snaps to the nearest one instead.
+  auto a = reps.assign({10.0});
+  EXPECT_FALSE(a.is_new);
+  EXPECT_EQ(a.representative, 2u);
+  EXPECT_EQ(reps.size(), 3u);
+  EXPECT_EQ(reps.weight(2), 2u);
+}
+
+TEST(RepresentativeSet, ZeroCapMeansUnbounded) {
+  RepresentativeSet reps(0.0, 0);
+  for (int i = 0; i < 50; ++i) reps.assign({static_cast<double>(i)});
+  EXPECT_EQ(reps.size(), 50u);
+  EXPECT_FALSE(reps.full());
+}
+
+TEST(RepresentativeSet, RuntimeConfigBoundsGrowth) {
+  // A pathological configuration (epsilon 0, heavy noise) must not grow
+  // the representative set past the configured cap.
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("s", sim::VmKind::Sensitive, cpu_app(1.0));
+  SamplerOptions opts;
+  opts.noise_fraction = 0.3;
+  RepresentativeSet reps(0.0, 16);
+  HostSampler sampler(host, opts);
+  for (int i = 0; i < 500; ++i) {
+    host.step();
+    reps.assign(sampler.sample().values);
+  }
+  EXPECT_LE(reps.size(), 16u);
+  EXPECT_EQ(reps.total_observed(), 500u);
+}
+
+// ------------------------------------------------------------------ mode
+TEST(Mode, DetectsAllFourModes) {
+  sim::SimHost host(test_spec(), 0.1);
+  auto sid = host.add_vm("s", sim::VmKind::Sensitive, cpu_app(1.0), 1.0);
+  auto bid = host.add_vm("b", sim::VmKind::Batch, cpu_app(1.0), 2.0);
+
+  EXPECT_EQ(detect_mode(host), ExecutionMode::Idle);  // t=0: none arrived
+  host.run(11);  // t ~= 1.1: sensitive only (11 ticks dodges 10*0.1 < 1.0)
+  EXPECT_EQ(detect_mode(host), ExecutionMode::SensitiveOnly);
+  host.run(10);  // t ~= 2.1: both
+  EXPECT_EQ(detect_mode(host), ExecutionMode::CoLocated);
+  host.vm(sid).pause();
+  EXPECT_EQ(detect_mode(host), ExecutionMode::BatchOnly);
+  host.vm(sid).resume();
+  host.vm(bid).pause();
+  EXPECT_EQ(detect_mode(host), ExecutionMode::SensitiveOnly);
+}
+
+TEST(Mode, PausedBatchDoesNotCountAsRunning) {
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("b", sim::VmKind::Batch, cpu_app(1.0));
+  host.vm(0).pause();
+  EXPECT_EQ(detect_mode(host), ExecutionMode::Idle);
+}
+
+TEST(Mode, NamesStable) {
+  EXPECT_STREQ(to_string(ExecutionMode::Idle), "idle");
+  EXPECT_STREQ(to_string(ExecutionMode::CoLocated), "co-located");
+}
+
+}  // namespace
+}  // namespace stayaway::monitor

@@ -1,0 +1,132 @@
+// Unit tests for Procrustes alignment: recovery of known rotations,
+// reflections, scales and translations, and the options that forbid them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mds/procrustes.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stayaway::mds {
+namespace {
+
+Embedding random_cloud(std::size_t n, Rng& rng) {
+  Embedding out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)});
+  }
+  return out;
+}
+
+Embedding transform_cloud(const Embedding& src, double angle, double scale,
+                          Point2 shift, bool reflect) {
+  Embedding out;
+  for (const auto& p : src) {
+    double y = reflect ? -p.y : p.y;
+    out.push_back({scale * (std::cos(angle) * p.x - std::sin(angle) * y) + shift.x,
+                   scale * (std::sin(angle) * p.x + std::cos(angle) * y) + shift.y});
+  }
+  return out;
+}
+
+TEST(Procrustes, RecoversPureRotation) {
+  Rng rng(1);
+  Embedding src = random_cloud(10, rng);
+  Embedding tgt = transform_cloud(src, 0.8, 1.0, {0.0, 0.0}, false);
+  auto res = procrustes_align(src, tgt);
+  EXPECT_NEAR(res.rms_error, 0.0, 1e-9);
+  EXPECT_FALSE(res.transform.reflected);
+  EXPECT_NEAR(res.transform.rotation, 0.8, 1e-9);
+}
+
+TEST(Procrustes, RecoversRotationScaleTranslation) {
+  Rng rng(2);
+  Embedding src = random_cloud(12, rng);
+  Embedding tgt = transform_cloud(src, -1.2, 2.5, {3.0, -4.0}, false);
+  auto res = procrustes_align(src, tgt);
+  EXPECT_NEAR(res.rms_error, 0.0, 1e-9);
+  EXPECT_NEAR(res.transform.scale, 2.5, 1e-9);
+  // Applying the transform must land on the target.
+  Embedding mapped = res.transform.apply(src);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_NEAR(distance(mapped[i], tgt[i]), 0.0, 1e-8);
+  }
+}
+
+TEST(Procrustes, RecoversReflection) {
+  Rng rng(3);
+  Embedding src = random_cloud(9, rng);
+  Embedding tgt = transform_cloud(src, 0.4, 1.0, {1.0, 1.0}, true);
+  auto res = procrustes_align(src, tgt);
+  // The residual formula cancels two near-equal sums, so exact-fit noise
+  // sits around 1e-8 rather than machine epsilon.
+  EXPECT_NEAR(res.rms_error, 0.0, 1e-6);
+  EXPECT_TRUE(res.transform.reflected);
+}
+
+TEST(Procrustes, ReflectionForbiddenLeavesResidual) {
+  Rng rng(4);
+  Embedding src = random_cloud(9, rng);
+  Embedding tgt = transform_cloud(src, 0.0, 1.0, {0.0, 0.0}, true);
+  ProcrustesOptions opts;
+  opts.allow_reflection = false;
+  auto res = procrustes_align(src, tgt, opts);
+  EXPECT_FALSE(res.transform.reflected);
+  EXPECT_GT(res.rms_error, 0.1);
+}
+
+TEST(Procrustes, ScalingForbiddenKeepsUnitScale) {
+  Rng rng(5);
+  Embedding src = random_cloud(8, rng);
+  Embedding tgt = transform_cloud(src, 0.3, 3.0, {0.0, 0.0}, false);
+  ProcrustesOptions opts;
+  opts.allow_scaling = false;
+  auto res = procrustes_align(src, tgt, opts);
+  EXPECT_DOUBLE_EQ(res.transform.scale, 1.0);
+  EXPECT_GT(res.rms_error, 0.1);  // scale mismatch cannot be absorbed
+  EXPECT_NEAR(res.transform.rotation, 0.3, 1e-6);
+}
+
+TEST(Procrustes, IdentityWhenAlreadyAligned) {
+  Rng rng(6);
+  Embedding src = random_cloud(7, rng);
+  auto res = procrustes_align(src, src);
+  EXPECT_NEAR(res.rms_error, 0.0, 1e-10);
+  EXPECT_NEAR(res.transform.rotation, 0.0, 1e-10);
+  EXPECT_NEAR(res.transform.scale, 1.0, 1e-10);
+  EXPECT_NEAR(res.transform.translation.x, 0.0, 1e-10);
+}
+
+TEST(Procrustes, NoisyAlignmentKeepsSmallResidual) {
+  Rng rng(7);
+  Embedding src = random_cloud(20, rng);
+  Embedding tgt = transform_cloud(src, 1.0, 1.5, {2.0, 2.0}, false);
+  for (auto& p : tgt) {
+    p.x += rng.normal(0.0, 0.01);
+    p.y += rng.normal(0.0, 0.01);
+  }
+  auto res = procrustes_align(src, tgt);
+  EXPECT_LT(res.rms_error, 0.05);
+}
+
+TEST(Procrustes, MismatchedSizesRejected) {
+  Embedding a(3);
+  Embedding b(4);
+  EXPECT_THROW(procrustes_align(a, b), PreconditionError);
+  EXPECT_THROW(procrustes_align({}, {}), PreconditionError);
+}
+
+TEST(Procrustes, TransformApplyComposesRotationScaleShift) {
+  ProcrustesTransform t;
+  t.rotation = std::numbers::pi / 2.0;
+  t.scale = 2.0;
+  t.translation = {1.0, 0.0};
+  Point2 mapped = t.apply({1.0, 0.0});
+  EXPECT_NEAR(mapped.x, 1.0, 1e-12);
+  EXPECT_NEAR(mapped.y, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace stayaway::mds

@@ -1,0 +1,196 @@
+// Integration tests for StayAwayRuntime: the full Mapping -> Prediction ->
+// Action loop against the simulated host.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "apps/cpubomb.hpp"
+#include "apps/vlc_stream.hpp"
+#include "core/runtime.hpp"
+#include "harness/scenarios.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::core {
+namespace {
+
+struct Rig {
+  sim::SimHost host;
+  const sim::QosProbe* probe = nullptr;
+  sim::VmId sensitive = 0;
+  sim::VmId batch = 0;
+
+  explicit Rig(double batch_start = 5.0)
+      : host(harness::paper_host(), 0.1) {
+    auto vlc = std::make_unique<apps::VlcStream>();
+    probe = vlc.get();
+    sensitive = host.add_vm("vlc", sim::VmKind::Sensitive, std::move(vlc), 0.0);
+    batch = host.add_vm("cpubomb", sim::VmKind::Batch,
+                        std::make_unique<apps::CpuBomb>(), batch_start);
+  }
+};
+
+StayAwayConfig test_config() {
+  StayAwayConfig cfg;
+  cfg.period_s = 1.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+monitor::SamplerOptions quiet_sampler() {
+  monitor::SamplerOptions opts;
+  opts.noise_fraction = 0.005;
+  return opts;
+}
+
+void run_periods(Rig& rig, StayAwayRuntime& rt, std::size_t periods) {
+  for (std::size_t p = 0; p < periods; ++p) {
+    rig.host.run(10);  // 10 ticks of 0.1 s = one 1 s period
+    rt.on_period();
+  }
+}
+
+TEST(Runtime, LearnsStatesAndRecords) {
+  Rig rig;
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  run_periods(rig, rt, 20);
+  EXPECT_EQ(rt.records().size(), 20u);
+  EXPECT_GT(rt.representatives().size(), 1u);
+  EXPECT_EQ(rt.state_space().size(), rt.representatives().size());
+  // Layout: sensitive + aggregated batch, 4 metrics each.
+  EXPECT_EQ(rt.layout().dimension(), 8u);
+}
+
+TEST(Runtime, MarksViolationStates) {
+  Rig rig(/*batch_start=*/3.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  run_periods(rig, rt, 15);
+  // CPUBomb against full-rate VLC must violate at least once before the
+  // controller gets on top of it.
+  EXPECT_GT(rt.state_space().violation_count(), 0u);
+}
+
+TEST(Runtime, ThrottlesBatchUnderContention) {
+  Rig rig(/*batch_start=*/3.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  run_periods(rig, rt, 30);
+  EXPECT_GT(rt.governor().pauses(), 0u);
+  // Batch must have spent real time paused.
+  EXPECT_GT(rig.host.vm(rig.batch).paused_time(), 1.0);
+}
+
+TEST(Runtime, ProtectsQosComparedToNoPolicy) {
+  // With the runtime active, violating periods must be rarer than without.
+  std::size_t with_violations = 0;
+  std::size_t without_violations = 0;
+  {
+    Rig rig(3.0);
+    StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+    for (int p = 0; p < 60; ++p) {
+      rig.host.run(10);
+      rt.on_period();
+      if (rig.probe->violated()) ++with_violations;
+    }
+  }
+  {
+    Rig rig(3.0);
+    for (int p = 0; p < 60; ++p) {
+      rig.host.run(10);
+      if (rig.probe->violated()) ++without_violations;
+    }
+  }
+  EXPECT_LT(with_violations, without_violations / 2);
+  EXPECT_GT(without_violations, 30u);  // CPUBomb makes VLC violate steadily
+}
+
+TEST(Runtime, PassiveModeNeverActs) {
+  Rig rig(3.0);
+  StayAwayConfig cfg = test_config();
+  cfg.actions_enabled = false;
+  StayAwayRuntime rt(rig.host, *rig.probe, cfg, quiet_sampler());
+  run_periods(rig, rt, 30);
+  EXPECT_FALSE(rt.batch_paused());
+  EXPECT_DOUBLE_EQ(rig.host.vm(rig.batch).paused_time(), 0.0);
+  for (const auto& rec : rt.records()) {
+    EXPECT_EQ(rec.action, ThrottleAction::None);
+  }
+  // It still learns and predicts.
+  EXPECT_GT(rt.state_space().violation_count(), 0u);
+  EXPECT_GT(rt.tally().total(), 0u);
+}
+
+TEST(Runtime, RecordsCarryModeTransitions) {
+  Rig rig(/*batch_start=*/5.0);
+  StayAwayConfig cfg = test_config();
+  cfg.actions_enabled = false;
+  StayAwayRuntime rt(rig.host, *rig.probe, cfg, quiet_sampler());
+  run_periods(rig, rt, 12);
+  // Early periods: sensitive only; later: co-located.
+  EXPECT_EQ(rt.records().front().mode, monitor::ExecutionMode::SensitiveOnly);
+  EXPECT_EQ(rt.records().back().mode, monitor::ExecutionMode::CoLocated);
+}
+
+TEST(Runtime, TemplateExportRoundTripsThroughSeed) {
+  StateTemplate exported;
+  {
+    Rig rig(3.0);
+    StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+    run_periods(rig, rt, 25);
+    exported = rt.export_template("vlc-stream");
+    EXPECT_EQ(exported.entries.size(), rt.representatives().size());
+    EXPECT_EQ(exported.violation_count(), rt.state_space().violation_count());
+    EXPECT_GT(exported.violation_count(), 0u);
+  }
+  // Seed a fresh runtime with the template: it starts pre-populated.
+  Rig rig2(3.0);
+  StayAwayRuntime rt2(rig2.host, *rig2.probe, test_config(), quiet_sampler());
+  rt2.seed_template(exported);
+  EXPECT_EQ(rt2.representatives().size(), exported.entries.size());
+  EXPECT_EQ(rt2.state_space().violation_count(), exported.violation_count());
+}
+
+TEST(Runtime, SeedAfterStartRejected) {
+  Rig rig;
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  run_periods(rig, rt, 1);
+  StateTemplate t;
+  t.entries.push_back({std::vector<double>(8, 0.5), StateLabel::Safe});
+  EXPECT_THROW(rt.seed_template(t), PreconditionError);
+}
+
+TEST(Runtime, SeedDimensionMismatchRejected) {
+  Rig rig;
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  StateTemplate t;
+  t.entries.push_back({{0.5, 0.5}, StateLabel::Safe});  // wrong dimension
+  EXPECT_THROW(rt.seed_template(t), PreconditionError);
+}
+
+TEST(Runtime, BetaAdaptsOverLongRun) {
+  Rig rig(3.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  run_periods(rig, rt, 120);
+  // CPUBomb never phase-changes, so resumes mostly fail and beta grows.
+  EXPECT_GE(rt.governor().beta(), rt.config().governor.beta_initial);
+  EXPECT_GT(rt.governor().resumes(), 0u);
+}
+
+TEST(Runtime, StressStaysLowWithTwoEntities) {
+  // §5: with one sensitive + one logical batch VM, 2-D is an adequate
+  // representation and stress stays low.
+  Rig rig(3.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  run_periods(rig, rt, 40);
+  EXPECT_LT(rt.embedder().stress(), 0.15);
+}
+
+TEST(Runtime, InvalidPeriodRejected) {
+  Rig rig;
+  StayAwayConfig cfg = test_config();
+  cfg.period_s = 0.0;
+  EXPECT_THROW(StayAwayRuntime(rig.host, *rig.probe, cfg, quiet_sampler()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace stayaway::core

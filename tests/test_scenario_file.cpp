@@ -1,0 +1,138 @@
+// Tests for the scenario-file parser behind the stayaway_sim CLI tool.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/scenario_file.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::harness {
+namespace {
+
+Scenario parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in);
+}
+
+TEST(ScenarioFile, DefaultsWhenEmpty) {
+  Scenario s = parse("");
+  EXPECT_EQ(s.spec.sensitive, SensitiveKind::VlcStream);
+  EXPECT_EQ(s.spec.policy, PolicyKind::StayAway);
+  EXPECT_FALSE(s.compare);
+  EXPECT_FALSE(s.spec.workload.has_value());
+  EXPECT_FALSE(s.template_in.has_value());
+}
+
+TEST(ScenarioFile, ParsesFullScenario) {
+  Scenario s = parse(R"(
+    # a comment
+    sensitive = webservice-mem
+    batch     = membomb
+    policy    = reactive
+    duration_s = 120
+    period_s   = 0.5
+    batch_start_s = 10
+    seed       = 7
+    workload   = diurnal
+    workload_cycles = 2
+    compare    = true
+    template_out = out.csv
+    series_csv   = series.csv
+  )");
+  EXPECT_EQ(s.spec.sensitive, SensitiveKind::WebserviceMem);
+  EXPECT_EQ(s.spec.batch, BatchKind::MemBomb);
+  EXPECT_EQ(s.spec.policy, PolicyKind::Reactive);
+  EXPECT_DOUBLE_EQ(s.spec.duration_s, 120.0);
+  EXPECT_DOUBLE_EQ(s.spec.period_s, 0.5);
+  EXPECT_EQ(s.spec.seed, 7u);
+  EXPECT_TRUE(s.spec.workload.has_value());
+  EXPECT_NEAR(s.spec.workload->duration(), 120.0, 1.0);
+  EXPECT_TRUE(s.compare);
+  EXPECT_EQ(*s.template_out, "out.csv");
+  EXPECT_EQ(*s.series_csv, "series.csv");
+}
+
+TEST(ScenarioFile, StayAwayTuningKeys) {
+  Scenario s = parse(R"(
+    dedup_epsilon = 0.08
+    prediction_samples = 9
+    beta_initial = 0.02
+    actions_enabled = false
+    allow_sensitive_demotion = true
+    aggregate_batch = false
+    noise_fraction = 0.05
+  )");
+  EXPECT_DOUBLE_EQ(s.spec.stayaway.dedup_epsilon, 0.08);
+  EXPECT_EQ(s.spec.stayaway.prediction_samples, 9u);
+  EXPECT_DOUBLE_EQ(s.spec.stayaway.governor.beta_initial, 0.02);
+  EXPECT_FALSE(s.spec.stayaway.actions_enabled);
+  EXPECT_TRUE(s.spec.stayaway.allow_sensitive_demotion);
+  EXPECT_FALSE(s.spec.sampler.aggregate_batch);
+  EXPECT_DOUBLE_EQ(s.spec.sampler.noise_fraction, 0.05);
+}
+
+TEST(ScenarioFile, InlineCommentsAndWhitespace) {
+  Scenario s = parse("  batch =  cpubomb   # the worst case\n");
+  EXPECT_EQ(s.spec.batch, BatchKind::CpuBomb);
+}
+
+TEST(ScenarioFile, ErrorsNameTheLine) {
+  try {
+    parse("sensitive = vlc-stream\nbatch = frobnicator\n");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+    EXPECT_NE(what.find("frobnicator"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, RejectsMalformedInput) {
+  EXPECT_THROW(parse("just words\n"), PreconditionError);
+  EXPECT_THROW(parse("= value\n"), PreconditionError);
+  EXPECT_THROW(parse("duration_s =\n"), PreconditionError);
+  EXPECT_THROW(parse("duration_s = fast\n"), PreconditionError);
+  EXPECT_THROW(parse("duration_s = 10x\n"), PreconditionError);
+  EXPECT_THROW(parse("compare = maybe\n"), PreconditionError);
+  EXPECT_THROW(parse("workload = sinusoid\n"), PreconditionError);
+  EXPECT_THROW(parse("unknown_key = 1\n"), PreconditionError);
+}
+
+TEST(ScenarioFile, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse("seed = 1\nseed = 2\n"), PreconditionError);
+}
+
+TEST(ScenarioFile, EnumLookupsRoundTripAllValues) {
+  for (auto kind : {SensitiveKind::VlcStream, SensitiveKind::WebserviceCpu,
+                    SensitiveKind::WebserviceMem, SensitiveKind::WebserviceMix,
+                    SensitiveKind::VlcTranscode}) {
+    EXPECT_EQ(sensitive_kind_from_string(to_string(kind)), kind);
+  }
+  for (auto kind : {BatchKind::None, BatchKind::CpuBomb, BatchKind::MemBomb,
+                    BatchKind::Soplex, BatchKind::TwitterAnalysis,
+                    BatchKind::VlcTranscode, BatchKind::Batch1,
+                    BatchKind::Batch2}) {
+    EXPECT_EQ(batch_kind_from_string(to_string(kind)), kind);
+  }
+  for (auto kind : {PolicyKind::NoPrevention, PolicyKind::StayAway,
+                    PolicyKind::Reactive, PolicyKind::StaticThreshold}) {
+    EXPECT_EQ(policy_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(sensitive_kind_from_string("nope"), PreconditionError);
+  EXPECT_THROW(batch_kind_from_string("nope"), PreconditionError);
+  EXPECT_THROW(policy_kind_from_string("nope"), PreconditionError);
+}
+
+TEST(ScenarioFile, ParsedScenarioActuallyRuns) {
+  Scenario s = parse(R"(
+    sensitive = vlc-stream
+    batch = cpubomb
+    duration_s = 30
+    batch_start_s = 5
+  )");
+  ExperimentResult r = run_experiment(s.spec);
+  EXPECT_EQ(r.qos.size(), 30u);
+}
+
+}  // namespace
+}  // namespace stayaway::harness

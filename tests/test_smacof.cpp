@@ -1,0 +1,182 @@
+// Unit tests for the SMACOF stress-majorization embedder (§2.2 of the
+// paper): stress decreases monotonically, planar configurations are
+// recovered, warm starts converge faster than cold starts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mds/distance.hpp"
+#include "mds/smacof.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stayaway::mds {
+namespace {
+
+std::vector<std::vector<double>> grid_points(int nx, int ny) {
+  std::vector<std::vector<double>> pts;
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y) {
+      pts.push_back({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  return pts;
+}
+
+TEST(Smacof, RecoversPlanarDistancesWithNearZeroStress) {
+  auto pts = grid_points(4, 3);
+  auto delta = distance_matrix(pts);
+  SmacofResult res = smacof(delta);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.stress, 1e-3);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_NEAR(distance(res.points[i], res.points[j]), delta.at(i, j), 0.02);
+    }
+  }
+}
+
+TEST(Smacof, EmptyAndSingleInputs) {
+  linalg::Matrix empty(0, 0);
+  SmacofResult res = smacof(empty);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.points.empty());
+
+  linalg::Matrix one(1, 1);
+  res = smacof(one);
+  ASSERT_EQ(res.points.size(), 1u);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Smacof, AllZeroDissimilaritiesCollapse) {
+  linalg::Matrix delta(3, 3);
+  SmacofResult res = smacof(delta);
+  EXPECT_TRUE(res.converged);
+  for (const auto& p : res.points) {
+    EXPECT_DOUBLE_EQ(p.x, 0.0);
+    EXPECT_DOUBLE_EQ(p.y, 0.0);
+  }
+}
+
+TEST(Smacof, NonZeroDiagonalRejected) {
+  linalg::Matrix delta(2, 2);
+  delta.at(0, 0) = 1.0;
+  EXPECT_THROW(smacof(delta), PreconditionError);
+}
+
+TEST(Smacof, NonSquareRejected) {
+  linalg::Matrix delta(2, 3);
+  EXPECT_THROW(smacof(delta), PreconditionError);
+}
+
+TEST(Smacof, WarmStartSizeMismatchRejected) {
+  auto pts = grid_points(2, 2);
+  auto delta = distance_matrix(pts);
+  SmacofOptions opts;
+  opts.initial = Embedding{{0.0, 0.0}};
+  EXPECT_THROW(smacof(delta, opts), PreconditionError);
+}
+
+TEST(Smacof, WarmStartFromSolutionConvergesImmediately) {
+  auto pts = grid_points(3, 3);
+  auto delta = distance_matrix(pts);
+  SmacofResult cold = smacof(delta);
+  SmacofOptions opts;
+  opts.initial = cold.points;
+  SmacofResult warm = smacof(delta, opts);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 3u);
+  EXPECT_LE(warm.stress, cold.stress + 1e-9);
+}
+
+TEST(Smacof, StressNeverIncreasesAcrossIterationBudgets) {
+  // Majorization guarantees monotone stress: run with increasing budgets
+  // from the same random start and check the sequence is non-increasing.
+  auto pts = grid_points(4, 2);
+  // Make it genuinely high-dimensional so stress stays positive.
+  Rng rng(3);
+  for (auto& p : pts) {
+    p.push_back(rng.uniform());
+    p.push_back(rng.uniform());
+  }
+  auto delta = distance_matrix(pts);
+
+  Embedding start;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    start.push_back({rng.uniform(), rng.uniform()});
+  }
+  double prev = 1e18;
+  for (std::size_t budget : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SmacofOptions opts;
+    opts.initial = start;
+    opts.max_iterations = budget;
+    opts.tolerance = 0.0;
+    SmacofResult res = smacof(delta, opts);
+    EXPECT_LE(res.stress, prev + 1e-12) << "budget " << budget;
+    prev = res.stress;
+  }
+}
+
+TEST(Smacof, PreservesNeighbourhoodStructure) {
+  // Three well-separated clusters in 4-D must stay separated in 2-D and
+  // each cluster must stay tight: exactly the property Stay-Away's
+  // violation/safe clustering relies on (§3.1).
+  Rng rng(11);
+  std::vector<std::vector<double>> pts;
+  std::vector<std::vector<double>> centers{{0.0, 0.0, 0.0, 0.0},
+                                           {5.0, 5.0, 0.0, 0.0},
+                                           {0.0, 0.0, 5.0, 5.0}};
+  for (const auto& c : centers) {
+    for (int i = 0; i < 6; ++i) {
+      std::vector<double> p = c;
+      for (double& v : p) v += rng.normal(0.0, 0.1);
+      pts.push_back(p);
+    }
+  }
+  SmacofResult res = smacof(distance_matrix(pts));
+
+  auto centroid = [&](std::size_t cluster) {
+    Point2 c{0.0, 0.0};
+    for (std::size_t i = 0; i < 6; ++i) {
+      c.x += res.points[cluster * 6 + i].x / 6.0;
+      c.y += res.points[cluster * 6 + i].y / 6.0;
+    }
+    return c;
+  };
+  Point2 c0 = centroid(0);
+  Point2 c1 = centroid(1);
+  Point2 c2 = centroid(2);
+  // Inter-cluster distances are ~7; intra-cluster spread ~0.1.
+  EXPECT_GT(distance(c0, c1), 3.0);
+  EXPECT_GT(distance(c0, c2), 3.0);
+  EXPECT_GT(distance(c1, c2), 3.0);
+  for (std::size_t cl = 0; cl < 3; ++cl) {
+    Point2 c = centroid(cl);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_LT(distance(res.points[cl * 6 + i], c), 1.0);
+    }
+  }
+}
+
+TEST(Smacof, NormalizedStressOfPerfectConfigurationIsZero) {
+  auto pts = grid_points(3, 2);
+  auto delta = distance_matrix(pts);
+  Embedding exact;
+  for (const auto& p : pts) exact.push_back({p[0], p[1]});
+  EXPECT_NEAR(normalized_stress(delta, exact), 0.0, 1e-12);
+}
+
+TEST(Smacof, NormalizedStressDetectsBadConfiguration) {
+  auto pts = grid_points(3, 2);
+  auto delta = distance_matrix(pts);
+  Embedding collapsed(pts.size(), Point2{0.0, 0.0});
+  EXPECT_GT(normalized_stress(delta, collapsed), 0.9);
+}
+
+TEST(Smacof, NormalizedStressSizeMismatchRejected) {
+  linalg::Matrix delta(3, 3);
+  EXPECT_THROW(normalized_stress(delta, Embedding(2)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stayaway::mds

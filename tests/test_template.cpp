@@ -1,0 +1,85 @@
+// Unit tests for the template store (§6): serialization round trips and
+// label bookkeeping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/template_store.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::core {
+namespace {
+
+StateTemplate sample_template() {
+  StateTemplate t;
+  t.sensitive_app = "vlc-stream";
+  t.entries.push_back({{0.1, 0.2, 0.3, 0.4}, StateLabel::Safe});
+  t.entries.push_back({{0.9, 0.8, 0.7, 0.6}, StateLabel::Violation});
+  t.entries.push_back({{0.5, 0.5, 0.5, 0.5}, StateLabel::Safe});
+  return t;
+}
+
+TEST(Template, ViolationCount) {
+  StateTemplate t = sample_template();
+  EXPECT_EQ(t.violation_count(), 1u);
+  EXPECT_EQ(t.entries.size(), 3u);
+}
+
+TEST(Template, SaveLoadRoundTrip) {
+  StateTemplate t = sample_template();
+  std::ostringstream out;
+  t.save(out);
+
+  std::istringstream in(out.str());
+  StateTemplate back = StateTemplate::load(in);
+  EXPECT_EQ(back.sensitive_app, "vlc-stream");
+  ASSERT_EQ(back.entries.size(), 3u);
+  EXPECT_EQ(back.entries[1].label, StateLabel::Violation);
+  EXPECT_EQ(back.entries[0].label, StateLabel::Safe);
+  ASSERT_EQ(back.entries[1].vector.size(), 4u);
+  EXPECT_NEAR(back.entries[1].vector[0], 0.9, 1e-9);
+  EXPECT_NEAR(back.entries[2].vector[3], 0.5, 1e-9);
+}
+
+TEST(Template, EmptyEntriesRoundTrip) {
+  StateTemplate t;
+  t.sensitive_app = "webservice";
+  std::ostringstream out;
+  t.save(out);
+  std::istringstream in(out.str());
+  StateTemplate back = StateTemplate::load(in);
+  EXPECT_EQ(back.sensitive_app, "webservice");
+  EXPECT_TRUE(back.entries.empty());
+}
+
+TEST(Template, LoadRejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_THROW(StateTemplate::load(empty), PreconditionError);
+
+  std::istringstream no_header("violation,0.5\n");
+  EXPECT_THROW(StateTemplate::load(no_header), PreconditionError);
+
+  std::istringstream bad_label("app,x\nweird,0.5\n");
+  EXPECT_THROW(StateTemplate::load(bad_label), PreconditionError);
+
+  std::istringstream bad_number("app,x\nsafe,zero\n");
+  EXPECT_THROW(StateTemplate::load(bad_number), PreconditionError);
+
+  std::istringstream ragged("app,x\nsafe,0.1,0.2\nviolation,0.3\n");
+  EXPECT_THROW(StateTemplate::load(ragged), PreconditionError);
+}
+
+TEST(Template, HighPrecisionValuesSurvive) {
+  StateTemplate t;
+  t.sensitive_app = "x";
+  t.entries.push_back({{0.123456789, 1e-9}, StateLabel::Violation});
+  std::ostringstream out;
+  t.save(out);
+  std::istringstream in(out.str());
+  StateTemplate back = StateTemplate::load(in);
+  EXPECT_NEAR(back.entries[0].vector[0], 0.123456789, 1e-9);
+  EXPECT_NEAR(back.entries[0].vector[1], 1e-9, 1e-10);
+}
+
+}  // namespace
+}  // namespace stayaway::core

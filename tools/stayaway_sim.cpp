@@ -1,0 +1,130 @@
+// stayaway_sim — run a co-location scenario from a description file.
+//
+//   stayaway_sim scenario.conf
+//   stayaway_sim - < scenario.conf        (read from stdin)
+//   stayaway_sim --example                (print a template scenario)
+//
+// The scenario format is documented in src/harness/scenario_file.hpp.
+// Prints the QoS/utilization summary (and the full comparison when
+// `compare = true`), optionally saving the per-period series as CSV and
+// importing/exporting Stay-Away templates.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/template_store.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario_file.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+constexpr const char* kExample = R"(# stayaway_sim scenario
+sensitive    = vlc-stream        # vlc-stream | webservice-cpu|mem|mix | vlc-transcode
+batch        = twitter-analysis  # cpubomb | membomb | soplex | twitter-analysis
+                                 # | vlc-transcode | batch-1 | batch-2 | none
+policy       = stay-away         # stay-away | no-prevention | reactive | static-threshold
+duration_s   = 300
+batch_start_s = 15
+workload     = diurnal           # constant | diurnal
+compare      = true              # also run no-prevention + isolated references
+# template_in  = previous.template.csv
+# template_out = learned.template.csv
+# series_csv   = run_series.csv
+)";
+
+int run(std::istream& in) {
+  using namespace stayaway;
+  using namespace stayaway::harness;
+
+  Scenario scenario = parse_scenario(in);
+  if (scenario.template_in.has_value()) {
+    std::ifstream tin(*scenario.template_in);
+    SA_REQUIRE(tin.good(), "cannot open template: " + *scenario.template_in);
+    scenario.spec.seed_template = core::StateTemplate::load(tin);
+    std::cout << "template loaded: " << *scenario.template_in << " ("
+              << scenario.spec.seed_template->entries.size() << " states)\n";
+  }
+
+  std::cout << "running: " << to_string(scenario.spec.sensitive) << " + "
+            << to_string(scenario.spec.batch) << " under "
+            << to_string(scenario.spec.policy) << ", "
+            << scenario.spec.duration_s << " s\n\n";
+  ExperimentResult result = run_experiment(scenario.spec);
+
+  print_summary_header(std::cout);
+  print_summary_row(std::cout, to_string(scenario.spec.policy), result);
+
+  if (scenario.compare) {
+    ExperimentSpec np = scenario.spec;
+    np.policy = PolicyKind::NoPrevention;
+    np.seed_template.reset();
+    ExperimentResult no_prev = run_experiment(np);
+    ExperimentResult isolated = run_isolated(scenario.spec);
+    print_summary_row(std::cout, "no-prevention", no_prev);
+    print_summary_row(std::cout, "isolated", isolated);
+
+    double gain = series_mean(gained_utilization(result, isolated));
+    double max_gain = series_mean(gained_utilization(no_prev, isolated));
+    std::cout << "\n"
+              << render_qos_figure("normalized QoS (1.0 = threshold)", result,
+                                   no_prev)
+              << "\ngained utilization: " << format_double(gain * 100.0, 1)
+              << "% of a possible " << format_double(max_gain * 100.0, 1)
+              << "%\n";
+  }
+
+  if (scenario.series_csv.has_value()) {
+    std::ofstream csv(*scenario.series_csv);
+    SA_REQUIRE(csv.good(), "cannot write: " + *scenario.series_csv);
+    std::vector<double> violated(result.violated.begin(),
+                                 result.violated.end());
+    std::vector<double> running(result.batch_running.begin(),
+                                result.batch_running.end());
+    print_series_csv(csv, {"time", "qos", "violated", "utilization",
+                           "batch_running"},
+                     {&result.time, &result.qos, &violated,
+                      &result.utilization, &running});
+    std::cout << "series written: " << *scenario.series_csv << "\n";
+  }
+
+  if (scenario.template_out.has_value()) {
+    SA_REQUIRE(result.exported_template.has_value(),
+               "template_out requires policy = stay-away");
+    std::ofstream tout(*scenario.template_out);
+    SA_REQUIRE(tout.good(), "cannot write: " + *scenario.template_out);
+    result.exported_template->save(tout);
+    std::cout << "template written: " << *scenario.template_out << " ("
+              << result.exported_template->entries.size() << " states, "
+              << result.exported_template->violation_count()
+              << " violations)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: stayaway_sim <scenario-file | - | --example>\n";
+    return 2;
+  }
+  std::string arg = argv[1];
+  if (arg == "--example") {
+    std::cout << kExample;
+    return 0;
+  }
+  try {
+    if (arg == "-") return run(std::cin);
+    std::ifstream file(arg);
+    if (!file.good()) {
+      std::cerr << "error: cannot open " << arg << "\n";
+      return 2;
+    }
+    return run(file);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
