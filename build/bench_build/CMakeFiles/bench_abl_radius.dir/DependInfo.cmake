@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_radius.cpp" "bench_build/CMakeFiles/bench_abl_radius.dir/bench_abl_radius.cpp.o" "gcc" "bench_build/CMakeFiles/bench_abl_radius.dir/bench_abl_radius.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sa_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/sa_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/sa_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/policy.cpp" "src/baseline/CMakeFiles/sa_baseline.dir/policy.cpp.o" "gcc" "src/baseline/CMakeFiles/sa_baseline.dir/policy.cpp.o.d"
+  "/root/repo/src/baseline/reactive.cpp" "src/baseline/CMakeFiles/sa_baseline.dir/reactive.cpp.o" "gcc" "src/baseline/CMakeFiles/sa_baseline.dir/reactive.cpp.o.d"
+  "/root/repo/src/baseline/static_threshold.cpp" "src/baseline/CMakeFiles/sa_baseline.dir/static_threshold.cpp.o" "gcc" "src/baseline/CMakeFiles/sa_baseline.dir/static_threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/embedder.cpp" "src/core/CMakeFiles/sa_core.dir/embedder.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/embedder.cpp.o.d"
+  "/root/repo/src/core/governor.cpp" "src/core/CMakeFiles/sa_core.dir/governor.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/governor.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/sa_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/sa_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/statespace.cpp" "src/core/CMakeFiles/sa_core.dir/statespace.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/statespace.cpp.o.d"
+  "/root/repo/src/core/template_store.cpp" "src/core/CMakeFiles/sa_core.dir/template_store.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/template_store.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/core/CMakeFiles/sa_core.dir/trajectory.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/sa_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/sa_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
