@@ -63,6 +63,17 @@ struct StayAwayConfig {
   EmbedMethod embed_method = EmbedMethod::SmacofWarm;
   /// Landmark count when embed_method == Landmark.
   std::size_t landmark_count = 24;
+  /// Normalized stress-1 below which a warm-started SMACOF layout is
+  /// accepted without the verifying cold run (§4 overhead: the cold run
+  /// doubles the per-growth embedding cost and almost never wins once the
+  /// map is established). 0 disables skipping — always run both solves
+  /// and keep the better, the historical behaviour.
+  double warm_skip_stress = 0.0;
+  /// Threads for the hot-path kernels (distance matrices, SMACOF inner
+  /// loops) — applied to the process-wide pool at runtime construction.
+  /// 1 = strictly sequential and bit-identical to the historical code;
+  /// 0 = leave the process-wide setting untouched.
+  std::size_t hot_path_threads = 0;
   GovernorConfig governor;
   std::uint64_t seed = 1234;
 };

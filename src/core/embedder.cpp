@@ -12,16 +12,37 @@
 
 namespace stayaway::core {
 
-MapEmbedder::MapEmbedder(EmbedMethod method, std::size_t landmark_count)
-    : method_(method), landmark_count_(std::max<std::size_t>(landmark_count, 3)) {}
+MapEmbedder::MapEmbedder(EmbedMethod method, std::size_t landmark_count,
+                         double warm_skip_stress)
+    : method_(method),
+      landmark_count_(std::max<std::size_t>(landmark_count, 3)),
+      warm_skip_stress_(warm_skip_stress) {
+  SA_REQUIRE(warm_skip_stress >= 0.0, "stress bound must be non-negative");
+}
 
 const mds::Embedding& MapEmbedder::update(
     const monitor::RepresentativeSet& reps) {
   if (reps.size() == positions_.size()) return positions_;
-  SA_REQUIRE(reps.size() > positions_.size(),
-             "representative sets only ever grow");
+  if (reps.size() < positions_.size()) {
+    // The set was reset or compacted (e.g. template reuse loading a
+    // smaller map). The old layout and its dissimilarity matrix describe
+    // points that no longer exist: drop them and re-embed from scratch.
+    positions_.clear();
+    delta_ = linalg::Matrix();
+    ++rebuilds_;
+  }
   embed(reps);
   return positions_;
+}
+
+const linalg::Matrix& MapEmbedder::refresh_delta(
+    const std::vector<std::vector<double>>& vectors) {
+  if (delta_.rows() == 0) {
+    delta_ = mds::distance_matrix(vectors);
+  } else {
+    delta_ = mds::extended_distance_matrix(delta_, vectors);
+  }
+  return delta_;
 }
 
 void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
@@ -33,7 +54,7 @@ void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
     return;
   }
 
-  linalg::Matrix delta = mds::distance_matrix(vectors);
+  const linalg::Matrix& delta = refresh_delta(vectors);
 
   switch (method_) {
     case EmbedMethod::Pca: {
@@ -63,13 +84,14 @@ void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
     case EmbedMethod::SmacofCold:
     case EmbedMethod::SmacofWarm: {
       mds::Embedding prev = positions_;
-      mds::SmacofResult res = mds::smacof(delta);  // classical-MDS seed
-      total_iterations_ += res.iterations;
+      mds::SmacofResult res;
       if (method_ == EmbedMethod::SmacofWarm && !prev.empty()) {
         // Warm seed: old points keep their spot; each new one is placed
         // against everything already positioned. Warm starts converge in
-        // a couple of iterations but can inherit a local minimum, so keep
-        // whichever of (warm, cold) configuration has lower stress.
+        // a couple of iterations but can inherit a local minimum, so
+        // unless the warm stress already meets the skip bound a cold run
+        // (classical-MDS seed) verifies it and the lower-stress
+        // configuration wins (ties go to cold, as historically).
         mds::SmacofOptions opts;
         mds::Embedding init = prev;
         for (std::size_t i = prev.size(); i < n; ++i) {
@@ -78,9 +100,18 @@ void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
           init.push_back(mds::place_point(init, d));
         }
         opts.initial = std::move(init);
-        mds::SmacofResult warm = mds::smacof(delta, opts);
-        total_iterations_ += warm.iterations;
-        if (warm.stress < res.stress) res = std::move(warm);
+        res = mds::smacof(delta, opts);
+        total_iterations_ += res.iterations;
+        if (warm_skip_stress_ > 0.0 && res.stress <= warm_skip_stress_) {
+          ++cold_runs_skipped_;
+        } else {
+          mds::SmacofResult cold = mds::smacof(delta);
+          total_iterations_ += cold.iterations;
+          if (cold.stress <= res.stress) res = std::move(cold);
+        }
+      } else {
+        res = mds::smacof(delta);  // classical-MDS seed
+        total_iterations_ += res.iterations;
       }
       positions_ = std::move(res.points);
       stress_ = res.stress;

@@ -7,6 +7,14 @@
 // polished with SMACOF warm-started from the previous layout, finally
 // Procrustes-aligned onto it so the map does not rotate or flip between
 // periods — the trajectory model depends on directions staying put.
+//
+// Hot-path engineering: the dissimilarity matrix is grown by one
+// row/column per new representative (entry-wise identical to a full
+// rebuild, but O(growth * n) instead of O(n^2)), and when the warm-started
+// solve already lands below `warm_skip_stress` the redundant cold SMACOF
+// run is skipped entirely. A shrinking representative set (template reuse
+// loading a smaller map, compaction) drops all incremental state and
+// re-embeds from scratch instead of failing.
 #pragma once
 
 #include "core/config.hpp"
@@ -18,7 +26,11 @@ namespace stayaway::core {
 
 class MapEmbedder {
  public:
-  explicit MapEmbedder(EmbedMethod method, std::size_t landmark_count = 24);
+  /// warm_skip_stress: normalized stress-1 below which a warm-started
+  /// SMACOF solution is accepted without the verifying cold run. 0 keeps
+  /// the historical behaviour (always run both, keep the better).
+  explicit MapEmbedder(EmbedMethod method, std::size_t landmark_count = 24,
+                       double warm_skip_stress = 0.0);
 
   /// Brings the embedding in sync with the representative set and returns
   /// it. Positions are stable (not recomputed) while the set is unchanged.
@@ -33,16 +45,30 @@ class MapEmbedder {
   /// Cumulative SMACOF iterations spent (overhead accounting, §4).
   std::size_t total_iterations() const { return total_iterations_; }
 
+  /// Cold SMACOF runs skipped because the warm start already met the
+  /// stress bound (overhead accounting).
+  std::size_t cold_runs_skipped() const { return cold_runs_skipped_; }
+
+  /// Full matrix rebuilds forced by a shrinking representative set.
+  std::size_t rebuilds() const { return rebuilds_; }
+
   EmbedMethod method() const { return method_; }
 
  private:
   void embed(const monitor::RepresentativeSet& reps);
+  /// Grows (or builds) the cached dissimilarity matrix to cover `vectors`.
+  const linalg::Matrix& refresh_delta(
+      const std::vector<std::vector<double>>& vectors);
 
   EmbedMethod method_;
   std::size_t landmark_count_;
+  double warm_skip_stress_;
   mds::Embedding positions_;
+  linalg::Matrix delta_;  // dissimilarities over the embedded vectors
   double stress_ = 0.0;
   std::size_t total_iterations_ = 0;
+  std::size_t cold_runs_skipped_ = 0;
+  std::size_t rebuilds_ = 0;
 };
 
 }  // namespace stayaway::core

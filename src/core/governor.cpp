@@ -54,6 +54,13 @@ ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
 
   // Batch is paused: only the sensitive app runs, so consecutive states
   // cluster unless its phase or workload changes (§3.3).
+  if (!paused_since_.has_value()) {
+    // Pause initiated outside this governor (e.g. an operator, or state
+    // carried over a restart): the starvation clock starts at the first
+    // observation, not at a default epoch that would make `now - since`
+    // instantly exceed the patience and fire spurious resumes.
+    paused_since_ = now;
+  }
   ThrottleAction action = ThrottleAction::None;
   if (last_paused_state_.has_value()) {
     double moved = mds::distance(*last_paused_state_, mapped_state);
@@ -63,7 +70,7 @@ ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
     }
   }
   if (action == ThrottleAction::None &&
-      now - paused_since_ >= config_.starvation_patience_s &&
+      now - *paused_since_ >= config_.starvation_patience_s &&
       rng_.chance(config_.random_resume_probability)) {
     action = ThrottleAction::Resume;
     last_resume_reason_ = ResumeReason::AntiStarvation;
@@ -74,6 +81,7 @@ ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
     ++resumes_;
     resumed_at_ = now;
     last_paused_state_.reset();
+    paused_since_.reset();
   } else {
     last_paused_state_ = mapped_state;
   }

@@ -54,7 +54,10 @@ class ThrottleGovernor {
   Rng rng_;
   double beta_;
   std::optional<mds::Point2> last_paused_state_;
-  double paused_since_ = 0.0;
+  /// When the current pause began. Set by our own Pause decision, or on
+  /// the first decide() that observes an externally initiated pause —
+  /// never defaulted, so the starvation timer cannot start in the past.
+  std::optional<double> paused_since_;
   std::optional<double> resumed_at_;
   std::optional<ResumeReason> last_resume_reason_;
   std::size_t pauses_ = 0;

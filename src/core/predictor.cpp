@@ -24,8 +24,18 @@ Prediction Predictor::predict(const StateSpace& space,
     return out;  // nothing to predict against yet
   }
   out.model_ready = true;
-  out.candidates = model.sample_future(current, sample_count_, rng);
+  // ready(0) holds even for a model with zero observations, and
+  // sample_future requires at least one — only sample when it can.
+  if (model.observations() > 0) {
+    out.candidates = model.sample_future(current, sample_count_, rng);
+  }
   out.samples = out.candidates.size();
+  if (out.samples == 0) {
+    // No candidates: nothing to vote on. Without this guard the fraction
+    // below is 0/0 (NaN) and the comparison silently reads as "no
+    // violation" — return the non-predicting result explicitly instead.
+    return out;
+  }
   for (const auto& p : out.candidates) {
     if (space.in_violation_region(p)) ++out.samples_in_violation;
   }

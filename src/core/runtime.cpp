@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace stayaway::core {
 
@@ -24,7 +25,8 @@ StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
       sampler_(host, std::move(sampler_options)),
       normalizer_(host.spec(), sampler_.layout()),
       reps_(config.dedup_epsilon, config.max_representatives),
-      embedder_(config.embed_method, config.landmark_count),
+      embedder_(config.embed_method, config.landmark_count,
+                config.warm_skip_stress),
       modes_(/*max_step=*/std::sqrt(
                  static_cast<double>(sampler_.layout().dimension())),
              config.histogram_bins),
@@ -33,6 +35,9 @@ StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
       governor_(config.governor, Rng(config.seed)),
       rng_(config.seed ^ 0x5eedF00dULL) {
   SA_REQUIRE(config.period_s > 0.0, "control period must be positive");
+  if (config.hot_path_threads != 0) {
+    util::set_hot_path_threads(config.hot_path_threads);
+  }
 }
 
 void StayAwayRuntime::seed_template(const StateTemplate& t) {

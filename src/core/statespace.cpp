@@ -13,23 +13,33 @@ void StateSpace::add_state(StateLabel label) {
   visits_.push_back(0);
   violating_.push_back(0);
   positions_.emplace_back();
+  ranges_dirty_ = true;
 }
 
 void StateSpace::observe_visit(std::size_t i, bool violated) {
   SA_REQUIRE(i < forced_.size(), "state index out of range");
+  StateLabel before = label(i);
   ++visits_[i];
   if (violated) ++violating_[i];
+  // Most visits only move the evidence fraction without crossing the
+  // threshold; the range cache survives those.
+  if (label(i) != before) ranges_dirty_ = true;
 }
 
 void StateSpace::force_violation(std::size_t i) {
   SA_REQUIRE(i < forced_.size(), "state index out of range");
+  if (!forced_[i] && label(i) != StateLabel::Violation) ranges_dirty_ = true;
   forced_[i] = true;
 }
 
 void StateSpace::sync_positions(const mds::Embedding& positions) {
   SA_REQUIRE(positions.size() == forced_.size(),
              "positions must cover every state");
+  // The embedder returns the same layout whenever the representative set
+  // is unchanged, which is the common case — keep the cache warm then.
+  if (positions == positions_) return;
   positions_ = positions;
+  ranges_dirty_ = true;
 }
 
 StateLabel StateSpace::label(std::size_t i) const {
@@ -82,8 +92,8 @@ std::optional<double> StateSpace::nearest_safe_distance(
   return best;
 }
 
-std::vector<ViolationRange> StateSpace::violation_ranges() const {
-  std::vector<ViolationRange> out;
+void StateSpace::rebuild_ranges() const {
+  ranges_cache_.clear();
   double c = scale();
   for (std::size_t i = 0; i < forced_.size(); ++i) {
     if (label(i) != StateLabel::Violation) continue;
@@ -91,10 +101,20 @@ std::vector<ViolationRange> StateSpace::violation_ranges() const {
     range.state = i;
     range.center = positions_[i];
     auto d = nearest_safe_distance(positions_[i]);
-    range.radius = d.has_value() ? stats::rayleigh_radius(*d, c) : 0.0;
-    out.push_back(range);
+    // A degenerate map (c <= 0, or a safe neighbour at distance 0 because
+    // every point is coincident) gets a zero radius instead of tripping
+    // rayleigh_radius's scale precondition.
+    range.radius = (d.has_value() && *d > 0.0 && c > 0.0)
+                       ? stats::rayleigh_radius(*d, c)
+                       : 0.0;
+    ranges_cache_.push_back(range);
   }
-  return out;
+  ranges_dirty_ = false;
+}
+
+const std::vector<ViolationRange>& StateSpace::violation_ranges() const {
+  if (ranges_dirty_) rebuild_ranges();
+  return ranges_cache_;
 }
 
 bool StateSpace::in_violation_region(const mds::Point2& p, double slack) const {

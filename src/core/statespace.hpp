@@ -72,21 +72,34 @@ class StateSpace {
 
   /// Violation ranges with radii R = d * exp(-d^2 / (2 c^2)). A violation
   /// with no safe neighbour yet gets radius 0 (nothing is known about its
-  /// surroundings). Recomputed from current positions on every call.
-  std::vector<ViolationRange> violation_ranges() const;
+  /// surroundings), as does a degenerate map (all points coincident: the
+  /// Rayleigh scale is meaningless, so nothing beyond the states
+  /// themselves is claimed). The result is cached: it is rebuilt lazily
+  /// after a mutation that can change the geometry (add_state,
+  /// force_violation, a label-flipping observe_visit, a position-changing
+  /// sync_positions), so the predictor's per-candidate queries stop
+  /// recomputing labels, nearest-safe distances and radii from scratch.
+  const std::vector<ViolationRange>& violation_ranges() const;
 
   /// True when p lies inside any violation range, or within `slack` of a
   /// violation-state itself (an exact revisit predicts a violation even
-  /// before a range can be computed).
+  /// before a range can be computed). Served from the cached ranges.
   bool in_violation_region(const mds::Point2& p, double slack = 1e-9) const;
 
  private:
   std::size_t labels_cache_size() const { return forced_.size(); }
+  void rebuild_ranges() const;
 
   std::vector<bool> forced_;            // force_violation applied
   std::vector<std::size_t> visits_;     // observations per state
   std::vector<std::size_t> violating_;  // violating observations per state
   mds::Embedding positions_;
+
+  // Lazily rebuilt violation-range cache. Mutators set the dirty flag;
+  // const queries rebuild at most once per mutation. Not thread-safe —
+  // the state space belongs to the single control thread.
+  mutable std::vector<ViolationRange> ranges_cache_;
+  mutable bool ranges_dirty_ = true;
 };
 
 }  // namespace stayaway::core

@@ -11,6 +11,14 @@ namespace stayaway::mds {
 /// `vectors`. All rows must share a dimension.
 linalg::Matrix distance_matrix(const std::vector<std::vector<double>>& vectors);
 
+/// Grows an existing distance matrix over the first d.rows() rows of
+/// `vectors` to cover all of them, computing only the new rows/columns.
+/// Entry-wise identical to distance_matrix(vectors) but O((n - m) * n)
+/// instead of O(n^2) when m rows are already known. Requires the square
+/// matrix `d` to be the distance matrix of vectors[0 .. d.rows()).
+linalg::Matrix extended_distance_matrix(
+    const linalg::Matrix& d, const std::vector<std::vector<double>>& vectors);
+
 /// Distances from one vector to each row of `vectors`.
 std::vector<double> distances_to(const std::vector<std::vector<double>>& vectors,
                                  const std::vector<double>& v);

@@ -4,8 +4,15 @@
 
 #include "linalg/matrix.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace stayaway::monitor {
+
+namespace {
+/// Below this set size the nearest-representative scan stays sequential:
+/// the pool hand-off costs more than the scan itself.
+constexpr std::size_t kParallelScanThreshold = 128;
+}  // namespace
 
 RepresentativeSet::RepresentativeSet(double epsilon, std::size_t max_size)
     : epsilon_(epsilon), max_size_(max_size) {
@@ -22,11 +29,30 @@ Assignment RepresentativeSet::assign(const std::vector<double>& v) {
 
   std::size_t best = 0;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < reps_.size(); ++i) {
-    double d = linalg::euclidean_distance(reps_[i], v);
-    if (d < best_dist) {
-      best_dist = d;
-      best = i;
+  util::ThreadPool& pool = util::hot_path_pool();
+  if (pool.size() > 1 && reps_.size() >= kParallelScanThreshold) {
+    // Distances are computed in parallel, the argmin scan stays
+    // sequential — same comparisons in the same order as the sequential
+    // path, so the chosen representative is identical.
+    scan_dist_.resize(reps_.size());
+    pool.for_ranges(reps_.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        scan_dist_[i] = linalg::euclidean_distance(reps_[i], v);
+      }
+    });
+    for (std::size_t i = 0; i < scan_dist_.size(); ++i) {
+      if (scan_dist_[i] < best_dist) {
+        best_dist = scan_dist_[i];
+        best = i;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < reps_.size(); ++i) {
+      double d = linalg::euclidean_distance(reps_[i], v);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
     }
   }
 

@@ -1,0 +1,80 @@
+// Small reusable worker pool for the map->predict hot-path kernels
+// (distance matrices, Guttman transforms, stress sums).
+//
+// Design constraints, in order:
+//   1. Determinism. With 1 thread every kernel runs the exact historical
+//      sequential code, bit for bit. With k >= 2 threads the work is split
+//      into contiguous index ranges whose *values* never depend on thread
+//      scheduling — only on the range boundaries — so repeated runs agree.
+//   2. Reuse. The control loop runs every period; spawning threads per
+//      call would dwarf the work. Workers are parked on a condition
+//      variable between calls.
+//   3. No dependencies. Plain <thread>/<condition_variable>.
+//
+// Range functions must not throw: an exception on a worker thread would
+// terminate the process. The hot-path kernels are pure arithmetic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stayaway::util {
+
+class ThreadPool {
+ public:
+  /// threads: total parallelism including the calling thread, >= 1.
+  /// `ThreadPool(1)` spawns no workers and runs everything inline.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// Splits [0, n) into size() contiguous chunks and runs fn on each
+  /// concurrently (the caller executes chunk 0). Blocks until every chunk
+  /// finished. With size() == 1 this is exactly fn(0, n) on the caller.
+  /// Not reentrant: fn must not call back into the same pool.
+  void for_ranges(std::size_t n, const RangeFn& fn);
+
+ private:
+  void worker_loop(std::size_t slot);
+  static std::size_t chunk_begin(std::size_t chunk, std::size_t n,
+                                 std::size_t parts) {
+    return chunk * n / parts;
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  const RangeFn* fn_ = nullptr;
+  std::size_t n_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool shared by the hot-path kernels. Defaults to a single
+/// thread, which keeps every kernel bit-identical to the historical
+/// sequential implementation; opt into parallelism with
+/// set_hot_path_threads(). Reconfigure only from the control thread while
+/// no kernel is running.
+ThreadPool& hot_path_pool();
+
+/// Replaces the global pool with one of `n` threads (0 = one per hardware
+/// thread). n == current size is a no-op.
+void set_hot_path_threads(std::size_t n);
+
+/// Current parallelism of the global pool.
+std::size_t hot_path_threads();
+
+}  // namespace stayaway::util

@@ -43,15 +43,31 @@ TEST(Embedder, UnchangedSetKeepsPositions) {
   for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], second[i]);
 }
 
-TEST(Embedder, ShrinkingSetRejected) {
+TEST(Embedder, ShrinkingSetReEmbedsFromScratch) {
+  // A reset or compacted representative set (template reuse loading a
+  // smaller map) must not crash the runtime: the embedder drops its
+  // incremental state and starts over.
   MapEmbedder embedder(EmbedMethod::SmacofWarm);
   monitor::RepresentativeSet big(0.0);
-  big.assign({0.0});
-  big.assign({1.0});
+  big.assign({0.0, 0.0});
+  big.assign({1.0, 0.0});
+  big.assign({0.0, 1.0});
   embedder.update(big);
+  EXPECT_EQ(embedder.rebuilds(), 0u);
+
   monitor::RepresentativeSet small(0.0);
-  small.assign({0.0});
-  EXPECT_THROW(embedder.update(small), PreconditionError);
+  small.assign({0.0, 0.0});
+  small.assign({2.0, 0.0});
+  const auto& shrunk = embedder.update(small);
+  ASSERT_EQ(shrunk.size(), 2u);
+  EXPECT_EQ(embedder.rebuilds(), 1u);
+  EXPECT_NEAR(mds::distance(shrunk[0], shrunk[1]), 2.0, 1e-6);
+
+  // Growth after the rebuild keeps working incrementally.
+  small.assign({0.0, 2.0});
+  const auto& grown = embedder.update(small);
+  EXPECT_EQ(grown.size(), 3u);
+  EXPECT_LT(embedder.stress(), 0.02);
 }
 
 TEST(Embedder, WarmStartKeepsExistingLayoutStable) {

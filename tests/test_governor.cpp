@@ -117,13 +117,30 @@ TEST(Governor, AntiStarvationViolationDoesNotBumpBeta) {
   // resumes teach beta.
   ThrottleGovernor gov(test_config(), Rng(1));
   double beta0 = gov.beta();
-  gov.decide(0.0, false, true, false, {0.0, 0.0});   // Pause
-  gov.decide(25.0, true, false, false, {0.0, 0.0});  // seed chain
-  auto action = gov.decide(26.0, true, false, false, {0.0, 0.0});
+  gov.decide(0.0, false, true, false, {0.0, 0.0});  // Pause at t=0
+  gov.decide(1.0, true, false, false, {0.0, 0.0});  // seed chain
+  auto action = gov.decide(21.0, true, false, false, {0.0, 0.0});
   EXPECT_EQ(action, ThrottleAction::Resume);  // anti-starvation fires
-  gov.decide(27.0, false, false, true, {0.0, 0.0});  // violates right away
+  gov.decide(22.0, false, false, true, {0.0, 0.0});  // violates right away
   EXPECT_DOUBLE_EQ(gov.beta(), beta0);
   EXPECT_EQ(gov.failed_resumes(), 0u);
+}
+
+TEST(Governor, PausedAtStartDoesNotInstantlyStarve) {
+  // First decide() observes an externally initiated pause long after the
+  // epoch: the starvation timer must start at that observation, not at a
+  // default time-zero that instantly satisfies the patience.
+  ThrottleGovernor gov(test_config(), Rng(1));
+  EXPECT_EQ(gov.decide(100.0, /*paused=*/true, false, false, {0.0, 0.0}),
+            ThrottleAction::None);
+  // Stationary states within the patience window: still nothing.
+  EXPECT_EQ(gov.decide(110.0, true, false, false, {0.0, 0.0}),
+            ThrottleAction::None);
+  EXPECT_EQ(gov.random_resumes(), 0u);
+  // Patience measured from the first paused observation (t=100).
+  EXPECT_EQ(gov.decide(120.0, true, false, false, {0.0, 0.0}),
+            ThrottleAction::Resume);
+  EXPECT_EQ(gov.random_resumes(), 1u);
 }
 
 TEST(Governor, PauseResetsDistanceChain) {

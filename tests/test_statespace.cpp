@@ -131,6 +131,17 @@ TEST(StateSpace, ScaleIsMedianCoordinateRange) {
   EXPECT_DOUBLE_EQ(space.scale(), 3.0);
 }
 
+TEST(StateSpace, CoincidentPointsDoNotAbort) {
+  // A freshly seeded map can have every state at the origin (positions
+  // default before the first embedding). Ranges must degrade to radius 0.
+  StateSpace space;
+  space.add_state(StateLabel::Violation);
+  space.add_state(StateLabel::Safe);
+  const auto& ranges = space.violation_ranges();
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranges[0].radius, 0.0);
+}
+
 TEST(StateSpace, OutOfRangeQueriesRejected) {
   StateSpace space;
   EXPECT_THROW(space.label(0), PreconditionError);
