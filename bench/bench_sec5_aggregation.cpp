@@ -21,7 +21,7 @@ harness::ExperimentSpec many_batch_spec(bool aggregate, bool actions,
   auto spec = figure_spec(harness::SensitiveKind::WebserviceMix,
                           harness::BatchKind::Batch2, 300.0, seed);
   spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 73);
-  spec.sampler.aggregate_batch = aggregate;
+  spec.stayaway.sampler.aggregate_batch = aggregate;
   spec.stayaway.actions_enabled = actions;
   return spec;
 }

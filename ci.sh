@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI entry point.
+#
+#   ./ci.sh            tier-1 verify + ASan/UBSan test configuration
+#   ./ci.sh --tier1    tier-1 only (configure, build, ctest)
+#   ./ci.sh --asan     sanitizer configuration only
+#
+# Tier-1 is the gate every change must keep green (see ROADMAP.md); the
+# sanitizer pass rebuilds the tree with AddressSanitizer + UBSan and
+# re-runs the full suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_TIER1=1
+RUN_ASAN=1
+case "${1:-}" in
+  --tier1) RUN_ASAN=0 ;;
+  --asan) RUN_TIER1=0 ;;
+  "") ;;
+  *)
+    echo "usage: ./ci.sh [--tier1 | --asan]" >&2
+    exit 2
+    ;;
+esac
+
+if [[ "$RUN_TIER1" == 1 ]]; then
+  echo "== tier-1: configure + build =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$JOBS"
+  echo "== tier-1: ctest =="
+  ctest --test-dir build --output-on-failure -j"$JOBS"
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== asan+ubsan: configure + build =="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-asan -j"$JOBS"
+  echo "== asan+ubsan: ctest =="
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+fi
+
+echo "CI OK"

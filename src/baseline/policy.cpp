@@ -1,6 +1,20 @@
 #include "baseline/policy.hpp"
 
 // The interface and NoPrevention are header-only; this translation unit
-// anchors the vtable.
+// anchors the vtable and the enum names.
 
-namespace stayaway::baseline {}  // namespace stayaway::baseline
+namespace stayaway::baseline {
+
+const char* to_string(PolicyAction action) {
+  switch (action) {
+    case PolicyAction::None:
+      return "none";
+    case PolicyAction::Pause:
+      return "pause";
+    case PolicyAction::Resume:
+      return "resume";
+  }
+  return "unknown";
+}
+
+}  // namespace stayaway::baseline

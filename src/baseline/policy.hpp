@@ -5,14 +5,40 @@
 // paper's implicit baselines (no prevention; §7's "without any
 // prevention" upper band) and the ablation baselines (reactive-only and
 // static-threshold throttling).
+//
+// Each period returns a PolicyDecision — what the policy did and why —
+// so the harness can log every policy's behaviour uniformly through the
+// observability event sink instead of each policy printing its own.
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "sim/app_model.hpp"
 #include "sim/host.hpp"
 
 namespace stayaway::baseline {
+
+enum class PolicyAction {
+  None,
+  Pause,
+  Resume,
+};
+
+const char* to_string(PolicyAction action);
+
+/// What a policy did in one control period.
+struct PolicyDecision {
+  PolicyAction action = PolicyAction::None;
+  /// VMs the action touched: the set paused by a Pause, or the set
+  /// released by a Resume. Empty for None.
+  std::vector<sim::VmId> targets;
+  /// Why the action fired — a static string ("observed-violation",
+  /// "cooldown-elapsed", "beta-exceeded", ...). Empty for None.
+  std::string_view reason;
+  /// Whether the policy considers the batch paused after this period.
+  bool batch_paused_after = false;
+};
 
 class InterferencePolicy {
  public:
@@ -21,8 +47,10 @@ class InterferencePolicy {
   virtual std::string_view name() const = 0;
 
   /// Invoked after each control period's simulation ticks. The policy may
-  /// pause/resume batch VMs on the host.
-  virtual void on_period(sim::SimHost& host, const sim::QosProbe& probe) = 0;
+  /// pause/resume batch VMs on the host; the returned decision describes
+  /// what it did.
+  virtual PolicyDecision on_period(sim::SimHost& host,
+                                   const sim::QosProbe& probe) = 0;
 };
 
 /// "No prevention": co-locate and never act — the upper utilization band
@@ -30,7 +58,9 @@ class InterferencePolicy {
 class NoPrevention final : public InterferencePolicy {
  public:
   std::string_view name() const override { return "no-prevention"; }
-  void on_period(sim::SimHost&, const sim::QosProbe&) override {}
+  PolicyDecision on_period(sim::SimHost&, const sim::QosProbe&) override {
+    return {};
+  }
 };
 
 }  // namespace stayaway::baseline

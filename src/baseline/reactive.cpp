@@ -8,25 +8,35 @@ ReactiveThrottle::ReactiveThrottle(ReactiveConfig config) : config_(config) {
   SA_REQUIRE(config.cooldown_s > 0.0, "cooldown must be positive");
 }
 
-void ReactiveThrottle::on_period(sim::SimHost& host,
-                                 const sim::QosProbe& probe) {
+PolicyDecision ReactiveThrottle::on_period(sim::SimHost& host,
+                                           const sim::QosProbe& probe) {
+  PolicyDecision decision;
   if (!paused_) {
     if (probe.violated()) {
       for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
         host.vm(id).pause();
+        decision.targets.push_back(id);
       }
       paused_ = true;
       paused_at_ = host.now();
       ++pauses_;
+      decision.action = PolicyAction::Pause;
+      decision.reason = "observed-violation";
     }
-    return;
+    decision.batch_paused_after = paused_;
+    return decision;
   }
   if (host.now() - paused_at_ >= config_.cooldown_s) {
     for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
       host.vm(id).resume();
+      decision.targets.push_back(id);
     }
     paused_ = false;
+    decision.action = PolicyAction::Resume;
+    decision.reason = "cooldown-elapsed";
   }
+  decision.batch_paused_after = paused_;
+  return decision;
 }
 
 }  // namespace stayaway::baseline

@@ -20,7 +20,8 @@ class ReactiveThrottle final : public InterferencePolicy {
   explicit ReactiveThrottle(ReactiveConfig config = {});
 
   std::string_view name() const override { return "reactive"; }
-  void on_period(sim::SimHost& host, const sim::QosProbe& probe) override;
+  PolicyDecision on_period(sim::SimHost& host,
+                           const sim::QosProbe& probe) override;
 
   std::size_t pauses() const { return pauses_; }
 

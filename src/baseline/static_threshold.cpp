@@ -21,19 +21,25 @@ StaticThreshold::Utilization StaticThreshold::measure(const sim::SimHost& host) 
   return u;
 }
 
-void StaticThreshold::on_period(sim::SimHost& host, const sim::QosProbe&) {
+PolicyDecision StaticThreshold::on_period(sim::SimHost& host,
+                                          const sim::QosProbe&) {
   Utilization u = measure(host);
+  PolicyDecision decision;
   if (!paused_) {
     bool over = u.cpu > config_.cpu_cap || u.memory > config_.memory_cap ||
                 u.membw > config_.membw_cap;
     if (over) {
       for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
         host.vm(id).pause();
+        decision.targets.push_back(id);
       }
       paused_ = true;
       ++pauses_;
+      decision.action = PolicyAction::Pause;
+      decision.reason = "threshold-exceeded";
     }
-    return;
+    decision.batch_paused_after = paused_;
+    return decision;
   }
   bool clear = u.cpu < config_.cpu_cap - config_.hysteresis &&
                u.memory < config_.memory_cap - config_.hysteresis &&
@@ -41,9 +47,14 @@ void StaticThreshold::on_period(sim::SimHost& host, const sim::QosProbe&) {
   if (clear) {
     for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
       host.vm(id).resume();
+      decision.targets.push_back(id);
     }
     paused_ = false;
+    decision.action = PolicyAction::Resume;
+    decision.reason = "below-hysteresis";
   }
+  decision.batch_paused_after = paused_;
+  return decision;
 }
 
 }  // namespace stayaway::baseline

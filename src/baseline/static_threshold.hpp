@@ -24,7 +24,8 @@ class StaticThreshold final : public InterferencePolicy {
   explicit StaticThreshold(StaticThresholdConfig config = {});
 
   std::string_view name() const override { return "static-threshold"; }
-  void on_period(sim::SimHost& host, const sim::QosProbe& probe) override;
+  PolicyDecision on_period(sim::SimHost& host,
+                           const sim::QosProbe& probe) override;
 
   std::size_t pauses() const { return pauses_; }
 

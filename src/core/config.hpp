@@ -1,8 +1,16 @@
 // Configuration of the Stay-Away runtime and its components.
+//
+// StayAwayConfig is the single config entry point: it carries the
+// monitor's SamplerOptions too, so StayAwayRuntime, StayAwayPolicy and
+// harness::ExperimentSpec are configured through one object. The old
+// positional (config, SamplerOptions) constructors survive as thin
+// deprecated shims.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+
+#include "monitor/sampler.hpp"
 
 namespace stayaway::core {
 
@@ -75,6 +83,9 @@ struct StayAwayConfig {
   /// 0 = leave the process-wide setting untouched.
   std::size_t hot_path_threads = 0;
   GovernorConfig governor;
+  /// How the host monitor samples per-VM usage (metric set, §5 batch
+  /// aggregation, measurement noise).
+  monitor::SamplerOptions sampler;
   std::uint64_t seed = 1234;
 };
 

@@ -16,6 +16,16 @@ const char* to_string(ThrottleAction action) {
   return "unknown";
 }
 
+const char* to_string(ResumeReason reason) {
+  switch (reason) {
+    case ResumeReason::BetaExceeded:
+      return "beta-exceeded";
+    case ResumeReason::AntiStarvation:
+      return "anti-starvation";
+  }
+  return "unknown";
+}
+
 ThrottleGovernor::ThrottleGovernor(GovernorConfig config, Rng rng)
     : config_(config), rng_(rng), beta_(config.beta_initial) {
   SA_REQUIRE(config.beta_initial > 0.0, "beta must start positive");

@@ -31,6 +31,8 @@ enum class ResumeReason {
   AntiStarvation,
 };
 
+const char* to_string(ResumeReason reason);
+
 class ThrottleGovernor {
  public:
   ThrottleGovernor(GovernorConfig config, Rng rng);
@@ -44,6 +46,10 @@ class ThrottleGovernor {
                         const mds::Point2& mapped_state);
 
   double beta() const { return beta_; }
+  /// Why the most recent Resume fired; nullopt before the first resume.
+  std::optional<ResumeReason> last_resume_reason() const {
+    return last_resume_reason_;
+  }
   std::size_t pauses() const { return pauses_; }
   std::size_t resumes() const { return resumes_; }
   std::size_t failed_resumes() const { return failed_resumes_; }

@@ -19,10 +19,18 @@ double PredictionTally::accuracy() const {
 StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
                                  StayAwayConfig config,
                                  monitor::SamplerOptions sampler_options)
+    : StayAwayRuntime(host, probe, [&] {
+        // Deprecated shim: the positional options win over config.sampler.
+        config.sampler = std::move(sampler_options);
+        return std::move(config);
+      }()) {}
+
+StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
+                                 StayAwayConfig config)
     : host_(&host),
       probe_(&probe),
       config_(config),
-      sampler_(host, std::move(sampler_options)),
+      sampler_(host, config.sampler),
       normalizer_(host.spec(), sampler_.layout()),
       reps_(config.dedup_epsilon, config.max_representatives),
       embedder_(config.embed_method, config.landmark_count,
@@ -67,18 +75,29 @@ StateTemplate StayAwayRuntime::export_template(
 }
 
 const PeriodRecord& StayAwayRuntime::on_period() {
+  obs::Span period_span = observer_ != nullptr
+                              ? observer_->span("period", host_->now())
+                              : obs::Span{};
   PeriodRecord rec;
   rec.time = host_->now();
   rec.mode = monitor::detect_mode(*host_);
 
   // --- Mapping (§3.1): sample, normalize, dedup, embed. ---
+  obs::Span sample_span = observer_ != nullptr
+                              ? observer_->span("sample", rec.time)
+                              : obs::Span{};
   monitor::Measurement m = sampler_.sample();
   std::vector<double> normalized = normalizer_.normalize(m);
   monitor::Assignment assignment = reps_.assign(normalized);
+  sample_span.close();
   rec.representative = assignment.representative;
   rec.new_representative = assignment.is_new;
+  obs::Span embed_span = observer_ != nullptr
+                             ? observer_->span("embed", rec.time)
+                             : obs::Span{};
   if (assignment.is_new) space_.add_state(StateLabel::Safe);
   space_.sync_positions(embedder_.update(reps_));
+  embed_span.close();
   rec.state = space_.position(assignment.representative);
   rec.stress = embedder_.stress();
 
@@ -95,6 +114,9 @@ const PeriodRecord& StayAwayRuntime::on_period() {
   }
 
   // --- Prediction (§3.2). ---
+  obs::Span predict_span = observer_ != nullptr
+                               ? observer_->span("predict", rec.time)
+                               : obs::Span{};
   Prediction prediction = predictor_.predict(space_, modes_, rec.mode,
                                              rec.state, rng_);
   rec.model_ready = prediction.model_ready;
@@ -114,16 +136,24 @@ const PeriodRecord& StayAwayRuntime::on_period() {
   prev_predicted_ = prediction.model_ready
                         ? std::optional<bool>(prediction.violation_predicted)
                         : std::nullopt;
+  predict_span.close();
 
   // --- Action (§3.3). In passive mode the governor is not consulted at
   // all: a decision that is never applied must not advance its state
   // (pause ledger, beta chain).
+  obs::Span act_span = observer_ != nullptr ? observer_->span("act", rec.time)
+                                            : obs::Span{};
   ThrottleAction action = ThrottleAction::None;
   if (config_.actions_enabled) {
     action = governor_.decide(rec.time, batch_paused_, rec.violation_predicted,
                               rec.violation_observed, rec.state);
   }
+  // The set a Resume releases is cleared by apply_action — keep it for
+  // the event stream.
+  std::vector<sim::VmId> resumed;
+  if (action == ThrottleAction::Resume) resumed = throttled_;
   apply_action(action);
+  act_span.close();
   rec.action = action;
   rec.batch_paused_after = batch_paused_;
   rec.beta = governor_.beta();
@@ -131,7 +161,99 @@ const PeriodRecord& StayAwayRuntime::on_period() {
   prev_rep_ = assignment.representative;
   prev_mode_ = rec.mode;
   records_.push_back(rec);
+  period_span.close();
+  if (observer_ != nullptr) publish(records_.back(), resumed);
   return records_.back();
+}
+
+void StayAwayRuntime::set_observer(obs::Observer* observer) {
+  observer_ = observer;
+  if (observer_ == nullptr) {
+    metrics_ = LoopMetrics{};
+    return;
+  }
+  obs::MetricsRegistry& reg = observer_->metrics();
+  metrics_.periods = reg.counter("loop.periods");
+  metrics_.violations_observed = reg.counter("loop.violations_observed");
+  metrics_.violations_predicted = reg.counter("loop.violations_predicted");
+  metrics_.new_representatives = reg.counter("loop.new_representatives");
+  metrics_.pauses = reg.counter("loop.pauses");
+  metrics_.resumes = reg.counter("loop.resumes");
+  metrics_.beta = reg.gauge("governor.beta");
+  metrics_.stress = reg.gauge("embedder.stress");
+  metrics_.representatives = reg.gauge("map.representatives");
+  metrics_.violation_states = reg.gauge("map.violation_states");
+  metrics_.tally_accuracy = reg.gauge("predictor.tally_accuracy");
+  metrics_.embed_iterations = reg.gauge("embedder.smacof_iterations_total");
+  metrics_.embed_cold_skips = reg.gauge("embedder.cold_runs_skipped_total");
+  metrics_.embed_rebuilds = reg.gauge("embedder.matrix_rebuilds_total");
+  metrics_.space_invalidations = reg.gauge("space.cache_invalidations_total");
+  metrics_.space_rebuilds = reg.gauge("space.cache_rebuilds_total");
+  metrics_.governor_failed_resumes = reg.gauge("governor.failed_resumes_total");
+  metrics_.governor_random_resumes = reg.gauge("governor.random_resumes_total");
+  metrics_.sampler_samples = reg.gauge("sampler.samples_total");
+}
+
+void StayAwayRuntime::publish(const PeriodRecord& rec,
+                              const std::vector<sim::VmId>& resumed) {
+  metrics_.periods.inc();
+  if (rec.violation_observed) metrics_.violations_observed.inc();
+  if (rec.violation_predicted) metrics_.violations_predicted.inc();
+  if (rec.new_representative) metrics_.new_representatives.inc();
+  if (rec.action == ThrottleAction::Pause) metrics_.pauses.inc();
+  if (rec.action == ThrottleAction::Resume) metrics_.resumes.inc();
+  metrics_.beta.set(rec.beta);
+  metrics_.stress.set(rec.stress);
+  metrics_.representatives.set(static_cast<double>(reps_.size()));
+  metrics_.violation_states.set(
+      static_cast<double>(space_.violation_count()));
+  metrics_.tally_accuracy.set(tally_.accuracy());
+  metrics_.embed_iterations.set(
+      static_cast<double>(embedder_.total_iterations()));
+  metrics_.embed_cold_skips.set(
+      static_cast<double>(embedder_.cold_runs_skipped()));
+  metrics_.embed_rebuilds.set(static_cast<double>(embedder_.rebuilds()));
+  metrics_.space_invalidations.set(
+      static_cast<double>(space_.cache_invalidations()));
+  metrics_.space_rebuilds.set(static_cast<double>(space_.cache_rebuilds()));
+  metrics_.governor_failed_resumes.set(
+      static_cast<double>(governor_.failed_resumes()));
+  metrics_.governor_random_resumes.set(
+      static_cast<double>(governor_.random_resumes()));
+  metrics_.sampler_samples.set(static_cast<double>(sampler_.samples_taken()));
+
+  if (observer_->sink() == nullptr) return;
+  obs::Event e(rec.time, "period");
+  e.with("period", obs::JsonValue(records_.size() - 1))
+      .with("mode", obs::JsonValue(monitor::to_string(rec.mode)))
+      .with("rep", obs::JsonValue(rec.representative))
+      .with("new_rep", obs::JsonValue(rec.new_representative))
+      .with("x", obs::JsonValue(rec.state.x))
+      .with("y", obs::JsonValue(rec.state.y))
+      .with("violation_observed", obs::JsonValue(rec.violation_observed))
+      .with("violation_predicted", obs::JsonValue(rec.violation_predicted))
+      .with("model_ready", obs::JsonValue(rec.model_ready))
+      .with("action", obs::JsonValue(to_string(rec.action)))
+      .with("batch_paused", obs::JsonValue(rec.batch_paused_after))
+      .with("stress", obs::JsonValue(rec.stress))
+      .with("beta", obs::JsonValue(rec.beta));
+  observer_->emit(e);
+
+  if (rec.action == ThrottleAction::Pause) {
+    obs::Event pe(rec.time, "pause");
+    pe.with("reason", obs::JsonValue(rec.violation_observed
+                                         ? "observed-violation"
+                                         : "predicted-violation"))
+        .with("targets", obs::JsonValue(throttled_.size()));
+    observer_->emit(pe);
+  } else if (rec.action == ThrottleAction::Resume) {
+    obs::Event re(rec.time, "resume");
+    auto reason = governor_.last_resume_reason();
+    re.with("reason", obs::JsonValue(reason.has_value() ? to_string(*reason)
+                                                        : "external"))
+        .with("targets", obs::JsonValue(resumed.size()));
+    observer_->emit(re);
+  }
 }
 
 std::vector<sim::VmId> StayAwayRuntime::throttle_targets() const {

@@ -23,6 +23,7 @@
 #include "monitor/normalizer.hpp"
 #include "monitor/representative.hpp"
 #include "monitor/sampler.hpp"
+#include "obs/observer.hpp"
 #include "sim/host.hpp"
 #include "util/rng.hpp"
 
@@ -42,6 +43,8 @@ struct PeriodRecord {
   bool batch_paused_after = false;
   double stress = 0.0;
   double beta = 0.0;
+
+  bool operator==(const PeriodRecord& o) const = default;
 };
 
 /// Passive prediction-vs-outcome tallies: each period's forecast ("will
@@ -63,11 +66,26 @@ struct PredictionTally {
 class StayAwayRuntime {
  public:
   /// host and probe must outlive the runtime. `probe` is the sensitive
-  /// app's QoS reporting channel (§3.1). The sampler defaults aggregate
-  /// all batch VMs into one logical entity (§5).
+  /// app's QoS reporting channel (§3.1). `config` is the single entry
+  /// point — it carries the sampler options too (config.sampler; the
+  /// defaults aggregate all batch VMs into one logical entity, §5).
+  StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
+                  StayAwayConfig config);
+
+  /// Deprecated positional shim: prefer setting config.sampler and using
+  /// the three-argument constructor. `sampler_options` overrides
+  /// config.sampler wholesale.
   StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
                   StayAwayConfig config,
-                  monitor::SamplerOptions sampler_options = {});
+                  monitor::SamplerOptions sampler_options);
+
+  /// Attaches (or detaches, with nullptr) a passive observability
+  /// observer: phase span timers, loop metrics and period/action events.
+  /// The observer must outlive the runtime or be detached first; it never
+  /// influences decisions — the PeriodRecord sequence is identical with
+  /// observability on or off.
+  void set_observer(obs::Observer* observer);
+  obs::Observer* observer() const { return observer_; }
 
   /// Pre-loads the labelled states of a previous run (§6). Must be called
   /// before the first on_period(); entry dimensions must match the
@@ -91,9 +109,13 @@ class StayAwayRuntime {
   const StayAwayConfig& config() const { return config_; }
 
   bool batch_paused() const { return batch_paused_; }
+  /// VMs paused by the last Pause action (empty after a Resume).
+  const std::vector<sim::VmId>& throttled() const { return throttled_; }
 
  private:
   void apply_action(ThrottleAction action);
+  /// Publishes the period's metrics and events to the attached observer.
+  void publish(const PeriodRecord& rec, const std::vector<sim::VmId>& resumed);
   /// Batch VMs consuming the major share of batch resources (§5:
   /// "batch applications consuming a majority share of resources are
   /// collectively throttled").
@@ -118,6 +140,30 @@ class StayAwayRuntime {
   std::optional<bool> prev_predicted_;  // last period's passive prediction
   std::vector<PeriodRecord> records_;
   PredictionTally tally_;
+
+  // --- Observability (passive; see set_observer). -----------------------
+  obs::Observer* observer_ = nullptr;
+  struct LoopMetrics {
+    obs::Counter periods;
+    obs::Counter violations_observed;
+    obs::Counter violations_predicted;
+    obs::Counter new_representatives;
+    obs::Counter pauses;
+    obs::Counter resumes;
+    obs::Gauge beta;
+    obs::Gauge stress;
+    obs::Gauge representatives;
+    obs::Gauge violation_states;
+    obs::Gauge tally_accuracy;
+    obs::Gauge embed_iterations;
+    obs::Gauge embed_cold_skips;
+    obs::Gauge embed_rebuilds;
+    obs::Gauge space_invalidations;
+    obs::Gauge space_rebuilds;
+    obs::Gauge governor_failed_resumes;
+    obs::Gauge governor_random_resumes;
+    obs::Gauge sampler_samples;
+  } metrics_;
 };
 
 }  // namespace stayaway::core

@@ -14,6 +14,7 @@ void StateSpace::add_state(StateLabel label) {
   violating_.push_back(0);
   positions_.emplace_back();
   ranges_dirty_ = true;
+  ++invalidations_;
 }
 
 void StateSpace::observe_visit(std::size_t i, bool violated) {
@@ -23,12 +24,18 @@ void StateSpace::observe_visit(std::size_t i, bool violated) {
   if (violated) ++violating_[i];
   // Most visits only move the evidence fraction without crossing the
   // threshold; the range cache survives those.
-  if (label(i) != before) ranges_dirty_ = true;
+  if (label(i) != before) {
+    ranges_dirty_ = true;
+    ++invalidations_;
+  }
 }
 
 void StateSpace::force_violation(std::size_t i) {
   SA_REQUIRE(i < forced_.size(), "state index out of range");
-  if (!forced_[i] && label(i) != StateLabel::Violation) ranges_dirty_ = true;
+  if (!forced_[i] && label(i) != StateLabel::Violation) {
+    ranges_dirty_ = true;
+    ++invalidations_;
+  }
   forced_[i] = true;
 }
 
@@ -40,6 +47,7 @@ void StateSpace::sync_positions(const mds::Embedding& positions) {
   if (positions == positions_) return;
   positions_ = positions;
   ranges_dirty_ = true;
+  ++invalidations_;
 }
 
 StateLabel StateSpace::label(std::size_t i) const {
@@ -93,6 +101,7 @@ std::optional<double> StateSpace::nearest_safe_distance(
 }
 
 void StateSpace::rebuild_ranges() const {
+  ++rebuilds_;
   ranges_cache_.clear();
   double c = scale();
   for (std::size_t i = 0; i < forced_.size(); ++i) {

@@ -86,6 +86,12 @@ class StateSpace {
   /// before a range can be computed). Served from the cached ranges.
   bool in_violation_region(const mds::Point2& p, double slack = 1e-9) const;
 
+  /// Observability counters: mutations that dirtied the range cache, and
+  /// lazy rebuilds actually performed. rebuilds <= invalidations; the gap
+  /// is the work the cache saved.
+  std::size_t cache_invalidations() const { return invalidations_; }
+  std::size_t cache_rebuilds() const { return rebuilds_; }
+
  private:
   std::size_t labels_cache_size() const { return forced_.size(); }
   void rebuild_ranges() const;
@@ -100,6 +106,8 @@ class StateSpace {
   // the state space belongs to the single control thread.
   mutable std::vector<ViolationRange> ranges_cache_;
   mutable bool ranges_dirty_ = true;
+  std::size_t invalidations_ = 0;
+  mutable std::size_t rebuilds_ = 0;
 };
 
 }  // namespace stayaway::core

@@ -49,11 +49,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
                                     std::move(app), spec.batch_start_s));
   }
 
-  monitor::SamplerOptions sampler = spec.sampler;
-  sampler.seed = spec.seed ^ 0xabcdULL;
   core::StayAwayConfig sa_config = spec.stayaway;
   sa_config.period_s = spec.period_s;
   sa_config.seed = spec.seed;
+  sa_config.sampler.seed = spec.seed ^ 0xabcdULL;
 
   std::unique_ptr<baseline::InterferencePolicy> policy;
   StayAwayPolicy* stayaway = nullptr;
@@ -63,7 +62,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       break;
     case PolicyKind::StayAway: {
       auto p = std::make_unique<StayAwayPolicy>(host, *probe, sa_config,
-                                                sampler, spec.seed_template);
+                                                spec.seed_template);
       stayaway = p.get();
       policy = std::move(p);
       break;
@@ -74,6 +73,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     case PolicyKind::StaticThreshold:
       policy = std::make_unique<baseline::StaticThreshold>();
       break;
+  }
+  if (spec.observer != nullptr && stayaway != nullptr) {
+    stayaway->runtime().set_observer(spec.observer);
   }
 
   ExperimentResult result;
@@ -88,12 +90,25 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       host.step();
       util_acc += host.instantaneous_cpu_utilization();
     }
-    policy->on_period(host, *probe);
+    baseline::PolicyDecision decision = policy->on_period(host, *probe);
 
     bool sensitive_up = host.vm(sensitive_id).present(host.now());
     result.time.push_back(host.now());
     result.qos.push_back(sensitive_up ? probe->normalized_qos() : 1.0);
     bool violated = sensitive_up && probe->violated();
+    // Uniform decision log: every policy, not just Stay-Away, narrates
+    // what it did through the event sink.
+    if (spec.observer != nullptr && spec.observer->sink() != nullptr) {
+      obs::Event e(host.now(), "decision");
+      e.with("policy", obs::JsonValue(policy->name()))
+          .with("action", obs::JsonValue(to_string(decision.action)))
+          .with("reason", obs::JsonValue(decision.reason))
+          .with("targets", obs::JsonValue(decision.targets.size()))
+          .with("batch_paused", obs::JsonValue(decision.batch_paused_after))
+          .with("qos", obs::JsonValue(result.qos.back()))
+          .with("violated", obs::JsonValue(violated));
+      spec.observer->emit(e);
+    }
     result.violated.push_back(violated ? 1 : 0);
     result.utilization.push_back(util_acc /
                                  static_cast<double>(ticks_per_period));

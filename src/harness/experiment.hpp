@@ -11,7 +11,7 @@
 #include "core/runtime.hpp"
 #include "core/template_store.hpp"
 #include "harness/scenarios.hpp"
-#include "monitor/sampler.hpp"
+#include "obs/observer.hpp"
 
 namespace stayaway::harness {
 
@@ -29,8 +29,14 @@ struct ExperimentSpec {
   SensitiveKind sensitive = SensitiveKind::VlcStream;
   BatchKind batch = BatchKind::TwitterAnalysis;
   PolicyKind policy = PolicyKind::StayAway;
-  core::StayAwayConfig stayaway;  // used when policy == StayAway
-  monitor::SamplerOptions sampler;
+  /// The single config entry point: Stay-Away knobs plus the monitor's
+  /// sampler options (stayaway.sampler). Used when policy == StayAway.
+  core::StayAwayConfig stayaway;
+  /// Optional observability attachment (non-owning; must outlive the
+  /// run). The runtime publishes loop metrics/events into it and the
+  /// harness logs every policy's per-period decision through its sink.
+  /// Purely passive: results are identical with or without it.
+  obs::Observer* observer = nullptr;
   /// Offered-load workload for the sensitive app; nullopt = constant peak.
   std::optional<trace::Trace> workload;
   /// Seed the Stay-Away map from a previous run's template (§6).

@@ -72,4 +72,50 @@ double series_mean(const std::vector<double>& xs) {
   return acc / static_cast<double>(xs.size());
 }
 
+void print_metrics_summary(std::ostream& out,
+                           const obs::MetricsRegistry& registry) {
+  obs::MetricsSnapshot snap = registry.snapshot();
+  if (!snap.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, v] : snap.counters) {
+      out << "  " << pad_right(name, 40) << v << "\n";
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, v] : snap.gauges) {
+      out << "  " << pad_right(name, 40) << format_double(v, 4) << "\n";
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out << "histograms (count / mean):\n";
+    for (const auto& h : snap.histograms) {
+      double mean =
+          h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      out << "  " << pad_right(h.name, 40) << h.count << " / "
+          << format_double(mean, 3) << "\n";
+    }
+  }
+}
+
+void publish_result_metrics(obs::MetricsRegistry& registry,
+                            const std::string& label,
+                            const ExperimentResult& result) {
+  auto gauge = [&](const char* name, double v) {
+    registry.gauge(label + "." + name).set(v);
+  };
+  gauge("periods", static_cast<double>(result.qos.size()));
+  gauge("violation_fraction", result.violation_fraction);
+  gauge("avg_qos", result.avg_qos);
+  gauge("avg_utilization", result.avg_utilization);
+  gauge("batch_cpu_work_s", result.batch_cpu_work);
+  gauge("sensitive_cpu_work_s", result.sensitive_cpu_work);
+  gauge("pauses", static_cast<double>(result.pauses));
+  gauge("resumes", static_cast<double>(result.resumes));
+  gauge("final_beta", result.final_beta);
+  gauge("representatives", static_cast<double>(result.representative_count));
+  gauge("final_stress", result.final_stress);
+  gauge("tally_accuracy", result.tally.accuracy());
+}
+
 }  // namespace stayaway::harness

@@ -8,6 +8,7 @@
 
 #include "core/statespace.hpp"
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
 
 namespace stayaway::harness {
 
@@ -32,5 +33,17 @@ std::string render_state_space(const std::string& title,
 
 /// Mean of a series (0 for empty).
 double series_mean(const std::vector<double>& xs);
+
+/// Human-readable dump of a metrics registry: counters, gauges, and span
+/// histograms (count/mean), sorted by name.
+void print_metrics_summary(std::ostream& out,
+                           const obs::MetricsRegistry& registry);
+
+/// Publishes an experiment's aggregate results into a registry as gauges
+/// under "<label>." — the common path for benches assembling a
+/// BENCH_*.json perf record via obs::write_bench_record.
+void publish_result_metrics(obs::MetricsRegistry& registry,
+                            const std::string& label,
+                            const ExperimentResult& result);
 
 }  // namespace stayaway::harness

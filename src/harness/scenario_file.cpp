@@ -131,9 +131,9 @@ Scenario parse_scenario(std::istream& in) {
       } else if (key == "allow_sensitive_demotion") {
         spec.stayaway.allow_sensitive_demotion = parse_bool(line_no, value);
       } else if (key == "aggregate_batch") {
-        spec.sampler.aggregate_batch = parse_bool(line_no, value);
+        spec.stayaway.sampler.aggregate_batch = parse_bool(line_no, value);
       } else if (key == "noise_fraction") {
-        spec.sampler.noise_fraction = parse_double(line_no, value);
+        spec.stayaway.sampler.noise_fraction = parse_double(line_no, value);
       } else if (key == "compare") {
         scenario.compare = parse_bool(line_no, value);
       } else if (key == "template_in") {

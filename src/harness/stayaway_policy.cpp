@@ -6,16 +6,51 @@ namespace stayaway::harness {
 
 StayAwayPolicy::StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
                                core::StayAwayConfig config,
-                               monitor::SamplerOptions sampler_options,
                                std::optional<core::StateTemplate> seed)
-    : runtime_(std::make_unique<core::StayAwayRuntime>(
-          host, probe, config, std::move(sampler_options))) {
+    : runtime_(std::make_unique<core::StayAwayRuntime>(host, probe, config)) {
   if (seed.has_value()) runtime_->seed_template(*seed);
 }
 
-void StayAwayPolicy::on_period(sim::SimHost&, const sim::QosProbe&) {
+StayAwayPolicy::StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
+                               core::StayAwayConfig config,
+                               monitor::SamplerOptions sampler_options,
+                               std::optional<core::StateTemplate> seed)
+    : StayAwayPolicy(host, probe,
+                     [&] {
+                       config.sampler = std::move(sampler_options);
+                       return std::move(config);
+                     }(),
+                     std::move(seed)) {}
+
+baseline::PolicyDecision StayAwayPolicy::on_period(sim::SimHost&,
+                                                   const sim::QosProbe&) {
   // The runtime is already bound to its host and probe from construction.
-  runtime_->on_period();
+  // A Resume clears the runtime's throttled set — capture it first so the
+  // decision can report what was released.
+  std::vector<sim::VmId> paused_before = runtime_->throttled();
+  const core::PeriodRecord& rec = runtime_->on_period();
+
+  baseline::PolicyDecision decision;
+  decision.batch_paused_after = rec.batch_paused_after;
+  switch (rec.action) {
+    case core::ThrottleAction::None:
+      break;
+    case core::ThrottleAction::Pause:
+      decision.action = baseline::PolicyAction::Pause;
+      decision.targets = runtime_->throttled();
+      decision.reason = rec.violation_observed ? "observed-violation"
+                                               : "predicted-violation";
+      break;
+    case core::ThrottleAction::Resume: {
+      decision.action = baseline::PolicyAction::Resume;
+      decision.targets = std::move(paused_before);
+      auto reason = runtime_->governor().last_resume_reason();
+      decision.reason =
+          reason.has_value() ? core::to_string(*reason) : "external";
+      break;
+    }
+  }
+  return decision;
 }
 
 }  // namespace stayaway::harness

@@ -14,14 +14,22 @@ namespace stayaway::harness {
 class StayAwayPolicy final : public baseline::InterferencePolicy {
  public:
   /// The runtime binds to this host and probe; both must outlive the
-  /// policy. Pass a template to seed the map from a previous run (§6).
+  /// policy. `config` is the single entry point (config.sampler included).
+  /// Pass a template to seed the map from a previous run (§6).
   StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
                  core::StayAwayConfig config,
-                 monitor::SamplerOptions sampler_options = {},
+                 std::optional<core::StateTemplate> seed = std::nullopt);
+
+  /// Deprecated positional shim: prefer config.sampler and the
+  /// constructor above. `sampler_options` overrides config.sampler.
+  StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
+                 core::StayAwayConfig config,
+                 monitor::SamplerOptions sampler_options,
                  std::optional<core::StateTemplate> seed = std::nullopt);
 
   std::string_view name() const override { return "stay-away"; }
-  void on_period(sim::SimHost& host, const sim::QosProbe& probe) override;
+  baseline::PolicyDecision on_period(sim::SimHost& host,
+                                     const sim::QosProbe& probe) override;
 
   const core::StayAwayRuntime& runtime() const { return *runtime_; }
   core::StayAwayRuntime& runtime() { return *runtime_; }

@@ -32,6 +32,7 @@ HostSampler::HostSampler(const sim::SimHost& host, SamplerOptions options)
 }
 
 Measurement HostSampler::sample() {
+  ++samples_taken_;
   Measurement m;
   m.time = host_->now();
   m.values.assign(layout_.dimension(), 0.0);

@@ -37,6 +37,9 @@ class HostSampler {
   /// Samples the most recent tick's granted usage.
   Measurement sample();
 
+  /// Measurements taken so far (observability).
+  std::size_t samples_taken() const { return samples_taken_; }
+
  private:
   const sim::SimHost* host_;
   SamplerOptions options_;
@@ -44,6 +47,7 @@ class HostSampler {
   /// entity index -> VM ids contributing to it
   std::vector<std::vector<sim::VmId>> entity_vms_;
   Rng rng_;
+  std::size_t samples_taken_ = 0;
 };
 
 }  // namespace stayaway::monitor

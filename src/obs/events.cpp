@@ -1,0 +1,146 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stayaway::obs {
+
+const JsonValue* Event::find(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue Event::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("t", JsonValue(time));
+  out.set("type", JsonValue(type));
+  for (const auto& [k, v] : fields) out.set(k, v);
+  return out;
+}
+
+Event Event::from_json(const JsonValue& v) {
+  const auto& obj = v.as_object();
+  Event e;
+  bool have_time = false, have_type = false;
+  for (const auto& [k, value] : obj) {
+    if (k == "t" && !have_time) {
+      e.time = value.as_double();
+      have_time = true;
+    } else if (k == "type" && !have_type) {
+      e.type = value.as_string();
+      have_type = true;
+    } else {
+      e.fields.emplace_back(k, value);
+    }
+  }
+  SA_REQUIRE(have_time && have_type, "event needs 't' and 'type' fields");
+  return e;
+}
+
+void JsonlSink::emit(const Event& e) {
+  e.to_json().dump(*out_);
+  *out_ << "\n";
+  ++emitted_;
+}
+
+void JsonlSink::flush() { out_->flush(); }
+
+std::vector<Event> parse_jsonl(std::istream& in) {
+  std::vector<Event> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    out.push_back(Event::from_json(JsonValue::parse(line)));
+  }
+  return out;
+}
+
+void TextSink::emit(const Event& e) {
+  std::ostream& out = *out_;
+  out << "t=" << e.time << " " << e.type;
+  for (const auto& [k, v] : e.fields) {
+    out << " " << k << "=";
+    if (v.is_string()) {
+      out << v.as_string();  // unquoted: this sink is for humans
+    } else {
+      v.dump(out);
+    }
+  }
+  out << "\n";
+}
+
+void TextSink::flush() { out_->flush(); }
+
+CsvSummarySink::~CsvSummarySink() {
+  // Best-effort final flush; an explicit flush() beforehand is cleaner.
+  if (!events_.empty() || !flushed_) flush();
+}
+
+void CsvSummarySink::emit(const Event& e) {
+  if (e.type == type_) events_.push_back(e);
+}
+
+void CsvSummarySink::flush() {
+  flushed_ = true;
+  std::vector<std::string> columns{"t"};
+  for (const auto& e : events_) {
+    for (const auto& [k, v] : e.fields) {
+      if (std::find(columns.begin(), columns.end(), k) == columns.end()) {
+        columns.push_back(k);
+      }
+    }
+  }
+  auto csv_cell = [](std::ostream& out, const JsonValue& v) {
+    if (v.is_string()) {
+      const std::string& s = v.as_string();
+      if (s.find_first_of(",\"\n") != std::string::npos) {
+        out << '"';
+        for (char c : s) {
+          if (c == '"') out << "\"\"";
+          else out << c;
+        }
+        out << '"';
+      } else {
+        out << s;
+      }
+    } else {
+      v.dump(out);
+    }
+  };
+
+  std::ostream& out = *out_;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out << ',';
+    out << columns[i];
+  }
+  out << "\n";
+  for (const auto& e : events_) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) out << ',';
+      if (columns[i] == "t") {
+        JsonValue(e.time).dump(out);
+      } else if (const JsonValue* v = e.find(columns[i])) {
+        csv_cell(out, *v);
+      }
+    }
+    out << "\n";
+  }
+  events_.clear();
+  out.flush();
+}
+
+void MultiSink::emit(const Event& e) {
+  for (EventSink* s : sinks_) s->emit(e);
+}
+
+void MultiSink::flush() {
+  for (EventSink* s : sinks_) s->flush();
+}
+
+}  // namespace stayaway::obs

@@ -1,0 +1,109 @@
+// Structured event stream: the control loop narrates what it did each
+// period (phase spans, decisions, pause/resume transitions) as typed
+// events routed through pluggable sinks — machine-readable JSONL, a CSV
+// summary of one event type, or a human text log. Sinks are passive:
+// emitting an event never feeds back into the control decisions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace stayaway::obs {
+
+struct Event {
+  double time = 0.0;  // simulated seconds
+  std::string type;   // "period", "span", "decision", "pause", "resume", ...
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  Event() = default;
+  Event(double t, std::string_view ty) : time(t), type(ty) {}
+
+  Event& with(std::string_view key, JsonValue value) {
+    fields.emplace_back(std::string(key), std::move(value));
+    return *this;
+  }
+  const JsonValue* find(std::string_view key) const;
+
+  /// {"t":<time>,"type":<type>,<fields...>} — field order preserved.
+  JsonValue to_json() const;
+  /// Inverse of to_json (unknown layouts throw PreconditionError).
+  static Event from_json(const JsonValue& v);
+
+  bool operator==(const Event& o) const = default;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& e) = 0;
+  virtual void flush() {}
+};
+
+/// One JSON object per line; the canonical machine-readable stream.
+class JsonlSink final : public EventSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  void emit(const Event& e) override;
+  void flush() override;
+  std::size_t emitted() const { return emitted_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t emitted_ = 0;
+};
+
+/// Parses a JSONL document back into events (round-trip testing and
+/// offline analysis). Blank lines are skipped; malformed lines throw.
+std::vector<Event> parse_jsonl(std::istream& in);
+
+/// Human-readable one-line-per-event log.
+class TextSink final : public EventSink {
+ public:
+  explicit TextSink(std::ostream& out) : out_(&out) {}
+  void emit(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Collects every event of one type and writes them as a CSV table on
+/// flush: columns are the union of field keys in first-seen order.
+class CsvSummarySink final : public EventSink {
+ public:
+  CsvSummarySink(std::ostream& out, std::string event_type)
+      : out_(&out), type_(std::move(event_type)) {}
+  ~CsvSummarySink() override;
+  void emit(const Event& e) override;
+  /// Writes the table (header + one row per event) and clears the buffer.
+  void flush() override;
+  std::size_t buffered() const { return events_.size(); }
+
+ private:
+  std::ostream* out_;
+  std::string type_;
+  std::vector<Event> events_;
+  bool flushed_ = false;
+};
+
+/// Fans one event out to several sinks (non-owning).
+class MultiSink final : public EventSink {
+ public:
+  MultiSink() = default;
+  explicit MultiSink(std::vector<EventSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void add(EventSink* sink) { sinks_.push_back(sink); }
+  void emit(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace stayaway::obs

@@ -1,0 +1,43 @@
+#include "obs/observer.hpp"
+
+namespace stayaway::obs {
+
+Span& Span::operator=(Span&& o) noexcept {
+  close();
+  obs_ = o.obs_;
+  name_ = o.name_;
+  sim_time_ = o.sim_time_;
+  start_ = o.start_;
+  o.obs_ = nullptr;
+  return *this;
+}
+
+void Span::close() {
+  if (obs_ == nullptr) return;
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  double us =
+      std::chrono::duration<double, std::micro>(elapsed).count();
+  obs_->record_span(name_, sim_time_, us);
+  obs_ = nullptr;
+}
+
+Histogram& Observer::span_histogram(const char* name) {
+  auto it = span_hist_.find(name);
+  if (it != span_hist_.end()) return it->second;
+  // 1 us .. 10 s, 24 exponential buckets: covers sub-period phases up to
+  // pathological full re-embeddings.
+  Histogram h = metrics_.histogram(std::string("span.") + name + ".us",
+                                   exponential_bounds(1.0, 1e7, 24));
+  return span_hist_.emplace(name, h).first->second;
+}
+
+void Observer::record_span(const char* name, double sim_time, double us) {
+  span_histogram(name).observe(us);
+  if (span_events_ && sink_ != nullptr) {
+    Event e(sim_time, "span");
+    e.with("name", JsonValue(name)).with("us", JsonValue(us));
+    sink_->emit(e);
+  }
+}
+
+}  // namespace stayaway::obs

@@ -182,5 +182,73 @@ TEST(PolicyNames, Stable) {
   EXPECT_EQ(StaticThreshold{}.name(), "static-threshold");
 }
 
+TEST(PolicyDecision, NoPreventionAlwaysNone) {
+  Rig rig;
+  NoPrevention policy;
+  rig.host.run(10);
+  PolicyDecision d = policy.on_period(rig.host, *rig.probe);
+  EXPECT_EQ(d.action, PolicyAction::None);
+  EXPECT_TRUE(d.targets.empty());
+  EXPECT_FALSE(d.batch_paused_after);
+}
+
+TEST(PolicyDecision, ReactiveReportsPauseAndResume) {
+  Rig rig;
+  ReactiveConfig cfg;
+  cfg.cooldown_s = 2.0;
+  ReactiveThrottle policy(cfg);
+  PolicyDecision d;
+  // Drive to the first pause and inspect that decision.
+  for (int p = 0; p < 20; ++p) {
+    rig.host.run(10);
+    d = policy.on_period(rig.host, *rig.probe);
+    if (d.action != PolicyAction::None) break;
+  }
+  EXPECT_EQ(d.action, PolicyAction::Pause);
+  EXPECT_EQ(d.reason, "observed-violation");
+  EXPECT_EQ(d.targets, std::vector<sim::VmId>{rig.batch});
+  EXPECT_TRUE(d.batch_paused_after);
+  // And the eventual resume names the cooldown.
+  for (int p = 0; p < 40; ++p) {
+    rig.host.run(10);
+    d = policy.on_period(rig.host, *rig.probe);
+    if (d.action == PolicyAction::Resume) break;
+  }
+  EXPECT_EQ(d.action, PolicyAction::Resume);
+  EXPECT_EQ(d.reason, "cooldown-elapsed");
+  EXPECT_EQ(d.targets, std::vector<sim::VmId>{rig.batch});
+  EXPECT_FALSE(d.batch_paused_after);
+}
+
+TEST(PolicyDecision, StaticThresholdNamesItsRules) {
+  Rig rig;
+  StaticThresholdConfig cfg;
+  cfg.cpu_cap = 0.85;
+  cfg.hysteresis = 0.1;
+  StaticThreshold policy(cfg);
+  PolicyDecision d;
+  for (int p = 0; p < 5; ++p) {
+    rig.host.run(10);
+    d = policy.on_period(rig.host, *rig.probe);
+    if (d.action != PolicyAction::None) break;
+  }
+  EXPECT_EQ(d.action, PolicyAction::Pause);
+  EXPECT_EQ(d.reason, "threshold-exceeded");
+  ASSERT_FALSE(d.targets.empty());
+  for (int p = 0; p < 5; ++p) {
+    rig.host.run(10);
+    d = policy.on_period(rig.host, *rig.probe);
+    if (d.action == PolicyAction::Resume) break;
+  }
+  EXPECT_EQ(d.action, PolicyAction::Resume);
+  EXPECT_EQ(d.reason, "below-hysteresis");
+}
+
+TEST(PolicyDecision, ActionNamesStable) {
+  EXPECT_STREQ(to_string(PolicyAction::None), "none");
+  EXPECT_STREQ(to_string(PolicyAction::Pause), "pause");
+  EXPECT_STREQ(to_string(PolicyAction::Resume), "resume");
+}
+
 }  // namespace
 }  // namespace stayaway::baseline

@@ -3,12 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "apps/cpubomb.hpp"
 #include "apps/vlc_stream.hpp"
 #include "core/runtime.hpp"
 #include "harness/scenarios.hpp"
+#include "obs/events.hpp"
+#include "obs/observer.hpp"
 #include "util/check.hpp"
 
 namespace stayaway::core {
@@ -34,6 +39,7 @@ StayAwayConfig test_config() {
   StayAwayConfig cfg;
   cfg.period_s = 1.0;
   cfg.seed = 42;
+  cfg.sampler.noise_fraction = 0.005;  // unified entry point (§ config)
   return cfg;
 }
 
@@ -52,7 +58,7 @@ void run_periods(Rig& rig, StayAwayRuntime& rt, std::size_t periods) {
 
 TEST(Runtime, LearnsStatesAndRecords) {
   Rig rig;
-  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
   run_periods(rig, rt, 20);
   EXPECT_EQ(rt.records().size(), 20u);
   EXPECT_GT(rt.representatives().size(), 1u);
@@ -63,7 +69,7 @@ TEST(Runtime, LearnsStatesAndRecords) {
 
 TEST(Runtime, MarksViolationStates) {
   Rig rig(/*batch_start=*/3.0);
-  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
   run_periods(rig, rt, 15);
   // CPUBomb against full-rate VLC must violate at least once before the
   // controller gets on top of it.
@@ -72,7 +78,7 @@ TEST(Runtime, MarksViolationStates) {
 
 TEST(Runtime, ThrottlesBatchUnderContention) {
   Rig rig(/*batch_start=*/3.0);
-  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
   run_periods(rig, rt, 30);
   EXPECT_GT(rt.governor().pauses(), 0u);
   // Batch must have spent real time paused.
@@ -85,7 +91,7 @@ TEST(Runtime, ProtectsQosComparedToNoPolicy) {
   std::size_t without_violations = 0;
   {
     Rig rig(3.0);
-    StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+    StayAwayRuntime rt(rig.host, *rig.probe, test_config());
     for (int p = 0; p < 60; ++p) {
       rig.host.run(10);
       rt.on_period();
@@ -107,7 +113,7 @@ TEST(Runtime, PassiveModeNeverActs) {
   Rig rig(3.0);
   StayAwayConfig cfg = test_config();
   cfg.actions_enabled = false;
-  StayAwayRuntime rt(rig.host, *rig.probe, cfg, quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, cfg);
   run_periods(rig, rt, 30);
   EXPECT_FALSE(rt.batch_paused());
   EXPECT_DOUBLE_EQ(rig.host.vm(rig.batch).paused_time(), 0.0);
@@ -123,7 +129,7 @@ TEST(Runtime, RecordsCarryModeTransitions) {
   Rig rig(/*batch_start=*/5.0);
   StayAwayConfig cfg = test_config();
   cfg.actions_enabled = false;
-  StayAwayRuntime rt(rig.host, *rig.probe, cfg, quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, cfg);
   run_periods(rig, rt, 12);
   // Early periods: sensitive only; later: co-located.
   EXPECT_EQ(rt.records().front().mode, monitor::ExecutionMode::SensitiveOnly);
@@ -134,7 +140,7 @@ TEST(Runtime, TemplateExportRoundTripsThroughSeed) {
   StateTemplate exported;
   {
     Rig rig(3.0);
-    StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+    StayAwayRuntime rt(rig.host, *rig.probe, test_config());
     run_periods(rig, rt, 25);
     exported = rt.export_template("vlc-stream");
     EXPECT_EQ(exported.entries.size(), rt.representatives().size());
@@ -143,7 +149,7 @@ TEST(Runtime, TemplateExportRoundTripsThroughSeed) {
   }
   // Seed a fresh runtime with the template: it starts pre-populated.
   Rig rig2(3.0);
-  StayAwayRuntime rt2(rig2.host, *rig2.probe, test_config(), quiet_sampler());
+  StayAwayRuntime rt2(rig2.host, *rig2.probe, test_config());
   rt2.seed_template(exported);
   EXPECT_EQ(rt2.representatives().size(), exported.entries.size());
   EXPECT_EQ(rt2.state_space().violation_count(), exported.violation_count());
@@ -151,7 +157,7 @@ TEST(Runtime, TemplateExportRoundTripsThroughSeed) {
 
 TEST(Runtime, SeedAfterStartRejected) {
   Rig rig;
-  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
   run_periods(rig, rt, 1);
   StateTemplate t;
   t.entries.push_back({std::vector<double>(8, 0.5), StateLabel::Safe});
@@ -160,7 +166,7 @@ TEST(Runtime, SeedAfterStartRejected) {
 
 TEST(Runtime, SeedDimensionMismatchRejected) {
   Rig rig;
-  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
   StateTemplate t;
   t.entries.push_back({{0.5, 0.5}, StateLabel::Safe});  // wrong dimension
   EXPECT_THROW(rt.seed_template(t), PreconditionError);
@@ -168,7 +174,7 @@ TEST(Runtime, SeedDimensionMismatchRejected) {
 
 TEST(Runtime, BetaAdaptsOverLongRun) {
   Rig rig(3.0);
-  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
   run_periods(rig, rt, 120);
   // CPUBomb never phase-changes, so resumes mostly fail and beta grows.
   EXPECT_GE(rt.governor().beta(), rt.config().governor.beta_initial);
@@ -179,7 +185,7 @@ TEST(Runtime, StressStaysLowWithTwoEntities) {
   // §5: with one sensitive + one logical batch VM, 2-D is an adequate
   // representation and stress stays low.
   Rig rig(3.0);
-  StayAwayRuntime rt(rig.host, *rig.probe, test_config(), quiet_sampler());
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
   run_periods(rig, rt, 40);
   EXPECT_LT(rt.embedder().stress(), 0.15);
 }
@@ -188,8 +194,111 @@ TEST(Runtime, InvalidPeriodRejected) {
   Rig rig;
   StayAwayConfig cfg = test_config();
   cfg.period_s = 0.0;
-  EXPECT_THROW(StayAwayRuntime(rig.host, *rig.probe, cfg, quiet_sampler()),
+  EXPECT_THROW(StayAwayRuntime(rig.host, *rig.probe, cfg),
                PreconditionError);
+}
+
+TEST(Runtime, DeprecatedSamplerShimMatchesUnifiedConfig) {
+  // The old positional (config, sampler_options) constructor must behave
+  // exactly like config.sampler carrying the same options.
+  StayAwayConfig base;
+  base.period_s = 1.0;
+  base.seed = 42;
+
+  Rig rig_shim(3.0);
+  StayAwayRuntime rt_shim(rig_shim.host, *rig_shim.probe, base,
+                          quiet_sampler());
+  run_periods(rig_shim, rt_shim, 25);
+
+  Rig rig_unified(3.0);
+  StayAwayRuntime rt_unified(rig_unified.host, *rig_unified.probe,
+                             test_config());
+  run_periods(rig_unified, rt_unified, 25);
+
+  ASSERT_EQ(rt_shim.records().size(), rt_unified.records().size());
+  EXPECT_EQ(rt_shim.records(), rt_unified.records());
+}
+
+TEST(Runtime, AccuracyIsZeroBeforeAnyPrediction) {
+  PredictionTally tally;
+  EXPECT_EQ(tally.total(), 0u);
+  EXPECT_DOUBLE_EQ(tally.accuracy(), 0.0);
+  // And a freshly constructed runtime reports the same, not NaN.
+  Rig rig;
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
+  EXPECT_DOUBLE_EQ(rt.tally().accuracy(), 0.0);
+}
+
+TEST(Runtime, ObserverIsPassive) {
+  // The control loop with full observability attached must emit a
+  // byte-identical PeriodRecord sequence to the bare loop.
+  Rig rig_plain(3.0);
+  StayAwayRuntime rt_plain(rig_plain.host, *rig_plain.probe, test_config());
+  run_periods(rig_plain, rt_plain, 40);
+
+  std::ostringstream events;
+  obs::JsonlSink sink(events);
+  obs::Observer observer(&sink);
+  Rig rig_obs(3.0);
+  StayAwayRuntime rt_obs(rig_obs.host, *rig_obs.probe, test_config());
+  rt_obs.set_observer(&observer);
+  run_periods(rig_obs, rt_obs, 40);
+
+  ASSERT_EQ(rt_plain.records().size(), rt_obs.records().size());
+  EXPECT_EQ(rt_plain.records(), rt_obs.records());
+  EXPECT_GT(sink.emitted(), 0u);
+}
+
+TEST(Runtime, ObserverCoversAllLoopPhases) {
+  std::ostringstream events;
+  obs::JsonlSink sink(events);
+  obs::Observer observer(&sink);
+  Rig rig(3.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
+  rt.set_observer(&observer);
+  run_periods(rig, rt, 30);
+  observer.flush();
+
+  // Every phase span shows up in the stream and in the histograms.
+  std::istringstream in(events.str());
+  std::vector<obs::Event> parsed = obs::parse_jsonl(in);
+  std::size_t periods = 0;
+  std::set<std::string> span_names;
+  for (const auto& e : parsed) {
+    if (e.type == "period") ++periods;
+    if (e.type == "span") span_names.insert(e.find("name")->as_string());
+  }
+  EXPECT_EQ(periods, 30u);
+  for (const char* phase : {"period", "sample", "embed", "predict", "act"}) {
+    EXPECT_TRUE(span_names.count(phase) == 1)
+        << "missing span for phase " << phase;
+    obs::MetricsSnapshot snap = observer.metrics().snapshot();
+    bool found = false;
+    for (const auto& h : snap.histograms) {
+      if (h.name == std::string("span.") + phase + ".us") {
+        found = h.count == 30u;  // one observation per period per phase
+      }
+    }
+    EXPECT_TRUE(found) << "missing histogram for phase " << phase;
+  }
+  // Loop counters track the record series.
+  obs::MetricsSnapshot snap = observer.metrics().snapshot();
+  std::uint64_t loop_periods = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "loop.periods") loop_periods = v;
+  }
+  EXPECT_EQ(loop_periods, 30u);
+  // Governor activity surfaced as pause/resume events with reasons.
+  if (rt.governor().pauses() > 0) {
+    bool saw_pause = false;
+    for (const auto& e : parsed) {
+      if (e.type == "pause") {
+        saw_pause = true;
+        EXPECT_NE(e.find("reason"), nullptr);
+      }
+    }
+    EXPECT_TRUE(saw_pause);
+  }
 }
 
 }  // namespace

@@ -67,8 +67,8 @@ TEST(ScenarioFile, StayAwayTuningKeys) {
   EXPECT_DOUBLE_EQ(s.spec.stayaway.governor.beta_initial, 0.02);
   EXPECT_FALSE(s.spec.stayaway.actions_enabled);
   EXPECT_TRUE(s.spec.stayaway.allow_sensitive_demotion);
-  EXPECT_FALSE(s.spec.sampler.aggregate_batch);
-  EXPECT_DOUBLE_EQ(s.spec.sampler.noise_fraction, 0.05);
+  EXPECT_FALSE(s.spec.stayaway.sampler.aggregate_batch);
+  EXPECT_DOUBLE_EQ(s.spec.stayaway.sampler.noise_fraction, 0.05);
 }
 
 TEST(ScenarioFile, InlineCommentsAndWhitespace) {

@@ -4,17 +4,26 @@
 //   stayaway_sim - < scenario.conf        (read from stdin)
 //   stayaway_sim --example                (print a template scenario)
 //
+// Observability (optional, attached to the primary run only):
+//   --events-out FILE    JSONL event stream (periods, decisions, spans,
+//                        pause/resume transitions)
+//   --metrics-out FILE   JSON metrics summary (counters/gauges/histograms)
+//
 // The scenario format is documented in src/harness/scenario_file.hpp.
 // Prints the QoS/utilization summary (and the full comparison when
 // `compare = true`), optionally saving the per-period series as CSV and
 // importing/exporting Stay-Away templates.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string>
 
 #include "core/template_store.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario_file.hpp"
+#include "obs/events.hpp"
+#include "obs/observer.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
@@ -34,7 +43,17 @@ compare      = true              # also run no-prevention + isolated references
 # series_csv   = run_series.csv
 )";
 
-int run(std::istream& in) {
+constexpr const char* kUsage =
+    "usage: stayaway_sim [--events-out FILE] [--metrics-out FILE]\n"
+    "                    <scenario-file | - | --example>\n";
+
+struct Options {
+  std::string scenario;
+  std::optional<std::string> events_out;
+  std::optional<std::string> metrics_out;
+};
+
+int run(std::istream& in, const Options& opts) {
   using namespace stayaway;
   using namespace stayaway::harness;
 
@@ -47,11 +66,46 @@ int run(std::istream& in) {
               << scenario.spec.seed_template->entries.size() << " states)\n";
   }
 
+  // Observability attaches to the primary run only; the compare/isolated
+  // reference runs stay unobserved so their series are not interleaved
+  // into the event stream.
+  std::ofstream events_file;
+  std::optional<obs::JsonlSink> sink;
+  std::optional<obs::Observer> observer;
+  if (opts.events_out.has_value() || opts.metrics_out.has_value()) {
+    observer.emplace();
+    if (opts.events_out.has_value()) {
+      events_file.open(*opts.events_out);
+      SA_REQUIRE(events_file.good(), "cannot write: " + *opts.events_out);
+      sink.emplace(events_file);
+      observer->set_sink(&*sink);
+    }
+    scenario.spec.observer = &*observer;
+  }
+
   std::cout << "running: " << to_string(scenario.spec.sensitive) << " + "
             << to_string(scenario.spec.batch) << " under "
             << to_string(scenario.spec.policy) << ", "
             << scenario.spec.duration_s << " s\n\n";
   ExperimentResult result = run_experiment(scenario.spec);
+  scenario.spec.observer = nullptr;
+
+  if (observer.has_value()) {
+    observer->flush();
+    if (sink.has_value()) {
+      std::cout << "events written: " << *opts.events_out << " ("
+                << sink->emitted() << " events)\n";
+    }
+    if (opts.metrics_out.has_value()) {
+      std::ofstream mout(*opts.metrics_out);
+      SA_REQUIRE(mout.good(), "cannot write: " + *opts.metrics_out);
+      observer->metrics().write_json(mout);
+      std::cout << "metrics written: " << *opts.metrics_out << "\n";
+    }
+    std::cout << "\n";
+    print_metrics_summary(std::cout, observer->metrics());
+    std::cout << "\n";
+  }
 
   print_summary_header(std::cout);
   print_summary_row(std::cout, to_string(scenario.spec.policy), result);
@@ -106,23 +160,50 @@ int run(std::istream& in) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: stayaway_sim <scenario-file | - | --example>\n";
-    return 2;
-  }
-  std::string arg = argv[1];
-  if (arg == "--example") {
-    std::cout << kExample;
-    return 0;
-  }
-  try {
-    if (arg == "-") return run(std::cin);
-    std::ifstream file(arg);
-    if (!file.good()) {
-      std::cerr << "error: cannot open " << arg << "\n";
+  Options opts;
+  bool have_scenario = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--example") {
+      std::cout << kExample;
+      return 0;
+    }
+    if (arg == "--events-out" || arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a file argument\n" << kUsage;
+        return 2;
+      }
+      ++i;
+      if (arg == "--events-out") {
+        opts.events_out = argv[i];
+      } else {
+        opts.metrics_out = argv[i];
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "error: unknown flag " << arg << "\n" << kUsage;
       return 2;
     }
-    return run(file);
+    if (have_scenario) {
+      std::cerr << "error: more than one scenario argument\n" << kUsage;
+      return 2;
+    }
+    opts.scenario = arg;
+    have_scenario = true;
+  }
+  if (!have_scenario) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  try {
+    if (opts.scenario == "-") return run(std::cin, opts);
+    std::ifstream file(opts.scenario);
+    if (!file.good()) {
+      std::cerr << "error: cannot open " << opts.scenario << "\n";
+      return 2;
+    }
+    return run(file, opts);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
