@@ -1,46 +1,113 @@
 #!/usr/bin/env bash
-# CI entry point.
+# CI entry point. Legs are composable: pass any subset in any order.
 #
-#   ./ci.sh            tier-1 verify + ASan/UBSan test configuration
-#   ./ci.sh --tier1    tier-1 only (configure, build, ctest)
-#   ./ci.sh --asan     sanitizer configuration only
+#   ./ci.sh                      tier-1 + ASan/UBSan (the historical default)
+#   ./ci.sh --tier1              configure, build, ctest (the gate, ROADMAP.md)
+#   ./ci.sh --asan               AddressSanitizer + UBSan, Debug, full suite
+#   ./ci.sh --tsan               ThreadSanitizer, full suite (data races in the
+#                                hot-path pool / parallel kernels / obs layer)
+#   ./ci.sh --paranoid           STAYAWAY_PARANOID=ON Debug build: every
+#                                SA_INVARIANT audit enabled, full suite
+#   ./ci.sh --tidy               best-effort clang-tidy over src/ (skipped
+#                                when clang-tidy is not installed)
+#   ./ci.sh --all                every leg above
 #
-# Tier-1 is the gate every change must keep green (see ROADMAP.md); the
-# sanitizer pass rebuilds the tree with AddressSanitizer + UBSan and
-# re-runs the full suite.
-set -euo pipefail
+# Each leg builds in its own tree (build, build-asan, build-tsan,
+# build-paranoid) so configurations never contaminate each other. A
+# per-leg pass/fail summary prints at the end; the exit code is non-zero
+# when any requested leg failed. Warnings are errors in every leg
+# (-Wall -Wextra -Wpedantic -Wshadow -Wconversion -Werror via
+# STAYAWAY_STRICT_WARNINGS/STAYAWAY_WERROR, default ON).
+set -uo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-RUN_TIER1=1
-RUN_ASAN=1
-case "${1:-}" in
-  --tier1) RUN_ASAN=0 ;;
-  --asan) RUN_TIER1=0 ;;
-  "") ;;
-  *)
-    echo "usage: ./ci.sh [--tier1 | --asan]" >&2
-    exit 2
-    ;;
-esac
 
-if [[ "$RUN_TIER1" == 1 ]]; then
-  echo "== tier-1: configure + build =="
-  cmake -B build -S . >/dev/null
-  cmake --build build -j"$JOBS"
-  echo "== tier-1: ctest =="
-  ctest --test-dir build --output-on-failure -j"$JOBS"
+LEGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --tier1) LEGS+=(tier1) ;;
+    --asan) LEGS+=(asan) ;;
+    --tsan) LEGS+=(tsan) ;;
+    --paranoid) LEGS+=(paranoid) ;;
+    --tidy) LEGS+=(tidy) ;;
+    --all) LEGS+=(tier1 asan tsan paranoid tidy) ;;
+    *)
+      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--all]" >&2
+      exit 2
+      ;;
+  esac
+done
+if [[ ${#LEGS[@]} -eq 0 ]]; then
+  LEGS=(tier1 asan)
 fi
 
-if [[ "$RUN_ASAN" == 1 ]]; then
-  echo "== asan+ubsan: configure + build =="
-  cmake -B build-asan -S . \
-    -DCMAKE_BUILD_TYPE=Debug \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
-    >/dev/null
-  cmake --build build-asan -j"$JOBS"
-  echo "== asan+ubsan: ctest =="
-  ctest --test-dir build-asan --output-on-failure -j"$JOBS"
-fi
+build_and_test() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" >/dev/null &&
+    cmake --build "$dir" -j"$JOBS" &&
+    ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
+}
 
+run_leg() {
+  case "$1" in
+    tier1)
+      build_and_test build
+      ;;
+    asan)
+      build_and_test build-asan \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+      ;;
+    tsan)
+      build_and_test build-tsan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+      ;;
+    paranoid)
+      build_and_test build-paranoid \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DSTAYAWAY_PARANOID=ON
+      ;;
+    tidy)
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping (best-effort leg)"
+        return 77
+      fi
+      # compile_commands.json comes from the tier-1 tree; configure it if
+      # this leg runs alone.
+      [[ -f build/compile_commands.json ]] || cmake -B build -S . >/dev/null
+      local files
+      files="$(find src -name '*.cpp')"
+      # shellcheck disable=SC2086
+      clang-tidy -p build --quiet $files
+      ;;
+  esac
+}
+
+declare -A RESULT
+FAILED=0
+for leg in "${LEGS[@]}"; do
+  echo
+  echo "== leg: $leg =="
+  if run_leg "$leg"; then
+    RESULT[$leg]=pass
+  elif [[ $? -eq 77 ]]; then
+    RESULT[$leg]=skipped
+  else
+    RESULT[$leg]=FAIL
+    FAILED=1
+  fi
+done
+
+echo
+echo "== summary =="
+for leg in "${LEGS[@]}"; do
+  printf '  %-10s %s\n' "$leg" "${RESULT[$leg]}"
+done
+if [[ "$FAILED" == 1 ]]; then
+  echo "CI FAILED"
+  exit 1
+fi
 echo "CI OK"

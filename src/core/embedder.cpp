@@ -1,6 +1,7 @@
 #include "core/embedder.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "mds/distance.hpp"
 #include "mds/incremental.hpp"
@@ -11,6 +12,34 @@
 #include "util/check.hpp"
 
 namespace stayaway::core {
+
+namespace {
+
+// SA_INVARIANT audits (paranoid tier, see DESIGN.md §11). These are the
+// mathematical contracts the incremental hot path must preserve: growing
+// the dissimilarity matrix row-by-row must keep it a valid dissimilarity
+// matrix, and every layout handed to the state space must be finite.
+
+bool is_dissimilarity_matrix(const linalg::Matrix& m) {
+  if (m.rows() != m.cols()) return false;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (m.at(i, i) != 0.0) return false;
+    for (std::size_t j = i + 1; j < m.cols(); ++j) {
+      double d = m.at(i, j);
+      if (!(std::isfinite(d) && d >= 0.0) || d != m.at(j, i)) return false;
+    }
+  }
+  return true;
+}
+
+bool all_finite(const mds::Embedding& points) {
+  for (const auto& p : points) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 MapEmbedder::MapEmbedder(EmbedMethod method, std::size_t landmark_count,
                          double warm_skip_stress)
@@ -32,6 +61,10 @@ const mds::Embedding& MapEmbedder::update(
     ++rebuilds_;
   }
   embed(reps);
+  SA_CHECK(std::isfinite(stress_) && stress_ >= 0.0,
+           "normalized stress must be finite and non-negative");
+  SA_INVARIANT(all_finite(positions_),
+               "every embedded coordinate must be finite");
   return positions_;
 }
 
@@ -42,6 +75,9 @@ const linalg::Matrix& MapEmbedder::refresh_delta(
   } else {
     delta_ = mds::extended_distance_matrix(delta_, vectors);
   }
+  SA_INVARIANT(is_dissimilarity_matrix(delta_),
+               "incremental growth must keep the dissimilarity matrix "
+               "symmetric, zero-diagonal, finite and non-negative");
   return delta_;
 }
 
@@ -105,9 +141,14 @@ void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
         if (warm_skip_stress_ > 0.0 && res.stress <= warm_skip_stress_) {
           ++cold_runs_skipped_;
         } else {
+          const double warm_stress = res.stress;
           mds::SmacofResult cold = mds::smacof(delta);
           total_iterations_ += cold.iterations;
           if (cold.stress <= res.stress) res = std::move(cold);
+          // Stress monotonicity: keeping the better of the two solves can
+          // never end up above the warm-started stress.
+          SA_CHECK(res.stress <= warm_stress,
+                   "warm/cold selection must not increase stress");
         }
       } else {
         res = mds::smacof(delta);  // classical-MDS seed

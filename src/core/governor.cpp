@@ -1,5 +1,8 @@
 #include "core/governor.hpp"
 
+#include <cmath>
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace stayaway::core {
@@ -26,8 +29,10 @@ const char* to_string(ResumeReason reason) {
   return "unknown";
 }
 
+// The Rng is a sink parameter (mt19937_64 carries ~2.5 KB of state):
+// moved, not copied, into the member.
 ThrottleGovernor::ThrottleGovernor(GovernorConfig config, Rng rng)
-    : config_(config), rng_(rng), beta_(config.beta_initial) {
+    : config_(config), rng_(std::move(rng)), beta_(config.beta_initial) {
   SA_REQUIRE(config.beta_initial > 0.0, "beta must start positive");
   SA_REQUIRE(config.beta_increment >= 0.0, "beta increment must be >= 0");
 }
@@ -36,6 +41,8 @@ ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
                                         bool violation_predicted,
                                         bool violation_observed,
                                         const mds::Point2& mapped_state) {
+  SA_CHECK(std::isfinite(now), "decision time must be finite");
+  SA_CHECK(beta_ > 0.0, "beta must stay positive across decisions");
   if (!batch_paused) {
     bool in_probation = resumed_at_.has_value() &&
                         now - *resumed_at_ <= config_.resume_grace_s;
@@ -57,6 +64,12 @@ ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
       paused_since_ = now;
       last_paused_state_.reset();  // next period seeds the distance chain
       resumed_at_.reset();
+      // A Pause is only ever emitted from the running branch, so a
+      // pause->pause double-transition is impossible; the bookkeeping it
+      // leaves behind must describe exactly one open pause.
+      SA_DCHECK(paused_since_.has_value() && !last_paused_state_.has_value() &&
+                    !resumed_at_.has_value(),
+                "Pause must leave exactly one open pause on the books");
       return ThrottleAction::Pause;
     }
     return ThrottleAction::None;
@@ -92,6 +105,12 @@ ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
     resumed_at_ = now;
     last_paused_state_.reset();
     paused_since_.reset();
+    // A Resume is only ever emitted from the paused branch, so a
+    // resume->resume double-transition is impossible; the pause ledger
+    // must be fully closed once it fires.
+    SA_DCHECK(!paused_since_.has_value() && !last_paused_state_.has_value() &&
+                  resumed_at_.has_value() && last_resume_reason_.has_value(),
+              "Resume must close the pause ledger");
   } else {
     last_paused_state_ = mapped_state;
   }

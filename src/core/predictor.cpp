@@ -39,8 +39,12 @@ Prediction Predictor::predict(const StateSpace& space,
   for (const auto& p : out.candidates) {
     if (space.in_violation_region(p)) ++out.samples_in_violation;
   }
+  SA_CHECK(out.samples_in_violation <= out.samples,
+           "violating candidates cannot outnumber the sample set");
   double fraction = static_cast<double>(out.samples_in_violation) /
                     static_cast<double>(out.samples);
+  SA_CHECK(fraction >= 0.0 && fraction <= 1.0,
+           "violation vote fraction must be a probability");
   out.violation_predicted = fraction > majority_fraction_;
   return out;
 }

@@ -1,12 +1,24 @@
 #include "core/statespace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "stats/rayleigh.hpp"
 #include "util/check.hpp"
 
 namespace stayaway::core {
+
+namespace {
+
+bool all_finite(const mds::Embedding& points) {
+  for (const auto& p : points) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 void StateSpace::add_state(StateLabel label) {
   forced_.push_back(label == StateLabel::Violation);
@@ -22,6 +34,8 @@ void StateSpace::observe_visit(std::size_t i, bool violated) {
   StateLabel before = label(i);
   ++visits_[i];
   if (violated) ++violating_[i];
+  SA_CHECK(violating_[i] <= visits_[i],
+           "violating visits cannot exceed total visits");
   // Most visits only move the evidence fraction without crossing the
   // threshold; the range cache survives those.
   if (label(i) != before) {
@@ -42,6 +56,8 @@ void StateSpace::force_violation(std::size_t i) {
 void StateSpace::sync_positions(const mds::Embedding& positions) {
   SA_REQUIRE(positions.size() == forced_.size(),
              "positions must cover every state");
+  SA_INVARIANT(all_finite(positions),
+               "state coordinates must be finite after re-embedding");
   // The embedder returns the same layout whenever the representative set
   // is unchanged, which is the common case — keep the cache warm then.
   if (positions == positions_) return;
@@ -116,8 +132,14 @@ void StateSpace::rebuild_ranges() const {
     range.radius = (d.has_value() && *d > 0.0 && c > 0.0)
                        ? stats::rayleigh_radius(*d, c)
                        : 0.0;
+    SA_CHECK(std::isfinite(range.radius) && range.radius >= 0.0,
+             "violation radius R = d*exp(-d^2/2c^2) must be finite and >= 0");
     ranges_cache_.push_back(range);
   }
+  // The cache must cover exactly the violation-states: one range per
+  // violation, none for safe states.
+  SA_INVARIANT(ranges_cache_.size() == violation_count(),
+               "violation-range cache out of sync with the labels");
   ranges_dirty_ = false;
 }
 

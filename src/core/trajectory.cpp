@@ -1,5 +1,7 @@
 #include "core/trajectory.hpp"
 
+#include <cmath>
+
 #include "stats/sampler.hpp"
 #include "util/check.hpp"
 
@@ -7,7 +9,17 @@ namespace stayaway::core {
 
 namespace {
 constexpr double kPi = std::numbers::pi;
+
+// Paranoid audit: a non-empty histogram's probability masses must sum to
+// 1 — inverse-transform sampling silently skews if normalization drifts.
+bool mass_sums_to_one(const stats::Histogram& h) {
+  if (h.empty()) return false;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) acc += h.mass(i);
+  return std::abs(acc - 1.0) <= 1e-9;
 }
+
+}  // namespace
 
 TrajectoryModel::TrajectoryModel(double max_step, std::size_t bins)
     // Step lengths concentrate near zero (states mostly linger or move a
@@ -27,6 +39,10 @@ void TrajectoryModel::observe(const mds::Point2& from, const mds::Point2& to) {
 std::vector<mds::Point2> TrajectoryModel::sample_future(
     const mds::Point2& current, std::size_t count, Rng& rng) const {
   SA_REQUIRE(observations_ > 0, "trajectory model has no observations");
+  SA_INVARIANT(mass_sums_to_one(steps_),
+               "step-length histogram masses must sum to 1");
+  SA_INVARIANT(mass_sums_to_one(angles_),
+               "angle histogram masses must sum to 1");
   stats::InverseTransformSampler step_sampler(steps_);
   stats::InverseTransformSampler angle_sampler(angles_);
   std::vector<mds::Point2> out;

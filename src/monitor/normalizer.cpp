@@ -6,6 +6,19 @@
 
 namespace stayaway::monitor {
 
+namespace {
+
+// Paranoid audit: everything downstream (dedup radii, map distances,
+// Rayleigh scales) assumes usage vectors live in the unit cube.
+bool in_unit_interval(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!(v >= 0.0 && v <= 1.0)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 CapacityNormalizer::CapacityNormalizer(const sim::HostSpec& spec,
                                        MetricLayout layout)
     : spec_(spec), layout_(std::move(layout)) {
@@ -36,9 +49,12 @@ std::vector<double> CapacityNormalizer::normalize(const Measurement& m) const {
     for (std::size_t k = 0; k < layout_.metrics.size(); ++k) {
       std::size_t i = layout_.index_of(e, k);
       double cap = capacity_of(layout_.metrics[k]);
+      SA_CHECK(cap > 0.0, "metric capacity must be positive to normalize");
       out[i] = std::clamp(m.values[i] / cap, 0.0, 1.0);
     }
   }
+  SA_INVARIANT(in_unit_interval(out),
+               "capacity normalization must land in [0,1]");
   return out;
 }
 
@@ -55,6 +71,8 @@ std::vector<double> RunningNormalizer::observe(const std::vector<double>& values
     double range = bounds_[i].range();
     out[i] = (range > 0.0) ? (values[i] - bounds_[i].min()) / range : 0.0;
   }
+  SA_INVARIANT(in_unit_interval(out),
+               "running min-max normalization must land in [0,1]");
   return out;
 }
 

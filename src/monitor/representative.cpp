@@ -12,6 +12,24 @@ namespace {
 /// Below this set size the nearest-representative scan stays sequential:
 /// the pool hand-off costs more than the scan itself.
 constexpr std::size_t kParallelScanThreshold = 128;
+
+// Paranoid audit: re-derive the argmin sequentially and compare with the
+// scan's answer. Catches a parallel distance scan that diverged from the
+// sequential comparison order.
+bool argmin_matches(const std::vector<std::vector<double>>& reps,
+                    const std::vector<double>& v, std::size_t best,
+                    double best_dist) {
+  std::size_t check_best = 0;
+  double check_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    double d = linalg::euclidean_distance(reps[i], v);
+    if (d < check_dist) {
+      check_dist = d;
+      check_best = i;
+    }
+  }
+  return reps.empty() || (check_best == best && check_dist == best_dist);
+}
 }  // namespace
 
 RepresentativeSet::RepresentativeSet(double epsilon, std::size_t max_size)
@@ -56,10 +74,17 @@ Assignment RepresentativeSet::assign(const std::vector<double>& v) {
     }
   }
 
+  SA_INVARIANT(argmin_matches(reps_, v, best, best_dist),
+               "parallel nearest-representative scan diverged from the "
+               "sequential argmin");
   if (!reps_.empty() && (best_dist <= epsilon_ || full())) {
     ++weights_[best];
     return {best, false, best_dist};
   }
+  // Dedup-threshold consistency: a new representative is only legal when
+  // every existing one sits strictly beyond epsilon (and the set has room).
+  SA_CHECK(reps_.empty() || (best_dist > epsilon_ && !full()),
+           "created a representative inside the dedup threshold");
   reps_.push_back(v);
   weights_.push_back(1);
   return {reps_.size() - 1, true, 0.0};

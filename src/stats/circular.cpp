@@ -1,5 +1,6 @@
 #include "stats/circular.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -26,7 +27,9 @@ CircularSummary circular_summary(std::span<const double> angles) {
   }
   double n = static_cast<double>(angles.size());
   CircularSummary out;
-  out.resultant = std::sqrt(sx * sx + sy * sy) / n;
+  // |Σe^{iθ}|/n is mathematically ≤ 1, but cos²+sin² can land an ulp above
+  // 1 in floating point; without the clamp the variance goes negative.
+  out.resultant = std::min(1.0, std::sqrt(sx * sx + sy * sy) / n);
   out.mean = std::atan2(sy, sx);
   out.variance = 1.0 - out.resultant;
   return out;

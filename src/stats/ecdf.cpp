@@ -1,6 +1,7 @@
 #include "stats/ecdf.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -9,6 +10,11 @@ namespace stayaway::stats {
 Ecdf::Ecdf(std::span<const double> samples)
     : sorted_(samples.begin(), samples.end()) {
   SA_REQUIRE(!sorted_.empty(), "ECDF needs at least one sample");
+  // A NaN sample breaks operator<'s strict weak ordering, making the sort
+  // itself undefined behaviour — reject it before sorting.
+  for (double s : sorted_) {
+    SA_REQUIRE(std::isfinite(s), "ECDF samples must be finite");
+  }
   std::sort(sorted_.begin(), sorted_.end());
 }
 

@@ -14,7 +14,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 }
 
 void Histogram::add(double v, double weight) {
-  SA_REQUIRE(weight >= 0.0, "histogram weight must be non-negative");
+  // An infinite weight would make total_ infinite and every mass() an
+  // inf/inf NaN, silently poisoning the samplers built on top.
+  SA_REQUIRE(std::isfinite(weight) && weight >= 0.0,
+             "histogram weight must be finite and non-negative");
   SA_REQUIRE(std::isfinite(v), "histogram observation must be finite");
   counts_[bin_index(v)] += weight;
   total_ += weight;
@@ -62,16 +65,23 @@ double Histogram::quantile(double q) const {
   SA_REQUIRE(!empty(), "quantile of an empty histogram");
   SA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
   double acc = 0.0;
+  std::size_t last_loaded = 0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     double m = mass(b);
-    if (acc + m >= q || b + 1 == counts_.size()) {
-      double within = (m > 0.0) ? (q - acc) / m : 0.0;
-      within = std::clamp(within, 0.0, 1.0);
+    // Empty bins carry no quantile mass: without this skip, quantile(0)
+    // of a histogram whose support starts mid-range would report lo_.
+    if (m <= 0.0) continue;
+    last_loaded = b;
+    if (acc + m >= q) {
+      double within = std::clamp((q - acc) / m, 0.0, 1.0);
       return lo_ + (static_cast<double>(b) + within) * bin_width();
     }
     acc += m;
   }
-  return hi_;
+  // Floating-point drift can leave acc a hair under q == 1; the answer is
+  // the upper edge of the last mass-bearing bin (not hi_, which may sit
+  // past the support).
+  return lo_ + (static_cast<double>(last_loaded) + 1.0) * bin_width();
 }
 
 void Histogram::decay(double factor) {

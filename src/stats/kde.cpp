@@ -11,7 +11,13 @@ namespace stayaway::stats {
 Kde::Kde(std::span<const double> samples, double bandwidth)
     : samples_(samples.begin(), samples.end()), bandwidth_(bandwidth) {
   SA_REQUIRE(!samples_.empty(), "KDE needs at least one sample");
-  SA_REQUIRE(bandwidth > 0.0, "KDE bandwidth must be positive");
+  SA_REQUIRE(std::isfinite(bandwidth) && bandwidth > 0.0,
+             "KDE bandwidth must be finite and positive");
+  // One NaN sample makes evaluate() NaN at every x; fail at construction
+  // where the bad input is still attributable.
+  for (double s : samples_) {
+    SA_REQUIRE(std::isfinite(s), "KDE samples must be finite");
+  }
 }
 
 Kde Kde::with_silverman_bandwidth(std::span<const double> samples) {

@@ -46,7 +46,9 @@ double OnlineMoments::mean() const {
 
 double OnlineMoments::variance() const {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_ - 1);
+  // Welford's m2 can drift an ulp below zero when all samples are (nearly)
+  // identical; clamping keeps stddev() out of sqrt(-0.0…) NaN territory.
+  return std::max(0.0, m2_ / static_cast<double>(count_ - 1));
 }
 
 double OnlineMoments::stddev() const { return std::sqrt(variance()); }

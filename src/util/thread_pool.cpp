@@ -30,6 +30,8 @@ void ThreadPool::for_ranges(std::size_t n, const RangeFn& fn) {
     if (n > 0) fn(0, n);
     return;
   }
+  SA_CHECK(!in_parallel_.exchange(true, std::memory_order_acquire),
+           "for_ranges is not reentrant: fn called back into the same pool");
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
@@ -44,6 +46,7 @@ void ThreadPool::for_ranges(std::size_t n, const RangeFn& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
   fn_ = nullptr;
+  in_parallel_.store(false, std::memory_order_release);
 }
 
 void ThreadPool::worker_loop(std::size_t slot) {
@@ -78,11 +81,28 @@ std::unique_ptr<ThreadPool>& pool_slot() {
   return pool;
 }
 
+// The first thread to reconfigure the global pool becomes the control
+// thread; later reconfigurations must come from it (debug-checked). The
+// hot-path kernels themselves only ever run on the control thread, so
+// a foreign reconfigure would race the workers' unlocked state.
+std::atomic<std::thread::id>& control_thread_slot() {
+  static std::atomic<std::thread::id> id{};
+  return id;
+}
+
 }  // namespace
 
 ThreadPool& hot_path_pool() { return *pool_slot(); }
 
 void set_hot_path_threads(std::size_t n) {
+  std::thread::id expected{};
+  control_thread_slot().compare_exchange_strong(
+      expected, std::this_thread::get_id(), std::memory_order_acq_rel);
+  SA_DCHECK(control_thread_slot().load(std::memory_order_acquire) ==
+                std::this_thread::get_id(),
+            "hot-path pool reconfigured from a non-control thread");
+  SA_CHECK(!pool_slot()->in_parallel(),
+           "hot-path pool reconfigured while a parallel section is active");
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }

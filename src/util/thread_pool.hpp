@@ -15,6 +15,7 @@
 // terminate the process. The hot-path kernels are pure arithmetic.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -42,8 +43,15 @@ class ThreadPool {
   /// Splits [0, n) into size() contiguous chunks and runs fn on each
   /// concurrently (the caller executes chunk 0). Blocks until every chunk
   /// finished. With size() == 1 this is exactly fn(0, n) on the caller.
-  /// Not reentrant: fn must not call back into the same pool.
+  /// Not reentrant: fn must not call back into the same pool (checked —
+  /// the alternative is a silent deadlock).
   void for_ranges(std::size_t n, const RangeFn& fn);
+
+  /// True while a parallel section is executing on this pool. Used by
+  /// set_hot_path_threads to reject reconfiguration mid-section.
+  bool in_parallel() const {
+    return in_parallel_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop(std::size_t slot);
@@ -61,6 +69,7 @@ class ThreadPool {
   const RangeFn* fn_ = nullptr;
   std::size_t n_ = 0;
   bool stop_ = false;
+  std::atomic<bool> in_parallel_{false};
 };
 
 /// Process-wide pool shared by the hot-path kernels. Defaults to a single
@@ -72,6 +81,11 @@ ThreadPool& hot_path_pool();
 
 /// Replaces the global pool with one of `n` threads (0 = one per hardware
 /// thread). n == current size is a no-op.
+///
+/// The documented ownership rule is enforced: calling this while a
+/// parallel section is active throws (always), and calling it from a
+/// thread other than the one that performed the first reconfiguration
+/// throws in debug builds (the first caller becomes the control thread).
 void set_hot_path_threads(std::size_t n);
 
 /// Current parallelism of the global pool.

@@ -1,0 +1,222 @@
+// Multi-threaded stress tests, written to run under ThreadSanitizer
+// (./ci.sh --tsan) as well as in the plain tier-1 suite. They hammer the
+// three concurrent surfaces of the library: the hot-path thread pool
+// (worker hand-off, repeated reconfiguration), the parallel SMACOF/
+// distance kernels (determinism across thread counts), and the obs
+// metrics registry (relaxed-atomic updates racing registration and
+// snapshots).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mds/distance.hpp"
+#include "mds/smacof.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace stayaway {
+namespace {
+
+// Restores the global pool to a single thread when a test exits, so a
+// failing test cannot leak parallelism into its neighbours.
+struct PoolGuard {
+  ~PoolGuard() { util::set_hot_path_threads(1); }
+};
+
+TEST(ThreadPoolStress, ForRangesCoversEveryIndexAtEverySize) {
+  constexpr std::size_t kN = 10'000;
+  for (std::size_t threads = 1; threads <= 8; ++threads) {
+    util::ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(kN, 0);
+    for (int round = 0; round < 20; ++round) {
+      pool.for_ranges(kN, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] += i;
+      });
+    }
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[i], 20 * i) << "index " << i << " at " << threads
+                                << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolStress, RepeatedReconfigurationFromControlThread) {
+  PoolGuard guard;
+  constexpr std::size_t kN = 4'096;
+  const std::size_t sizes[] = {1, 2, 4, 8, 3, 1, 8, 2};
+  for (int round = 0; round < 40; ++round) {
+    std::size_t threads = sizes[static_cast<std::size_t>(round) %
+                                (sizeof(sizes) / sizeof(sizes[0]))];
+    util::set_hot_path_threads(threads);
+    ASSERT_EQ(util::hot_path_threads(), threads);
+    std::vector<double> out(kN, 0.0);
+    util::hot_path_pool().for_ranges(kN, [&](std::size_t begin,
+                                             std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<double>(i) * 0.5;
+      }
+    });
+    double acc = 0.0;
+    for (double v : out) acc += v;
+    ASSERT_DOUBLE_EQ(acc, 0.5 * static_cast<double>(kN) *
+                              static_cast<double>(kN - 1) / 2.0);
+  }
+}
+
+TEST(ThreadPoolStress, InParallelIsVisibleDuringASection) {
+  util::ThreadPool pool(4);
+  EXPECT_FALSE(pool.in_parallel());
+  std::atomic<bool> release{false};
+  std::atomic<bool> observed{false};
+  std::thread observer([&] {
+    while (!pool.in_parallel()) std::this_thread::yield();
+    observed.store(true);
+    release.store(true);
+  });
+  pool.for_ranges(64, [&](std::size_t, std::size_t) {
+    while (!release.load()) std::this_thread::yield();
+  });
+  observer.join();
+  EXPECT_TRUE(observed.load());
+  EXPECT_FALSE(pool.in_parallel());
+}
+
+TEST(ThreadPoolStress, ReconfigureFromNonControlThreadThrowsInDebug) {
+  PoolGuard guard;
+  // The main thread claims control-thread ownership (or already has it
+  // from an earlier test in this binary).
+  util::set_hot_path_threads(1);
+  if (!dchecks_enabled()) {
+    GTEST_SKIP() << "owning-thread check is debug-only";
+  }
+  std::atomic<bool> threw{false};
+  std::thread foreign([&] {
+    try {
+      util::set_hot_path_threads(2);
+    } catch (const InvariantError&) {
+      threw.store(true);
+    }
+  });
+  foreign.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_EQ(util::hot_path_threads(), 1u);
+}
+
+// §4 determinism contract: with k >= 2 threads the SMACOF stress
+// reduction is associated per row, so every thread count >= 2 produces
+// bit-identical layouts; the single-thread path is the historical
+// sequential code and may differ only in the last ulp.
+TEST(ParallelEmbedding, SmacofIsDeterministicAcrossThreadCounts) {
+  PoolGuard guard;
+  Rng rng(20260806);
+  std::vector<std::vector<double>> vectors;
+  for (std::size_t i = 0; i < 96; ++i) {
+    std::vector<double> v(6, 0.0);
+    for (double& x : v) x = rng.uniform();
+    vectors.push_back(std::move(v));
+  }
+
+  util::set_hot_path_threads(1);
+  const linalg::Matrix delta = mds::distance_matrix(vectors);
+  const mds::SmacofResult seq = mds::smacof(delta);
+
+  util::set_hot_path_threads(4);
+  const linalg::Matrix delta4 = mds::distance_matrix(vectors);
+  const mds::SmacofResult par4 = mds::smacof(delta4);
+
+  util::set_hot_path_threads(8);
+  const mds::SmacofResult par8 = mds::smacof(delta4);
+
+  // Distances are per-entry independent: bit-identical at any k.
+  ASSERT_EQ(delta.rows(), delta4.rows());
+  for (std::size_t i = 0; i < delta.rows(); ++i) {
+    for (std::size_t j = 0; j < delta.cols(); ++j) {
+      ASSERT_EQ(delta.at(i, j), delta4.at(i, j));
+    }
+  }
+  // k = 4 and k = 8 agree bit for bit.
+  ASSERT_EQ(par4.points.size(), par8.points.size());
+  ASSERT_EQ(par4.iterations, par8.iterations);
+  for (std::size_t i = 0; i < par4.points.size(); ++i) {
+    ASSERT_EQ(par4.points[i].x, par8.points[i].x);
+    ASSERT_EQ(par4.points[i].y, par8.points[i].y);
+  }
+  // The sequential run agrees to floating-point noise.
+  ASSERT_EQ(seq.points.size(), par4.points.size());
+  for (std::size_t i = 0; i < seq.points.size(); ++i) {
+    EXPECT_NEAR(seq.points[i].x, par4.points[i].x, 1e-9);
+    EXPECT_NEAR(seq.points[i].y, par4.points[i].y, 1e-9);
+  }
+  EXPECT_NEAR(seq.stress, par4.stress, 1e-9);
+}
+
+TEST(ConcurrentObs, CountersGaugesHistogramsUnderContention) {
+  obs::MetricsRegistry reg;
+  obs::Counter shared_counter = reg.counter("stress.ops");
+  obs::Histogram shared_hist =
+      reg.histogram("stress.latency", obs::exponential_bounds(0.001, 10.0, 8));
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kOps = 20'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, shared_counter, shared_hist, t]() mutable {
+      // Each worker also races get-or-create on a shared name and
+      // registers a private name of its own.
+      obs::Counter racing = reg.counter("stress.shared");
+      obs::Counter mine = reg.counter("stress.t" + std::to_string(t));
+      obs::Gauge gauge = reg.gauge("stress.gauge");
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        shared_counter.inc();
+        racing.inc();
+        mine.inc();
+        gauge.set(static_cast<double>(i));
+        shared_hist.observe(0.001 * static_cast<double>(i % 100));
+      }
+    });
+  }
+  // A snapshotter races the updates: totals it sees must be monotone.
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    std::uint64_t last = 0;
+    while (!stop.load()) {
+      obs::MetricsSnapshot snap = reg.snapshot();
+      for (const auto& [name, value] : snap.counters) {
+        if (name == "stress.ops") {
+          EXPECT_GE(value, last);
+          last = value;
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  snapshotter.join();
+
+  EXPECT_EQ(shared_counter.value(), kThreads * kOps);
+  EXPECT_EQ(reg.counter("stress.shared").value(), kThreads * kOps);
+  EXPECT_EQ(shared_hist.count(), kThreads * kOps);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("stress.t" + std::to_string(t)).value(), kOps);
+  }
+  // Every bucket observation landed somewhere: bucket sums equal count.
+  obs::MetricsSnapshot snap = reg.snapshot();
+  for (const auto& h : snap.histograms) {
+    if (h.name != "stress.latency") continue;
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : h.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, h.count);
+  }
+}
+
+}  // namespace
+}  // namespace stayaway

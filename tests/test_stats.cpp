@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <vector>
 
@@ -410,6 +411,78 @@ TEST(Var1, InsufficientSamplesRejected) {
 TEST(Var1, DimensionMismatchRejected) {
   Var1Model model = Var1Model::fit({{1.0}, {0.5}, {0.25}, {0.125}});
   EXPECT_THROW(model.predict({1.0, 2.0}), PreconditionError);
+}
+
+// ---------------------------------------------------- latent edge cases
+// Pins for 0/0- and NaN-shaped inputs the contract pass flushed out: each
+// of these either returned NaN or invoked UB before the guards landed.
+
+TEST(OnlineMoments, StddevOfIdenticalSamplesIsExactlyZero) {
+  // Welford's m2 can drift an ulp below zero on constant streams; the
+  // variance clamp keeps stddev out of sqrt(negative) NaN territory.
+  OnlineMoments m;
+  for (int i = 0; i < 1000; ++i) m.observe(0.1 + 1e-17);
+  EXPECT_GE(m.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(m.stddev()));
+  EXPECT_DOUBLE_EQ(m.stddev(), 0.0);
+}
+
+TEST(Histogram, NonFiniteWeightRejected) {
+  Histogram h(0.0, 1.0, 4);
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(h.add(0.5, inf), PreconditionError);
+  EXPECT_THROW(h.add(0.5, std::numeric_limits<double>::quiet_NaN()),
+               PreconditionError);
+  // The rejected adds must not have poisoned the totals.
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.mass(h.bin_index(0.5)), 1.0);
+}
+
+TEST(Histogram, QuantileOfSingleLoadedBinStaysInsideThatBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(7.3, 5.0);  // all mass in bin [7, 8)
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    double x = h.quantile(q);
+    EXPECT_GE(x, 7.0) << "q=" << q;
+    EXPECT_LE(x, 8.0) << "q=" << q;
+  }
+}
+
+TEST(Ecdf, NonFiniteSamplesRejected) {
+  std::vector<double> nan_samples{1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(Ecdf{nan_samples}, PreconditionError);
+  std::vector<double> inf_samples{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(Ecdf{inf_samples}, PreconditionError);
+}
+
+TEST(Kde, NonFiniteInputsRejected) {
+  std::vector<double> nan_samples{1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(Kde(nan_samples, 1.0), PreconditionError);
+  EXPECT_THROW(Kde::with_silverman_bandwidth(nan_samples), PreconditionError);
+  std::vector<double> fine{1.0, 2.0};
+  EXPECT_THROW(Kde(fine, std::numeric_limits<double>::quiet_NaN()),
+               PreconditionError);
+}
+
+TEST(Kde, SilvermanBandwidthDefinedForConstantSamples) {
+  // Zero spread drives the Silverman rule to h = 0; the fallback keeps
+  // evaluation defined (a narrow spike, not a NaN field).
+  std::vector<double> constant(8, 4.2);
+  Kde kde = Kde::with_silverman_bandwidth(constant);
+  EXPECT_TRUE(std::isfinite(kde.evaluate(4.2)));
+  EXPECT_GT(kde.evaluate(4.2), 0.0);
+  EXPECT_TRUE(std::isfinite(kde.evaluate(0.0)));
+}
+
+TEST(Circular, VarianceNeverNegative) {
+  // With a single angle the resultant is exactly 1 mathematically, but
+  // cos^2 + sin^2 can exceed 1 by an ulp; variance must clamp at 0.
+  for (double a : {0.3, 1.0, 2.2, -2.9, 0.7853981633974483}) {
+    std::vector<double> one{a};
+    CircularSummary s = circular_summary(one);
+    EXPECT_GE(s.variance, 0.0) << "angle=" << a;
+    EXPECT_LE(s.resultant, 1.0) << "angle=" << a;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,418 @@
+// stayaway_lint: repo-specific static checks over the library sources.
+//
+// Plain C++ with no dependencies beyond the standard library; registered
+// as a ctest so tier-1 fails on violations (see tools/CMakeLists.txt and
+// DESIGN.md §11). Comments and string/character literals are stripped
+// before matching, so a rule named in prose never trips its own check.
+//
+// Rules:
+//   deterministic-random    rand(), std::random_device and
+//                           std::chrono::system_clock are banned in the
+//                           deterministic domain (src/core, src/stats,
+//                           src/linalg, src/mds): every stochastic draw
+//                           must flow through an explicitly seeded
+//                           util/rng Rng or experiments stop reproducing.
+//   no-raw-io               std::cout / std::cerr / std::clog are banned
+//                           in library code; diagnostics go through the
+//                           obs event sinks so runs stay machine-readable.
+//   using-namespace-header  `using namespace` in a header leaks into
+//                           every includer.
+//   pragma-once             every header carries `#pragma once`.
+//   naked-new-delete        naked new/delete expressions are banned; use
+//                           std::make_unique, containers, or values.
+//
+// Usage:
+//   stayaway_lint <root>...   lint every .hpp/.cpp under the roots
+//   stayaway_lint --self-test run the built-in fixtures (each rule must
+//                             both fire on a seeded violation and stay
+//                             quiet on a near-miss)
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replaces comments and string/char literals with spaces, preserving
+/// newlines so line numbers survive. Handles //, /*...*/, "...", '...'
+/// (but not digit separators like 1'000), and R"delim(...)delim".
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
+  State state = State::Code;
+  std::string raw_delim;  // for Raw: the ")delim" closer
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto blank = [&](std::size_t pos) {
+    if (src[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    char c = src[i];
+    char next = (i + 1 < n) ? src[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !ident_char(src[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t paren = src.find('(', i + 2);
+          if (paren == std::string::npos) {
+            ++i;  // malformed; treat as code
+            break;
+          }
+          raw_delim = ")" + src.substr(i + 2, paren - (i + 2)) + "\"";
+          for (std::size_t k = i; k <= paren; ++k) blank(k);
+          i = paren + 1;
+          state = State::Raw;
+        } else if (c == '"') {
+          state = State::String;
+          blank(i);
+          ++i;
+        } else if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
+          state = State::Char;
+          blank(i);
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          state = State::Code;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          state = State::Code;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::String:
+      case State::Char: {
+        char close = (state == State::String) ? '"' : '\'';
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < n) blank(i + 1);
+          i += 2;
+        } else if (c == close) {
+          blank(i);
+          ++i;
+          state = State::Code;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      }
+      case State::Raw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = i; k < i + raw_delim.size(); ++k) blank(k);
+          i += raw_delim.size();
+          state = State::Code;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// True when `word` occurs in `line` delimited by non-identifier chars.
+/// Returns the position via `pos` (std::string::npos when absent).
+std::size_t find_word(const std::string& line, std::string_view word,
+                      std::size_t from = 0) {
+  std::size_t pos = line.find(word, from);
+  while (pos != std::string::npos) {
+    bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    std::size_t end = pos + word.size();
+    bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(word, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool is_header(const std::string& path) { return path.ends_with(".hpp"); }
+
+/// The deterministic domain: modules whose outputs must be reproducible
+/// from an explicit seed.
+bool deterministic_domain(const std::string& path) {
+  for (const char* dir : {"core/", "stats/", "linalg/", "mds/"}) {
+    if (path.find(dir) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void check_line_rules(const std::string& path, std::size_t lineno,
+                      const std::string& line, std::vector<Violation>& out) {
+  if (deterministic_domain(path)) {
+    struct Banned {
+      std::string_view token;
+      std::string_view what;
+    };
+    for (const Banned& b :
+         {Banned{"rand", "rand()"}, Banned{"srand", "srand()"},
+          Banned{"random_device", "std::random_device"},
+          Banned{"system_clock", "std::chrono::system_clock"}}) {
+      std::size_t pos = find_word(line, b.token);
+      // `rand` only counts as the C function when called.
+      if (pos != std::string::npos &&
+          (b.token != "rand" ||
+           line.find('(', pos + b.token.size()) != std::string::npos)) {
+        out.push_back({path, lineno, "deterministic-random",
+                       std::string(b.what) +
+                           " is banned in deterministic code; draw from an "
+                           "explicitly seeded util/rng Rng"});
+      }
+    }
+  }
+  for (std::string_view stream : {"cout", "cerr", "clog"}) {
+    std::size_t pos = find_word(line, stream);
+    if (pos != std::string::npos && pos >= 5 &&
+        line.compare(pos - 5, 5, "std::") == 0) {
+      out.push_back({path, lineno, "no-raw-io",
+                     "std::" + std::string(stream) +
+                         " is banned in library code; emit through the obs "
+                         "event sinks"});
+    }
+  }
+  if (is_header(path) && find_word(line, "using") != std::string::npos &&
+      find_word(line, "namespace") != std::string::npos) {
+    std::size_t u = find_word(line, "using");
+    std::size_t ns = find_word(line, "namespace");
+    if (ns != std::string::npos && u != std::string::npos && ns > u) {
+      out.push_back({path, lineno, "using-namespace-header",
+                     "`using namespace` in a header leaks into every "
+                     "includer"});
+    }
+  }
+  // Naked new: `new` followed by a type. Naked delete: `delete` not part
+  // of `= delete` (deleted special members are fine).
+  std::size_t pos = find_word(line, "new");
+  while (pos != std::string::npos) {
+    std::size_t after = pos + 3;
+    while (after < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+      ++after;
+    }
+    if (after < line.size() && (ident_char(line[after]) || line[after] == '(')) {
+      out.push_back({path, lineno, "naked-new-delete",
+                     "naked `new` is banned; use std::make_unique, a "
+                     "container, or a value"});
+    }
+    pos = find_word(line, "new", pos + 1);
+  }
+  pos = find_word(line, "delete");
+  while (pos != std::string::npos) {
+    std::size_t before = pos;
+    while (before > 0 && std::isspace(static_cast<unsigned char>(
+                             line[before - 1])) != 0) {
+      --before;
+    }
+    if (before == 0 || line[before - 1] != '=') {
+      out.push_back({path, lineno, "naked-new-delete",
+                     "naked `delete` is banned; let an owner release the "
+                     "memory"});
+    }
+    pos = find_word(line, "delete", pos + 1);
+  }
+}
+
+std::vector<Violation> scan_content(const std::string& path,
+                                    const std::string& content) {
+  std::vector<Violation> out;
+  const std::string stripped = strip_comments_and_strings(content);
+  if (is_header(path) &&
+      stripped.find("#pragma once") == std::string::npos) {
+    out.push_back({path, 1, "pragma-once",
+                   "header is missing `#pragma once`"});
+  }
+  std::istringstream in(stripped);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    check_line_rules(path, lineno, line, out);
+  }
+  return out;
+}
+
+std::vector<Violation> scan_tree(const std::string& root) {
+  std::vector<Violation> out;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<Violation> v = scan_content(file.generic_string(), buf.str());
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: each rule must fire on a seeded violation and stay quiet on a
+// near-miss (same token in a comment, a string, or outside the rule's
+// domain). Proves the linter detects what it claims to.
+
+struct Fixture {
+  std::string name;
+  std::string path;  // virtual path: domain rules key off it
+  std::string content;
+  std::vector<std::string> expect;  // expected rule ids, in order
+};
+
+std::vector<Fixture> self_test_fixtures() {
+  std::vector<Fixture> f;
+  f.push_back({"rand-in-core", "src/core/bad.cpp",
+               "int draw() { return rand(); }\n",
+               {"deterministic-random"}});
+  f.push_back({"random-device-in-stats", "src/stats/bad.cpp",
+               "std::random_device rd;\n",
+               {"deterministic-random"}});
+  f.push_back({"system-clock-in-linalg", "src/linalg/bad.cpp",
+               "auto t = std::chrono::system_clock::now();\n",
+               {"deterministic-random"}});
+  f.push_back({"rand-outside-domain", "src/apps/ok.cpp",
+               "int draw() { return rand(); }\n",
+               {}});
+  f.push_back({"rand-in-comment", "src/core/ok.cpp",
+               "// rand() is banned here\nint x = 0;\n",
+               {}});
+  f.push_back({"operand-not-rand", "src/core/ok2.cpp",
+               "int operand(int a) { return a; }\n",
+               {}});
+  f.push_back({"cout-in-library", "src/mds/bad.cpp",
+               "void p() { std::cout << 1; }\n",
+               {"no-raw-io"}});
+  f.push_back({"cerr-in-string", "src/mds/ok.cpp",
+               "const char* s = \"std::cerr\";\n",
+               {}});
+  f.push_back({"using-namespace-in-header", "src/util/bad.hpp",
+               "#pragma once\nusing namespace std;\n",
+               {"using-namespace-header"}});
+  f.push_back({"using-namespace-in-cpp", "src/util/ok.cpp",
+               "using namespace std;\n",
+               {}});
+  f.push_back({"missing-pragma-once", "src/util/bad2.hpp",
+               "int f();\n",
+               {"pragma-once"}});
+  f.push_back({"naked-new-and-delete", "src/sim/bad.cpp",
+               "void f() { int* p = new int(3); delete p; }\n",
+               {"naked-new-delete", "naked-new-delete"}});
+  f.push_back({"deleted-special-member", "src/sim/ok.hpp",
+               "#pragma once\nstruct S { S(const S&) = delete; };\n",
+               {}});
+  f.push_back({"make-unique-ok", "src/sim/ok2.cpp",
+               "auto p = std::make_unique<int>(3);\n",
+               {}});
+  f.push_back({"new-in-comment", "src/sim/ok3.cpp",
+               "/* a new representative */ int x = 0;\n",
+               {}});
+  return f;
+}
+
+int run_self_test() {
+  int failures = 0;
+  for (const Fixture& fx : self_test_fixtures()) {
+    std::vector<Violation> got = scan_content(fx.path, fx.content);
+    bool ok = got.size() == fx.expect.size();
+    if (ok) {
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i].rule != fx.expect[i]) ok = false;
+      }
+    }
+    if (!ok) {
+      ++failures;
+      std::cerr << "self-test FAIL: " << fx.name << " expected [";
+      for (const auto& r : fx.expect) std::cerr << r << " ";
+      std::cerr << "] got [";
+      for (const auto& v : got) std::cerr << v.rule << " ";
+      std::cerr << "]\n";
+    }
+  }
+  if (failures == 0) {
+    std::cout << "stayaway_lint self-test: "
+              << self_test_fixtures().size() << " fixtures ok\n";
+    return 0;
+  }
+  std::cerr << "stayaway_lint self-test: " << failures << " fixture(s) failed\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--self-test") return run_self_test();
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: stayaway_lint [--self-test] <root>...\n";
+    return 2;
+  }
+  std::vector<Violation> all;
+  for (const std::string& root : roots) {
+    if (!std::filesystem::exists(root)) {
+      std::cerr << "stayaway_lint: no such path: " << root << "\n";
+      return 2;
+    }
+    std::vector<Violation> v = scan_tree(root);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  for (const Violation& v : all) {
+    std::cerr << v.file << ":" << v.line << ": " << v.rule << ": "
+              << v.message << "\n";
+  }
+  if (all.empty()) {
+    std::cout << "stayaway_lint: clean\n";
+    return 0;
+  }
+  std::cerr << "stayaway_lint: " << all.size() << " violation(s)\n";
+  return 1;
+}
