@@ -1,0 +1,122 @@
+// Degraded-mode recovery benchmark (DESIGN.md §12, ISSUE 4 acceptance):
+// VLC streaming + CPUBomb under a fault plan combining 20% sensor dropout,
+// a QoS-blind window and dropped pause commands. The degraded-mode runtime
+// (quarantine + state machine + actuation ledger) must keep sensitive-app
+// violation periods strictly below the same plan with degradation
+// disabled, and must return to Normal with batch VMs resumed after the
+// faults clear. Exits non-zero when either property fails.
+#include "bench_common.hpp"
+#include "sim/faults.hpp"
+
+namespace {
+
+constexpr double kFaultStart = 30.0;
+constexpr double kFaultEnd = 140.0;
+
+stayaway::sim::FaultPlan fault_plan() {
+  using stayaway::sim::FaultKind;
+  using stayaway::sim::FaultSpec;
+  stayaway::sim::FaultPlan plan;
+  plan.seed = 7;
+  FaultSpec dropout;
+  dropout.kind = FaultKind::SensorDropout;
+  dropout.start_s = kFaultStart;
+  dropout.end_s = kFaultEnd;
+  dropout.probability = 0.2;
+  plan.faults.push_back(dropout);
+  FaultSpec blind;
+  blind.kind = FaultKind::QosBlind;
+  blind.start_s = 60.0;
+  blind.end_s = 100.0;
+  plan.faults.push_back(blind);
+  FaultSpec pause_fail;
+  pause_fail.kind = FaultKind::PauseFail;
+  pause_fail.start_s = kFaultStart;
+  pause_fail.end_s = kFaultEnd;
+  pause_fail.probability = 0.6;
+  plan.faults.push_back(pause_fail);
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace stayaway;
+  using namespace stayaway::bench;
+
+  auto spec = figure_spec(harness::SensitiveKind::VlcStream,
+                          harness::BatchKind::CpuBomb);
+  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 31);
+  spec.faults = fault_plan();
+
+  harness::ExperimentResult degraded = harness::run_experiment(spec);
+
+  auto baseline_spec = spec;
+  baseline_spec.stayaway.degradation.enabled = false;
+  harness::ExperimentResult baseline = harness::run_experiment(baseline_spec);
+
+  std::cout << "=== Degraded-mode control loop under faults ===\n\n";
+  harness::print_summary_header(std::cout);
+  harness::print_summary_row(std::cout, "degraded-mode", degraded);
+  harness::print_summary_row(std::cout, "no-degradation", baseline);
+  std::cout << "\nviolation periods: degraded-mode "
+            << degraded.violation_periods << " / no-degradation "
+            << baseline.violation_periods << "\n";
+  std::cout << "degraded-mode telemetry: " << degraded.readings_quarantined
+            << " readings quarantined, " << degraded.degraded_periods
+            << " degraded + " << degraded.failsafe_periods
+            << " failsafe periods, " << degraded.actuation_retries
+            << " actuation retries (" << degraded.actuation_abandoned
+            << " abandoned)\n";
+
+  bool ok = true;
+
+  // Gate 1: protection. Degraded-mode must beat the no-degradation
+  // baseline under the identical fault plan — strictly.
+  if (degraded.violation_periods >= baseline.violation_periods) {
+    std::cout << "FAIL: degraded-mode violations ("
+              << degraded.violation_periods
+              << ") not strictly below the no-degradation baseline ("
+              << baseline.violation_periods << ")\n";
+    ok = false;
+  }
+
+  // Gate 2: recovery. After the faults clear the loop must return to
+  // Normal with the batch resumed in at least one later period.
+  bool entered_degraded = false;
+  bool recovered = false;
+  for (const auto& rec : degraded.stayaway_records) {
+    if (rec.degradation != core::DegradationState::Normal) {
+      entered_degraded = true;
+    }
+    if (rec.time > kFaultEnd &&
+        rec.degradation == core::DegradationState::Normal &&
+        !rec.batch_paused_after) {
+      recovered = true;
+    }
+  }
+  if (!entered_degraded) {
+    std::cout << "FAIL: the fault plan never degraded the loop — the "
+                 "benchmark is not exercising the state machine\n";
+    ok = false;
+  }
+  if (!recovered) {
+    std::cout << "FAIL: no post-fault period returned to Normal with the "
+                 "batch resumed\n";
+    ok = false;
+  }
+
+  // Gate 3: determinism. The identical spec + plan must reproduce the
+  // identical period stream.
+  harness::ExperimentResult replay = harness::run_experiment(spec);
+  if (replay.stayaway_records != degraded.stayaway_records) {
+    std::cout << "FAIL: identical seed + fault plan did not reproduce an "
+                 "identical PeriodRecord stream\n";
+    ok = false;
+  }
+
+  std::cout << (ok ? "\nPASS: degraded-mode protected the sensitive app and "
+                     "recovered after the faults cleared\n"
+                   : "\nFAIL\n");
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,9 @@
 #                                SA_INVARIANT audit enabled, full suite
 #   ./ci.sh --tidy               best-effort clang-tidy over src/ (skipped
 #                                when clang-tidy is not installed)
+#   ./ci.sh --faults             fault-injection smoke: stayaway_sim under a
+#                                generated fault plan in the ASan tree, so the
+#                                degraded-mode path runs sanitized end to end
 #   ./ci.sh --all                every leg above
 #
 # Each leg builds in its own tree (build, build-asan, build-tsan,
@@ -31,9 +34,10 @@ for arg in "$@"; do
     --tsan) LEGS+=(tsan) ;;
     --paranoid) LEGS+=(paranoid) ;;
     --tidy) LEGS+=(tidy) ;;
-    --all) LEGS+=(tier1 asan tsan paranoid tidy) ;;
+    --faults) LEGS+=(faults) ;;
+    --all) LEGS+=(tier1 asan tsan paranoid tidy faults) ;;
     *)
-      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--all]" >&2
+      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--all]" >&2
       exit 2
       ;;
   esac
@@ -69,6 +73,41 @@ run_leg() {
       build_and_test build-paranoid \
         -DCMAKE_BUILD_TYPE=Debug \
         -DSTAYAWAY_PARANOID=ON
+      ;;
+    faults)
+      # Degraded-mode smoke: drive stayaway_sim end to end under a fault
+      # plan, sanitized, so sensor dropout / QoS blindness / failed
+      # actuation exercise the quarantine + failsafe + retry paths.
+      cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+        >/dev/null &&
+        cmake --build build-asan -j"$JOBS" --target stayaway_sim || return 1
+      local tmpdir
+      tmpdir="$(mktemp -d)" || return 1
+      cat >"$tmpdir/scenario.conf" <<'EOF'
+sensitive     = vlc-stream
+batch         = cpubomb
+policy        = stay-away
+duration_s    = 60
+batch_start_s = 5
+EOF
+      cat >"$tmpdir/faults.conf" <<'EOF'
+seed  = 7
+fault = sensor-dropout start=10 end=40 p=0.2
+fault = qos-blind start=20 end=30
+fault = pause-fail start=10 end=40 p=0.5
+EOF
+      local out rc
+      out="$(./build-asan/tools/stayaway_sim \
+        --faults "$tmpdir/faults.conf" "$tmpdir/scenario.conf")"
+      rc=$?
+      rm -rf "$tmpdir"
+      echo "$out"
+      [[ $rc -eq 0 ]] || return 1
+      # The degraded path must actually have been exercised.
+      grep -q "fault plan loaded" <<<"$out" &&
+        grep -q "readings quarantined" <<<"$out"
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then

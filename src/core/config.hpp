@@ -21,6 +21,12 @@ struct GovernorConfig {
   double beta_initial = 0.01;
   /// Added to beta when a resume immediately re-violates.
   double beta_increment = 0.005;
+  /// Upper bound on adaptive beta. Repeated resume-then-re-violate cycles
+  /// otherwise grow beta past the map diameter, where no within-pause
+  /// movement can ever exceed it and a beta-triggered resume becomes
+  /// permanently unreachable (only the anti-starvation lottery remains).
+  /// Must be >= beta_initial; <= 0 disables the cap.
+  double beta_max = 0.25;
   /// A violation within this window after a beta-triggered resume counts
   /// as a failed resume and bumps beta.
   double resume_grace_s = 3.0;
@@ -29,6 +35,40 @@ struct GovernorConfig {
   double starvation_patience_s = 20.0;
   /// Per-period probability of the anti-starvation resume once eligible.
   double random_resume_probability = 0.15;
+};
+
+/// Degraded-mode control loop (DESIGN.md §12): how the runtime responds
+/// when telemetry goes missing, readings go non-finite, the QoS probe
+/// goes blind, or a pause/resume command does not take.
+struct DegradationConfig {
+  /// Master switch for the compensating responses (conservative
+  /// prediction widening, QoS-blind failsafe, actuation retry). The
+  /// quarantine stage itself always runs — a non-finite reading must
+  /// never reach the embedder in any configuration — but with `enabled`
+  /// false nothing else reacts: the no-degradation baseline that
+  /// bench_faults compares against.
+  bool enabled = true;
+  /// Consecutive QoS-blind periods before the failsafe: with no violation
+  /// signal for this long, every batch VM is paused until telemetry
+  /// recovers (protecting the sensitive app is the prime directive; lost
+  /// batch throughput is the accepted cost).
+  std::size_t qos_blind_failsafe_periods = 3;
+  /// Hysteresis on recovery: consecutive fully-healthy periods required
+  /// to step one level back toward Normal (Failsafe -> Degraded ->
+  /// Normal), so a flickering sensor cannot flap the state machine.
+  std::size_t recovery_periods = 3;
+  /// Prediction vote threshold while Degraded or Failsafe. Lower than
+  /// majority_fraction: with imputed inputs the map position is less
+  /// trustworthy, so the controller pauses on weaker evidence.
+  double degraded_majority_fraction = 0.35;
+  /// Delivery rounds retried for a dropped pause/resume command before
+  /// the ledger gives up and surfaces the divergence.
+  std::size_t actuation_max_retries = 3;
+  /// Control periods before the first retry; doubles every round.
+  std::size_t actuation_backoff_periods = 1;
+  /// Raw readings above (host capacity x this margin) quarantine as
+  /// sensor spikes.
+  double spike_margin = 2.0;
 };
 
 /// How the map over representatives is (re)computed each period.
@@ -83,6 +123,8 @@ struct StayAwayConfig {
   /// 0 = leave the process-wide setting untouched.
   std::size_t hot_path_threads = 0;
   GovernorConfig governor;
+  /// Degraded-mode responses to telemetry and actuation faults.
+  DegradationConfig degradation;
   /// How the host monitor samples per-VM usage (metric set, §5 batch
   /// aggregation, measurement noise).
   monitor::SamplerOptions sampler;

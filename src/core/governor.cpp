@@ -35,6 +35,8 @@ ThrottleGovernor::ThrottleGovernor(GovernorConfig config, Rng rng)
     : config_(config), rng_(std::move(rng)), beta_(config.beta_initial) {
   SA_REQUIRE(config.beta_initial > 0.0, "beta must start positive");
   SA_REQUIRE(config.beta_increment >= 0.0, "beta increment must be >= 0");
+  SA_REQUIRE(config.beta_max <= 0.0 || config.beta_max >= config.beta_initial,
+             "beta_max must be >= beta_initial (or <= 0 to disable the cap)");
 }
 
 ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
@@ -48,8 +50,13 @@ ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
                         now - *resumed_at_ <= config_.resume_grace_s;
     if (violation_observed && in_probation &&
         last_resume_reason_ == ResumeReason::BetaExceeded) {
-      // The phase change beta detected was not enough: learn a larger one.
+      // The phase change beta detected was not enough: learn a larger
+      // one, capped so repeated failed-resume cycles cannot push beta
+      // past the point where resume becomes permanently unreachable.
       beta_ += config_.beta_increment;
+      if (config_.beta_max > 0.0 && beta_ > config_.beta_max) {
+        beta_ = config_.beta_max;
+      }
       ++failed_resumes_;
     }
     // §3.3: a resume is a deliberate probe "in hope that the batch

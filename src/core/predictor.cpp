@@ -18,6 +18,16 @@ Prediction Predictor::predict(const StateSpace& space,
                               const ModeTrajectories& modes,
                               monitor::ExecutionMode mode,
                               const mds::Point2& current, Rng& rng) const {
+  return predict(space, modes, mode, current, rng, majority_fraction_);
+}
+
+Prediction Predictor::predict(const StateSpace& space,
+                              const ModeTrajectories& modes,
+                              monitor::ExecutionMode mode,
+                              const mds::Point2& current, Rng& rng,
+                              double majority_fraction) const {
+  SA_REQUIRE(majority_fraction >= 0.0 && majority_fraction <= 1.0,
+             "majority fraction must be in [0,1]");
   Prediction out;
   const TrajectoryModel& model = modes.model(mode);
   if (!model.ready(min_observations_) || space.violation_count() == 0) {
@@ -45,7 +55,7 @@ Prediction Predictor::predict(const StateSpace& space,
                     static_cast<double>(out.samples);
   SA_CHECK(fraction >= 0.0 && fraction <= 1.0,
            "violation vote fraction must be a probability");
-  out.violation_predicted = fraction > majority_fraction_;
+  out.violation_predicted = fraction > majority_fraction;
   return out;
 }
 

@@ -37,6 +37,14 @@ class Predictor {
                      monitor::ExecutionMode mode, const mds::Point2& current,
                      Rng& rng) const;
 
+  /// Same, with an explicit vote threshold overriding the configured
+  /// majority_fraction — the degraded-mode control loop widens its
+  /// decision by lowering the threshold on imputed inputs (DESIGN.md
+  /// §12). Consumes exactly the same Rng draws as the overload above.
+  Prediction predict(const StateSpace& space, const ModeTrajectories& modes,
+                     monitor::ExecutionMode mode, const mds::Point2& current,
+                     Rng& rng, double majority_fraction) const;
+
  private:
   std::size_t sample_count_;
   double majority_fraction_;

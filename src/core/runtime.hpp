@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -19,15 +20,31 @@
 #include "core/statespace.hpp"
 #include "core/template_store.hpp"
 #include "core/trajectory.hpp"
+#include "monitor/health.hpp"
 #include "monitor/mode.hpp"
 #include "monitor/normalizer.hpp"
 #include "monitor/representative.hpp"
 #include "monitor/sampler.hpp"
 #include "obs/observer.hpp"
+#include "sim/faults.hpp"
 #include "sim/host.hpp"
 #include "util/rng.hpp"
 
 namespace stayaway::core {
+
+/// Degradation state machine (DESIGN.md §12). Normal: full telemetry,
+/// paper behaviour. Degraded: running on imputed samples or a briefly
+/// blind QoS probe — decisions widen conservatively. Failsafe: QoS-blind
+/// past the configured patience — every batch VM is paused until
+/// telemetry recovers. Recovery steps down one level at a time with
+/// hysteresis (DegradationConfig::recovery_periods).
+enum class DegradationState {
+  Normal = 0,
+  Degraded = 1,
+  Failsafe = 2,
+};
+
+const char* to_string(DegradationState state);
 
 /// Everything the runtime learned and did in one control period.
 struct PeriodRecord {
@@ -43,6 +60,14 @@ struct PeriodRecord {
   bool batch_paused_after = false;
   double stress = 0.0;
   double beta = 0.0;
+  // --- Degraded-mode telemetry (defaults describe a healthy period, so
+  // fault-free records compare equal to the historical sequence). ------
+  DegradationState degradation = DegradationState::Normal;
+  std::size_t quarantined_dims = 0;  // readings imputed this period
+  std::size_t max_staleness = 0;     // longest consecutive-imputation run
+  bool qos_visible = true;           // the probe reported this period
+  std::size_t actuation_retries = 0;  // commands re-issued this period
+  bool actuation_pending = false;     // ledger still diverged afterwards
 
   bool operator==(const PeriodRecord& o) const = default;
 };
@@ -87,6 +112,17 @@ class StayAwayRuntime {
   void set_observer(obs::Observer* observer);
   obs::Observer* observer() const { return observer_; }
 
+  /// Installs a fault plan (DESIGN.md §12): sensor faults apply to every
+  /// sample, QoS-blind windows silence the probe, and pause/resume
+  /// commands become fallible. Must be called before the first
+  /// on_period(). With no plan installed (or an empty one) the emitted
+  /// PeriodRecord sequence is byte-identical to the fault-free loop
+  /// (golden test in tests/test_runtime.cpp).
+  void install_faults(const sim::FaultPlan& plan);
+  const sim::FaultInjector* fault_injector() const {
+    return faults_.has_value() ? &*faults_ : nullptr;
+  }
+
   /// Pre-loads the labelled states of a previous run (§6). Must be called
   /// before the first on_period(); entry dimensions must match the
   /// sampler layout.
@@ -112,8 +148,42 @@ class StayAwayRuntime {
   /// VMs paused by the last Pause action (empty after a Resume).
   const std::vector<sim::VmId>& throttled() const { return throttled_; }
 
+  /// Current degradation state (Normal unless faults degraded telemetry).
+  DegradationState degradation() const { return degradation_; }
+  /// Readings quarantined before they could reach the map (lifetime).
+  std::size_t readings_quarantined() const {
+    return quarantine_.total_quarantined();
+  }
+  /// Pause/resume commands re-issued by the reconciling ledger (lifetime).
+  std::size_t actuation_retries() const { return actuation_retries_total_; }
+  /// Commands abandoned after the bounded retry budget ran out (lifetime).
+  std::size_t actuation_abandoned() const {
+    return actuation_abandoned_total_;
+  }
+
  private:
-  void apply_action(ThrottleAction action);
+  /// Outstanding pause/resume commands the fault channel dropped; the
+  /// ledger retries them with exponential backoff until delivered or the
+  /// retry budget runs out.
+  struct PendingActuation {
+    ThrottleAction op = ThrottleAction::None;
+    std::vector<sim::VmId> targets;  // commands not yet delivered
+    std::size_t attempts = 1;        // delivery rounds tried so far
+    double next_retry_time = 0.0;
+  };
+
+  void apply_action(ThrottleAction action, bool failsafe_all_batch);
+  /// Re-issues pending undelivered commands once their backoff elapses.
+  /// Returns the number of commands re-issued this period.
+  std::size_t reconcile_actuation(double now);
+  /// Updates the degradation state machine with this period's health.
+  void update_degradation(const monitor::SampleHealth& health,
+                          bool qos_visible);
+  /// Every present batch VM (the failsafe pause set).
+  std::vector<sim::VmId> all_present_batch() const;
+  /// Sends one pause/resume command through the (possibly faulty)
+  /// actuation channel; true when it took effect.
+  bool deliver(ThrottleAction op, sim::VmId id, double now);
   /// Publishes the period's metrics and events to the attached observer.
   void publish(const PeriodRecord& rec, const std::vector<sim::VmId>& resumed);
   /// Batch VMs consuming the major share of batch resources (§5:
@@ -126,6 +196,7 @@ class StayAwayRuntime {
   StayAwayConfig config_;
   monitor::HostSampler sampler_;
   monitor::CapacityNormalizer normalizer_;
+  monitor::SampleQuarantine quarantine_;
   monitor::RepresentativeSet reps_;
   StateSpace space_;
   MapEmbedder embedder_;
@@ -135,6 +206,17 @@ class StayAwayRuntime {
   Rng rng_;
   bool batch_paused_ = false;
   std::vector<sim::VmId> throttled_;  // VMs paused by the last Pause action
+  // --- Degraded-mode control loop (DESIGN.md §12). ----------------------
+  std::optional<sim::FaultInjector> faults_;
+  DegradationState degradation_ = DegradationState::Normal;
+  std::size_t qos_blind_streak_ = 0;
+  std::size_t healthy_streak_ = 0;
+  bool failsafe_pause_ = false;  // the current pause was failsafe-initiated
+  std::optional<PendingActuation> pending_;
+  std::size_t actuation_retries_total_ = 0;
+  std::size_t actuation_abandoned_total_ = 0;
+  /// Set on a state transition, consumed by publish() for the event.
+  std::optional<std::pair<DegradationState, DegradationState>> transition_;
   std::optional<std::size_t> prev_rep_;
   std::optional<monitor::ExecutionMode> prev_mode_;
   std::optional<bool> prev_predicted_;  // last period's passive prediction
@@ -163,6 +245,16 @@ class StayAwayRuntime {
     obs::Gauge governor_failed_resumes;
     obs::Gauge governor_random_resumes;
     obs::Gauge sampler_samples;
+    // Degraded-mode telemetry (DESIGN.md §12).
+    obs::Counter quarantined_readings;
+    obs::Counter qos_blind_periods;
+    obs::Counter degraded_periods;
+    obs::Counter degradation_transitions;
+    obs::Counter actuation_retries;
+    obs::Gauge degradation_state;
+    obs::Gauge sample_staleness;
+    obs::Gauge actuation_abandoned;
+    obs::Gauge faults_injected;
   } metrics_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "apps/webservice.hpp"
 #include "baseline/reactive.hpp"
@@ -48,6 +49,27 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     batch_ids.push_back(host.add_vm(std::move(batch_name), sim::VmKind::Batch,
                                     std::move(app), spec.batch_start_s));
   }
+  {
+    std::set<std::string> extra_names;
+    for (const auto& extra : spec.extra_batch) {
+      SA_REQUIRE(!extra.name.empty(), "extra batch VM names must be non-empty");
+      SA_REQUIRE(extra_names.insert(extra.name).second,
+                 "duplicate extra batch VM name: " + extra.name);
+      auto apps = make_batch(extra.kind);
+      SA_REQUIRE(!apps.empty(), "extra batch VM kind must not be 'none'");
+      std::size_t index = 0;
+      for (auto& app : apps) {
+        // Multi-app kinds (Batch1/Batch2) get a per-app name suffix so
+        // every VM name on the host stays distinct.
+        std::string name = apps.size() == 1
+                               ? extra.name
+                               : extra.name + "-" + std::to_string(index);
+        batch_ids.push_back(host.add_vm(std::move(name), sim::VmKind::Batch,
+                                        std::move(app), extra.start_s));
+        ++index;
+      }
+    }
+  }
 
   core::StayAwayConfig sa_config = spec.stayaway;
   sa_config.period_s = spec.period_s;
@@ -76,6 +98,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
   if (spec.observer != nullptr && stayaway != nullptr) {
     stayaway->runtime().set_observer(spec.observer);
+  }
+  if (stayaway != nullptr && spec.faults.has_value() &&
+      !spec.faults->empty()) {
+    stayaway->runtime().install_faults(*spec.faults);
   }
 
   ExperimentResult result;
@@ -148,6 +174,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     result.tally = rt.tally();
     result.pauses = rt.governor().pauses();
     result.resumes = rt.governor().resumes();
+    for (const auto& rec : result.stayaway_records) {
+      if (rec.degradation == core::DegradationState::Degraded) {
+        ++result.degraded_periods;
+      } else if (rec.degradation == core::DegradationState::Failsafe) {
+        ++result.failsafe_periods;
+      }
+    }
+    result.readings_quarantined = rt.readings_quarantined();
+    result.actuation_retries = rt.actuation_retries();
+    result.actuation_abandoned = rt.actuation_abandoned();
     result.final_beta = rt.governor().beta();
     result.representative_count = rt.representatives().size();
     result.final_stress = rt.embedder().stress();

@@ -12,6 +12,7 @@
 #include "core/template_store.hpp"
 #include "harness/scenarios.hpp"
 #include "obs/observer.hpp"
+#include "sim/faults.hpp"
 
 namespace stayaway::harness {
 
@@ -23,6 +24,14 @@ enum class PolicyKind {
 };
 
 const char* to_string(PolicyKind kind);
+
+/// An additional named batch VM (scenario files: `vm = name:kind[:start_s]`).
+/// Names must be unique across the experiment.
+struct ExtraVmSpec {
+  std::string name;
+  BatchKind kind = BatchKind::CpuBomb;
+  double start_s = 15.0;
+};
 
 struct ExperimentSpec {
   sim::HostSpec host = paper_host();
@@ -41,6 +50,15 @@ struct ExperimentSpec {
   std::optional<trace::Trace> workload;
   /// Seed the Stay-Away map from a previous run's template (§6).
   std::optional<core::StateTemplate> seed_template;
+  /// Deterministic fault plan (DESIGN.md §12): sensor dropout/corruption,
+  /// QoS-blind windows, dropped pause/resume commands. Installed into the
+  /// Stay-Away runtime when policy == StayAway; an absent or empty plan
+  /// leaves the run byte-identical to the fault-free loop.
+  std::optional<sim::FaultPlan> faults;
+  /// Extra named batch VMs beyond the `batch` kind's set; every VM must
+  /// exist before the runtime is constructed (the sampler fixes its
+  /// metric layout then and refuses to sample a changed host).
+  std::vector<ExtraVmSpec> extra_batch;
   double tick_s = 0.1;
   double period_s = 1.0;
   double duration_s = 300.0;
@@ -72,6 +90,12 @@ struct ExperimentResult {
   core::PredictionTally tally;
   std::size_t pauses = 0;
   std::size_t resumes = 0;
+  // Degraded-mode telemetry (DESIGN.md §12; zero on fault-free runs).
+  std::size_t degraded_periods = 0;   // periods spent in Degraded
+  std::size_t failsafe_periods = 0;   // periods spent in Failsafe
+  std::size_t readings_quarantined = 0;
+  std::size_t actuation_retries = 0;
+  std::size_t actuation_abandoned = 0;
   double final_beta = 0.0;
   std::size_t representative_count = 0;
   double final_stress = 0.0;

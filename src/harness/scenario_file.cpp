@@ -74,6 +74,9 @@ Scenario parse_scenario(std::istream& in) {
   double workload_cycles = 1.5;
 
   std::set<std::string> seen;
+  std::set<std::string> vm_names;
+  std::vector<sim::FaultSpec> fault_specs;
+  std::optional<std::uint64_t> fault_seed;
   std::string raw;
   std::size_t line_no = 0;
   while (std::getline(in, raw)) {
@@ -90,7 +93,12 @@ Scenario parse_scenario(std::istream& in) {
     std::string value = trim(line.substr(eq + 1));
     if (key.empty()) fail(line_no, "empty key");
     if (value.empty()) fail(line_no, "empty value for '" + key + "'");
-    if (!seen.insert(key).second) fail(line_no, "duplicate key '" + key + "'");
+    // `fault` and `vm` are list-building keys and may repeat; everything
+    // else appears at most once.
+    bool repeatable = key == "fault" || key == "vm";
+    if (!repeatable && !seen.insert(key).second) {
+      fail(line_no, "duplicate key '" + key + "'");
+    }
 
     auto& spec = scenario.spec;
     try {
@@ -134,6 +142,51 @@ Scenario parse_scenario(std::istream& in) {
         spec.stayaway.sampler.aggregate_batch = parse_bool(line_no, value);
       } else if (key == "noise_fraction") {
         spec.stayaway.sampler.noise_fraction = parse_double(line_no, value);
+      } else if (key == "metrics") {
+        // Comma-separated sampler metric set, e.g. `metrics = cpu,mem,io`.
+        std::vector<monitor::MetricKind> metrics;
+        std::string rest = value;
+        while (!rest.empty()) {
+          auto comma = rest.find(',');
+          std::string item = trim(rest.substr(0, comma));
+          rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+          if (item.empty()) fail(line_no, "empty metric name in list");
+          metrics.push_back(monitor::metric_kind_from_string(item));
+        }
+        if (metrics.empty()) fail(line_no, "metric list must not be empty");
+        spec.stayaway.sampler.metrics = std::move(metrics);
+      } else if (key == "vm") {
+        // `vm = name:kind[:start_s]` — an extra named batch VM.
+        auto c1 = value.find(':');
+        if (c1 == std::string::npos) {
+          fail(line_no, "expected 'name:kind[:start_s]', got '" + value + "'");
+        }
+        auto c2 = value.find(':', c1 + 1);
+        ExtraVmSpec extra;
+        extra.name = trim(value.substr(0, c1));
+        std::string kind =
+            trim(value.substr(c1 + 1, c2 == std::string::npos
+                                          ? std::string::npos
+                                          : c2 - c1 - 1));
+        if (extra.name.empty()) fail(line_no, "empty VM name");
+        if (kind.empty()) fail(line_no, "empty VM kind");
+        if (!vm_names.insert(extra.name).second) {
+          fail(line_no, "duplicate VM name '" + extra.name + "'");
+        }
+        extra.kind = batch_kind_from_string(kind);
+        if (extra.kind == BatchKind::None) {
+          fail(line_no, "extra VM kind must not be 'none'");
+        }
+        if (c2 != std::string::npos) {
+          extra.start_s = parse_double(line_no, trim(value.substr(c2 + 1)));
+          if (extra.start_s < 0.0) fail(line_no, "start_s must be >= 0");
+        }
+        spec.extra_batch.push_back(std::move(extra));
+      } else if (key == "fault") {
+        fault_specs.push_back(sim::parse_fault_spec(value, line_no));
+      } else if (key == "fault_seed") {
+        fault_seed =
+            static_cast<std::uint64_t>(parse_double(line_no, value));
       } else if (key == "compare") {
         scenario.compare = parse_bool(line_no, value);
       } else if (key == "template_in") {
@@ -156,6 +209,14 @@ Scenario parse_scenario(std::istream& in) {
   if (workload == "diurnal") {
     scenario.spec.workload = compressed_diurnal(
         scenario.spec.duration_s, workload_cycles, scenario.spec.seed);
+  }
+  if (!fault_specs.empty()) {
+    // Fault schedules are always explicitly seeded (the lint rule enforces
+    // the same for code): fault_seed when given, else the experiment seed.
+    sim::FaultPlan plan;
+    plan.seed = fault_seed.value_or(scenario.spec.seed);
+    plan.faults = std::move(fault_specs);
+    scenario.spec.faults = std::move(plan);
   }
   return scenario;
 }

@@ -10,6 +10,12 @@
 //   workload    = diurnal
 //   compare     = true          # also run no-prevention + isolated
 //   template_out = vlc.template.csv
+//
+// Optional robustness keys (DESIGN.md §12):
+//   metrics    = cpu,mem,io          # sampler metric set
+//   vm         = extra1:cpubomb:30   # extra named batch VM (repeatable)
+//   fault_seed = 7                   # fault plan seed (default: seed)
+//   fault      = sensor-dropout start=20 end=60 p=0.2   # repeatable
 #pragma once
 
 #include <iosfwd>
@@ -37,9 +43,11 @@ struct Scenario {
   std::optional<std::string> series_csv;
 };
 
-/// Parses a scenario document. Unknown keys, malformed lines and invalid
-/// values throw PreconditionError naming the offending line. Empty lines
-/// and '#' comments are ignored; keys may appear at most once.
+/// Parses a scenario document. Unknown keys, malformed lines, invalid
+/// values, duplicate VM names and unknown fault/metric kinds throw
+/// PreconditionError naming the offending line. Empty lines and '#'
+/// comments are ignored; keys may appear at most once, except the
+/// list-building `fault` and `vm` keys.
 Scenario parse_scenario(std::istream& in);
 
 }  // namespace stayaway::harness

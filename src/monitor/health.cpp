@@ -1,0 +1,45 @@
+#include "monitor/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace stayaway::monitor {
+
+SampleQuarantine::SampleQuarantine(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      last_good_(bounds_.size(), 0.0),
+      staleness_(bounds_.size(), 0) {
+  SA_REQUIRE(!bounds_.empty(), "quarantine needs a non-empty layout");
+  for (double b : bounds_) {
+    SA_REQUIRE(std::isfinite(b) && b > 0.0,
+               "quarantine upper bounds must be finite and positive");
+  }
+}
+
+SampleHealth SampleQuarantine::validate(std::vector<double>& values) {
+  SA_REQUIRE(values.size() == bounds_.size(),
+             "measurement does not match the quarantine layout");
+  SampleHealth health;
+  health.dimension = values.size();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    double v = values[i];
+    // The comparison form rejects NaN too: NaN >= 0.0 is false.
+    bool good = std::isfinite(v) && v >= 0.0 && v <= bounds_[i];
+    if (good) {
+      last_good_[i] = v;
+      staleness_[i] = 0;
+      continue;
+    }
+    values[i] = last_good_[i];
+    ++staleness_[i];
+    ++health.quarantined;
+    ++total_quarantined_;
+    health.max_staleness = std::max(health.max_staleness, staleness_[i]);
+  }
+  return health;
+}
+
+}  // namespace stayaway::monitor

@@ -1,0 +1,59 @@
+// Validate-and-quarantine stage between the sampler and the normalizer.
+//
+// Real telemetry goes missing and goes wrong: counters wrap, probes time
+// out, readings arrive as NaN or as physically impossible spikes. Nothing
+// downstream of the sampler (representative dedup, MDS embedding,
+// trajectory models) tolerates a non-finite coordinate, so every raw
+// reading passes through SampleQuarantine before normalization: readings
+// that are non-finite, negative, or above the dimension's plausible upper
+// bound are quarantined — replaced by the dimension's last good value —
+// and a per-dimension staleness counter records how long each dimension
+// has been running on imputed data. The runtime widens its decisions
+// conservatively while any dimension is stale (DESIGN.md §12).
+//
+// On healthy input the stage is a pure pass-through: it never alters a
+// finite in-range reading, so the fault-free control loop is byte-
+// identical with or without it (golden test in tests/test_runtime.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stayaway::monitor {
+
+/// Health summary of one validated sample.
+struct SampleHealth {
+  std::size_t dimension = 0;
+  /// Dimensions imputed in this sample.
+  std::size_t quarantined = 0;
+  /// Longest run of consecutive imputations across dimensions, ending at
+  /// this sample. 0 when every dimension carried a good reading.
+  std::size_t max_staleness = 0;
+
+  bool imputed() const { return quarantined > 0; }
+};
+
+class SampleQuarantine {
+ public:
+  /// `upper_bounds[i]` is the largest plausible raw reading of flat
+  /// dimension i (host capacity times a spike margin). Readings above it,
+  /// below zero, or non-finite are quarantined.
+  explicit SampleQuarantine(std::vector<double> upper_bounds);
+
+  std::size_t dimension() const { return bounds_.size(); }
+
+  /// Validates a raw measurement in place: bad readings are replaced with
+  /// the dimension's last good value (0 until one exists) and counted.
+  SampleHealth validate(std::vector<double>& values);
+
+  /// Readings quarantined across the stage's lifetime (observability).
+  std::size_t total_quarantined() const { return total_quarantined_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<double> last_good_;
+  std::vector<std::size_t> staleness_;
+  std::size_t total_quarantined_ = 0;
+};
+
+}  // namespace stayaway::monitor

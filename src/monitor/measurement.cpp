@@ -20,6 +20,15 @@ const char* to_string(MetricKind kind) {
   return "unknown";
 }
 
+MetricKind metric_kind_from_string(const std::string& name) {
+  for (auto kind :
+       {MetricKind::Cpu, MetricKind::Memory, MetricKind::MemBandwidth,
+        MetricKind::DiskIo, MetricKind::Network}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw PreconditionError("unknown metric kind: " + name);
+}
+
 std::size_t MetricLayout::index_of(std::size_t entity, std::size_t metric) const {
   SA_REQUIRE(entity < entities.size(), "entity index out of range");
   SA_REQUIRE(metric < metrics.size(), "metric index out of range");

@@ -22,6 +22,8 @@ enum class MetricKind {
 };
 
 const char* to_string(MetricKind kind);
+/// Inverse of to_string; throws PreconditionError on unknown names.
+MetricKind metric_kind_from_string(const std::string& name);
 
 /// Describes the layout of a measurement vector: one block of `metrics`
 /// per entity, in order. An entity is a VM, or the aggregated logical

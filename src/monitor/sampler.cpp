@@ -7,7 +7,10 @@
 namespace stayaway::monitor {
 
 HostSampler::HostSampler(const sim::SimHost& host, SamplerOptions options)
-    : host_(&host), options_(std::move(options)), rng_(options_.seed) {
+    : host_(&host),
+      options_(std::move(options)),
+      layout_vm_count_(host.vm_count()),
+      rng_(options_.seed) {
   SA_REQUIRE(!options_.metrics.empty(), "sampler needs at least one metric");
   SA_REQUIRE(host.vm_count() > 0, "sampler needs at least one VM");
   SA_REQUIRE(options_.noise_fraction >= 0.0, "noise must be non-negative");
@@ -32,6 +35,9 @@ HostSampler::HostSampler(const sim::SimHost& host, SamplerOptions options)
 }
 
 Measurement HostSampler::sample() {
+  SA_CHECK(host_->vm_count() == layout_vm_count_,
+           "host VM set changed after the sampler fixed its layout; "
+           "construct the sampler (or runtime) after adding every VM");
   ++samples_taken_;
   Measurement m;
   m.time = host_->now();
@@ -49,6 +55,11 @@ Measurement HostSampler::sample() {
     for (double& v : m.values) {
       v = std::max(0.0, v * (1.0 + rng_.normal(0.0, options_.noise_fraction)));
     }
+  }
+  if (injector_ != nullptr) {
+    last_fault_report_ = injector_->corrupt_sample(m.time, m.values);
+  } else {
+    last_fault_report_ = sim::SensorFaultReport{};
   }
   return m;
 }

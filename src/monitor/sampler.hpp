@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "monitor/measurement.hpp"
+#include "sim/faults.hpp"
 #include "sim/host.hpp"
 #include "util/rng.hpp"
 
@@ -34,8 +35,23 @@ class HostSampler {
 
   const MetricLayout& layout() const { return layout_; }
 
-  /// Samples the most recent tick's granted usage.
+  /// Samples the most recent tick's granted usage. Fails loudly (rather
+  /// than sampling a stale entity map) when VMs were added to the host
+  /// after this sampler fixed its layout.
   Measurement sample();
+
+  /// Attaches (or detaches, with nullptr) a fault injector: sensor faults
+  /// from its plan are applied to every sample, after measurement noise.
+  /// The injector must outlive the sampler or be detached first.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  /// What the injector did to the most recent sample (empty report when
+  /// no injector is attached or no fault fired).
+  const sim::SensorFaultReport& last_fault_report() const {
+    return last_fault_report_;
+  }
 
   /// Measurements taken so far (observability).
   std::size_t samples_taken() const { return samples_taken_; }
@@ -46,7 +62,11 @@ class HostSampler {
   MetricLayout layout_;
   /// entity index -> VM ids contributing to it
   std::vector<std::vector<sim::VmId>> entity_vms_;
+  /// Host VM count the layout was built from; sample() re-checks it.
+  std::size_t layout_vm_count_ = 0;
   Rng rng_;
+  sim::FaultInjector* injector_ = nullptr;
+  sim::SensorFaultReport last_fault_report_;
   std::size_t samples_taken_ = 0;
 };
 

@@ -160,6 +160,42 @@ TEST(Governor, InvalidConfigRejected) {
   EXPECT_THROW(ThrottleGovernor(cfg, Rng(1)), PreconditionError);
 }
 
+TEST(Governor, BetaMaxCapsFailedResumeGrowth) {
+  // Regression: repeated resume-then-re-violate cycles used to grow beta
+  // without bound, eventually making a beta-triggered resume unreachable.
+  GovernorConfig cfg = test_config();
+  cfg.random_resume_probability = 0.0;
+  cfg.beta_max = 0.02;  // two increments above beta_initial
+  ThrottleGovernor gov(cfg, Rng(1));
+
+  double t = 0.0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    gov.decide(t, false, true, false, {0.0, 0.0});        // Pause
+    gov.decide(t + 1.0, true, false, false, {0.0, 0.0});  // seed chain
+    EXPECT_EQ(gov.decide(t + 2.0, true, false, false, {1.0, 1.0}),
+              ThrottleAction::Resume);
+    // Re-violation inside the grace window: a failed resume each cycle.
+    gov.decide(t + 3.0, false, false, true, {1.0, 1.0});
+    t += 10.0;
+  }
+  EXPECT_EQ(gov.failed_resumes(), 10u);
+  EXPECT_DOUBLE_EQ(gov.beta(), cfg.beta_max);
+  // And the cap keeps the beta-triggered resume path alive: sufficient
+  // movement must still resume.
+  gov.decide(t + 1.0, true, false, false, {0.0, 0.0});
+  EXPECT_EQ(gov.decide(t + 2.0, true, false, false, {1.0, 1.0}),
+            ThrottleAction::Resume);
+}
+
+TEST(Governor, BetaMaxBelowInitialRejected) {
+  GovernorConfig cfg = test_config();
+  cfg.beta_max = cfg.beta_initial / 2.0;
+  EXPECT_THROW(ThrottleGovernor(cfg, Rng(1)), PreconditionError);
+  // <= 0 disables the cap instead of rejecting.
+  cfg.beta_max = 0.0;
+  EXPECT_NO_THROW(ThrottleGovernor(cfg, Rng(1)));
+}
+
 TEST(Governor, ActionNamesStable) {
   EXPECT_STREQ(to_string(ThrottleAction::None), "none");
   EXPECT_STREQ(to_string(ThrottleAction::Pause), "pause");

@@ -2,9 +2,12 @@
 // batch aggregation), normalizers, representative dedup, mode detection.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include "apps/cpubomb.hpp"
+#include "monitor/health.hpp"
 #include "monitor/measurement.hpp"
 #include "monitor/mode.hpp"
 #include "monitor/normalizer.hpp"
@@ -321,6 +324,97 @@ TEST(Mode, PausedBatchDoesNotCountAsRunning) {
 TEST(Mode, NamesStable) {
   EXPECT_STREQ(to_string(ExecutionMode::Idle), "idle");
   EXPECT_STREQ(to_string(ExecutionMode::CoLocated), "co-located");
+}
+
+// ---------------------------------------------------------------- health
+TEST(MetricKindNames, RoundTrip) {
+  for (MetricKind kind :
+       {MetricKind::Cpu, MetricKind::Memory, MetricKind::MemBandwidth,
+        MetricKind::DiskIo, MetricKind::Network}) {
+    EXPECT_EQ(metric_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(metric_kind_from_string("temperature"), PreconditionError);
+}
+
+TEST(SampleQuarantine, PassesHealthyReadingsThroughUntouched) {
+  SampleQuarantine q({4.0, 4096.0});
+  std::vector<double> v{1.5, 2048.0};
+  SampleHealth h = q.validate(v);
+  EXPECT_EQ(h.quarantined, 0u);
+  EXPECT_EQ(h.max_staleness, 0u);
+  EXPECT_FALSE(h.imputed());
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[1], 2048.0);
+  EXPECT_EQ(q.total_quarantined(), 0u);
+}
+
+TEST(SampleQuarantine, ImputesLastGoodForBadReadings) {
+  SampleQuarantine q({4.0, 4096.0});
+  std::vector<double> good{1.5, 2048.0};
+  q.validate(good);
+  // NaN, Inf, negative and out-of-range readings are all quarantined and
+  // replaced by the dimension's last good value.
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(), -1.0, 100.0}) {
+    std::vector<double> v{bad, 1024.0};
+    SampleHealth h = q.validate(v);
+    EXPECT_EQ(h.quarantined, 1u);
+    EXPECT_TRUE(h.imputed());
+    EXPECT_DOUBLE_EQ(v[0], 1.5);      // imputed last-good
+    EXPECT_DOUBLE_EQ(v[1], 1024.0);   // healthy dim untouched
+  }
+  EXPECT_EQ(q.total_quarantined(), 4u);
+}
+
+TEST(SampleQuarantine, TracksStalenessPerDimension) {
+  SampleQuarantine q({4.0});
+  std::vector<double> good{1.0};
+  q.validate(good);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    std::vector<double> v{std::numeric_limits<double>::quiet_NaN()};
+    SampleHealth h = q.validate(v);
+    EXPECT_EQ(h.max_staleness, i);
+  }
+  // A fresh good reading resets the staleness run.
+  std::vector<double> fresh{2.0};
+  EXPECT_EQ(q.validate(fresh).max_staleness, 0u);
+  std::vector<double> nan_again{std::numeric_limits<double>::quiet_NaN()};
+  SampleHealth h = q.validate(nan_again);
+  EXPECT_EQ(h.max_staleness, 1u);
+  EXPECT_DOUBLE_EQ(nan_again[0], 2.0);  // imputes the newest good value
+}
+
+TEST(SampleQuarantine, BadFirstSampleImputesZero) {
+  // No last-good history yet: quarantined readings become 0, never NaN.
+  SampleQuarantine q({4.0});
+  std::vector<double> v{std::numeric_limits<double>::quiet_NaN()};
+  SampleHealth h = q.validate(v);
+  EXPECT_EQ(h.quarantined, 1u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(SampleQuarantine, RejectsInvalidConstruction) {
+  EXPECT_THROW(SampleQuarantine({}), PreconditionError);
+  EXPECT_THROW(SampleQuarantine({1.0, 0.0}), PreconditionError);
+  EXPECT_THROW(SampleQuarantine({std::numeric_limits<double>::infinity()}),
+               PreconditionError);
+  SampleQuarantine q({1.0});
+  std::vector<double> wrong_size{0.5, 0.5};
+  EXPECT_THROW(q.validate(wrong_size), PreconditionError);
+}
+
+TEST(Sampler, RejectsVmsAddedAfterConstruction) {
+  // The sampler fixes its metric layout at construction; a VM added
+  // afterwards would silently sample through a stale entity map, so
+  // sample() must fail loudly instead.
+  sim::SimHost host(test_spec(), 0.1);
+  host.add_vm("sensitive", sim::VmKind::Sensitive, cpu_app(1.0));
+  host.add_vm("b1", sim::VmKind::Batch, cpu_app(1.0));
+  HostSampler sampler(host, {});
+  host.run(2);
+  EXPECT_NO_THROW(sampler.sample());
+  host.add_vm("late", sim::VmKind::Batch, cpu_app(0.5));
+  EXPECT_THROW(sampler.sample(), InvariantError);
 }
 
 }  // namespace

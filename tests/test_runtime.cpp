@@ -2,6 +2,8 @@
 // Action loop against the simulated host.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -14,6 +16,7 @@
 #include "harness/scenarios.hpp"
 #include "obs/events.hpp"
 #include "obs/observer.hpp"
+#include "sim/faults.hpp"
 #include "util/check.hpp"
 
 namespace stayaway::core {
@@ -299,6 +302,201 @@ TEST(Runtime, ObserverCoversAllLoopPhases) {
     }
     EXPECT_TRUE(saw_pause);
   }
+}
+
+sim::FaultSpec fault_of(sim::FaultKind kind, double start, double end,
+                        double p = 1.0) {
+  sim::FaultSpec s;
+  s.kind = kind;
+  s.start_s = start;
+  s.end_s = end;
+  s.probability = p;
+  return s;
+}
+
+TEST(RuntimeFaults, EmptyPlanKeepsRecordsByteIdentical) {
+  // The golden no-fault guarantee (DESIGN.md §12): installing a fault
+  // plan with no faults must leave the PeriodRecord sequence
+  // byte-identical to the plain loop — the whole validate/quarantine/
+  // degradation machinery must be a pure pass-through when healthy.
+  Rig rig_plain(3.0);
+  StayAwayRuntime rt_plain(rig_plain.host, *rig_plain.probe, test_config());
+  run_periods(rig_plain, rt_plain, 40);
+
+  Rig rig_faulted(3.0);
+  StayAwayRuntime rt_faulted(rig_faulted.host, *rig_faulted.probe,
+                             test_config());
+  sim::FaultPlan empty;
+  empty.seed = 99;  // a different fault seed must not matter either
+  rt_faulted.install_faults(empty);
+  run_periods(rig_faulted, rt_faulted, 40);
+
+  ASSERT_EQ(rt_plain.records().size(), rt_faulted.records().size());
+  EXPECT_EQ(rt_plain.records(), rt_faulted.records());
+  EXPECT_EQ(rt_faulted.readings_quarantined(), 0u);
+  EXPECT_EQ(rt_faulted.degradation(), DegradationState::Normal);
+}
+
+TEST(RuntimeFaults, NonFiniteReadingsNeverReachTheMap) {
+  // Every sample corrupted to +inf for the whole run: the quarantine
+  // must impute, and nothing non-finite may leak into the embedding or
+  // the representative set — in any build mode, hence explicit EXPECTs.
+  Rig rig(3.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.faults.push_back(fault_of(sim::FaultKind::NonFinite, 0.0,
+                                 std::numeric_limits<double>::infinity()));
+  rt.install_faults(plan);
+  run_periods(rig, rt, 20);
+
+  EXPECT_GT(rt.readings_quarantined(), 0u);
+  for (const auto& rec : rt.records()) {
+    EXPECT_GT(rec.quarantined_dims, 0u) << "at t=" << rec.time;
+    EXPECT_TRUE(std::isfinite(rec.state.x) && std::isfinite(rec.state.y))
+        << "at t=" << rec.time;
+    EXPECT_NE(rec.degradation, DegradationState::Normal)
+        << "imputed inputs must degrade the loop, t=" << rec.time;
+  }
+  for (std::size_t i = 0; i < rt.representatives().size(); ++i) {
+    for (double v : rt.representatives().representative(i)) {
+      EXPECT_TRUE(std::isfinite(v)) << "representative " << i;
+    }
+  }
+}
+
+TEST(RuntimeFaults, QosBlindnessEscalatesToFailsafeAndRecovers) {
+  // Blind probe for 15 s: after qos_blind_failsafe_periods the runtime
+  // must pause every batch VM, then step back down to Normal (resuming
+  // the batch) once telemetry returns.
+  Rig rig(3.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.faults.push_back(fault_of(sim::FaultKind::QosBlind, 5.0, 20.0));
+  rt.install_faults(plan);
+  run_periods(rig, rt, 35);
+
+  bool saw_failsafe_pause = false;
+  for (const auto& rec : rt.records()) {
+    if (rec.time >= 5.0 && rec.time < 20.0) {
+      EXPECT_FALSE(rec.qos_visible) << "at t=" << rec.time;
+      EXPECT_FALSE(rec.violation_observed) << "blind probe cannot observe";
+    } else {
+      EXPECT_TRUE(rec.qos_visible) << "at t=" << rec.time;
+    }
+    if (rec.degradation == DegradationState::Failsafe) {
+      EXPECT_TRUE(rec.batch_paused_after)
+          << "failsafe must hold the batch paused, t=" << rec.time;
+      saw_failsafe_pause = true;
+    }
+  }
+  EXPECT_TRUE(saw_failsafe_pause);
+  // Hysteresis: recovery needs recovery_periods clean periods per level,
+  // so by the end of the run the loop must be back to Normal.
+  EXPECT_EQ(rt.records().back().degradation, DegradationState::Normal);
+  EXPECT_EQ(rt.degradation(), DegradationState::Normal);
+}
+
+TEST(RuntimeFaults, DroppedPauseCommandsAreRetriedUntilDelivered) {
+  // Pause channel dead until t=10, QoS blind throughout: the failsafe
+  // pause fails, the ledger retries with backoff, and a retry landing
+  // after the fault window must finally take effect.
+  Rig rig(/*batch_start=*/0.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.faults.push_back(fault_of(sim::FaultKind::QosBlind, 3.0, 1000.0));
+  plan.faults.push_back(fault_of(sim::FaultKind::PauseFail, 0.0, 10.0));
+  rt.install_faults(plan);
+  run_periods(rig, rt, 30);
+
+  EXPECT_GT(rt.actuation_retries(), 0u);
+  EXPECT_EQ(rt.actuation_abandoned(), 0u);
+  bool saw_pending = false;
+  for (const auto& rec : rt.records()) {
+    if (rec.actuation_pending) saw_pending = true;
+  }
+  EXPECT_TRUE(saw_pending);
+  // Reconciliation won: the batch really is paused by the end.
+  EXPECT_TRUE(rt.batch_paused());
+  EXPECT_GT(rig.host.vm(rig.batch).paused_time(), 1.0);
+}
+
+TEST(RuntimeFaults, UndeliverableCommandsAreAbandoned) {
+  // Pause channel dead for the whole run: the bounded retry budget must
+  // run out rather than retry forever.
+  Rig rig(/*batch_start=*/0.0);
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.faults.push_back(fault_of(sim::FaultKind::QosBlind, 3.0, 1000.0));
+  plan.faults.push_back(fault_of(sim::FaultKind::PauseFail, 0.0, 1000.0));
+  rt.install_faults(plan);
+  run_periods(rig, rt, 30);
+
+  EXPECT_GT(rt.actuation_abandoned(), 0u);
+  EXPECT_DOUBLE_EQ(rig.host.vm(rig.batch).paused_time(), 0.0);
+}
+
+TEST(RuntimeFaults, InstallAfterStartRejected) {
+  Rig rig;
+  StayAwayRuntime rt(rig.host, *rig.probe, test_config());
+  run_periods(rig, rt, 1);
+  EXPECT_THROW(rt.install_faults(sim::FaultPlan{}), PreconditionError);
+}
+
+TEST(RuntimeFaults, FaultedRunsAreDeterministic) {
+  auto run = [] {
+    Rig rig(3.0);
+    StayAwayRuntime rt(rig.host, *rig.probe, test_config());
+    sim::FaultPlan plan;
+    plan.seed = 11;
+    plan.faults.push_back(
+        fault_of(sim::FaultKind::SensorDropout, 5.0, 25.0, 0.3));
+    plan.faults.push_back(fault_of(sim::FaultKind::QosBlind, 10.0, 18.0));
+    plan.faults.push_back(fault_of(sim::FaultKind::PauseFail, 0.0, 30.0, 0.5));
+    rt.install_faults(plan);
+    run_periods(rig, rt, 40);
+    return rt.records();
+  };
+  std::vector<PeriodRecord> a = run();
+  std::vector<PeriodRecord> b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(RuntimeFaults, ObserverStaysPassiveUnderFaults) {
+  // The observer-equivalence guarantee must survive the degraded path:
+  // same faulted run with and without observability attached.
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  plan.faults.push_back(
+      fault_of(sim::FaultKind::SensorDropout, 5.0, 25.0, 0.3));
+  plan.faults.push_back(fault_of(sim::FaultKind::QosBlind, 10.0, 16.0));
+
+  Rig rig_plain(3.0);
+  StayAwayRuntime rt_plain(rig_plain.host, *rig_plain.probe, test_config());
+  rt_plain.install_faults(plan);
+  run_periods(rig_plain, rt_plain, 30);
+
+  std::ostringstream events;
+  obs::JsonlSink sink(events);
+  obs::Observer observer(&sink);
+  Rig rig_obs(3.0);
+  StayAwayRuntime rt_obs(rig_obs.host, *rig_obs.probe, test_config());
+  rt_obs.set_observer(&observer);
+  rt_obs.install_faults(plan);
+  run_periods(rig_obs, rt_obs, 30);
+
+  EXPECT_EQ(rt_plain.records(), rt_obs.records());
+  // The degradation episode shows up in the event stream.
+  std::istringstream in(events.str());
+  std::vector<obs::Event> parsed = obs::parse_jsonl(in);
+  bool saw_degradation_event = false;
+  for (const auto& e : parsed) {
+    if (e.type == "degradation") saw_degradation_event = true;
+  }
+  EXPECT_TRUE(saw_degradation_event);
 }
 
 }  // namespace

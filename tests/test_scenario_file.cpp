@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "harness/scenario_file.hpp"
+#include "monitor/measurement.hpp"
+#include "sim/faults.hpp"
 #include "util/check.hpp"
 
 namespace stayaway::harness {
@@ -121,6 +123,98 @@ TEST(ScenarioFile, EnumLookupsRoundTripAllValues) {
   EXPECT_THROW(sensitive_kind_from_string("nope"), PreconditionError);
   EXPECT_THROW(batch_kind_from_string("nope"), PreconditionError);
   EXPECT_THROW(policy_kind_from_string("nope"), PreconditionError);
+}
+
+TEST(ScenarioFile, ParsesMetricsVmAndFaultKeys) {
+  Scenario s = parse(R"(
+    metrics = cpu, mem ,io
+    vm = extra1:cpubomb:30
+    vm = extra2:membomb
+    fault_seed = 9
+    fault = sensor-dropout start=20 end=60 p=0.2
+    fault = qos-blind start=30 end=45
+  )");
+  ASSERT_EQ(s.spec.stayaway.sampler.metrics.size(), 3u);
+  EXPECT_EQ(s.spec.stayaway.sampler.metrics[0], monitor::MetricKind::Cpu);
+  EXPECT_EQ(s.spec.stayaway.sampler.metrics[2], monitor::MetricKind::DiskIo);
+  ASSERT_EQ(s.spec.extra_batch.size(), 2u);
+  EXPECT_EQ(s.spec.extra_batch[0].name, "extra1");
+  EXPECT_EQ(s.spec.extra_batch[0].kind, BatchKind::CpuBomb);
+  EXPECT_DOUBLE_EQ(s.spec.extra_batch[0].start_s, 30.0);
+  EXPECT_EQ(s.spec.extra_batch[1].name, "extra2");
+  ASSERT_TRUE(s.spec.faults.has_value());
+  EXPECT_EQ(s.spec.faults->seed, 9u);
+  ASSERT_EQ(s.spec.faults->faults.size(), 2u);
+  EXPECT_EQ(s.spec.faults->faults[0].kind, sim::FaultKind::SensorDropout);
+}
+
+TEST(ScenarioFile, FaultSeedDefaultsToExperimentSeed) {
+  Scenario s = parse("seed = 17\nfault = qos-blind start=1 end=2\n");
+  ASSERT_TRUE(s.spec.faults.has_value());
+  EXPECT_EQ(s.spec.faults->seed, 17u);
+}
+
+TEST(ScenarioFile, DuplicateVmNameNamesTheLine) {
+  try {
+    parse("vm = extra:cpubomb\nvm = extra:membomb\n");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate VM name 'extra'"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ScenarioFile, UnknownFaultKindNamesTheLine) {
+  try {
+    parse("seed = 1\nfault = cosmic-ray start=0 end=1\n");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown fault kind"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioFile, UnknownMetricKindNamesTheLine) {
+  try {
+    parse("metrics = cpu,flux\n");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown metric kind: flux"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ScenarioFile, RejectsMalformedVmAndMetricValues) {
+  EXPECT_THROW(parse("vm = lonely-name\n"), PreconditionError);
+  EXPECT_THROW(parse("vm = :cpubomb\n"), PreconditionError);
+  EXPECT_THROW(parse("vm = extra:\n"), PreconditionError);
+  EXPECT_THROW(parse("vm = extra:none\n"), PreconditionError);
+  EXPECT_THROW(parse("vm = extra:cpubomb:-5\n"), PreconditionError);
+  EXPECT_THROW(parse("vm = extra:frobnicator\n"), PreconditionError);
+  EXPECT_THROW(parse("metrics = cpu,,mem\n"), PreconditionError);
+  // Repeating a non-list key is still rejected even though fault/vm repeat.
+  EXPECT_THROW(parse("fault_seed = 1\nfault_seed = 2\n"), PreconditionError);
+}
+
+TEST(ScenarioFile, FaultedScenarioActuallyRuns) {
+  Scenario s = parse(R"(
+    sensitive = vlc-stream
+    batch = cpubomb
+    duration_s = 30
+    batch_start_s = 5
+    vm = extra1:membomb:10
+    fault = sensor-dropout start=8 end=20 p=0.5
+    fault = qos-blind start=10 end=16
+  )");
+  ExperimentResult r = run_experiment(s.spec);
+  EXPECT_EQ(r.qos.size(), 30u);
+  EXPECT_GT(r.readings_quarantined, 0u);
+  EXPECT_GT(r.degraded_periods + r.failsafe_periods, 0u);
 }
 
 TEST(ScenarioFile, ParsedScenarioActuallyRuns) {

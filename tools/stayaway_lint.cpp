@@ -9,8 +9,9 @@
 //   deterministic-random    rand(), std::random_device and
 //                           std::chrono::system_clock are banned in the
 //                           deterministic domain (src/core, src/stats,
-//                           src/linalg, src/mds): every stochastic draw
-//                           must flow through an explicitly seeded
+//                           src/linalg, src/mds, src/sim — the last so
+//                           fault schedules stay seeded): every stochastic
+//                           draw must flow through an explicitly seeded
 //                           util/rng Rng or experiments stop reproducing.
 //   no-raw-io               std::cout / std::cerr / std::clog are banned
 //                           in library code; diagnostics go through the
@@ -171,9 +172,10 @@ std::size_t find_word(const std::string& line, std::string_view word,
 bool is_header(const std::string& path) { return path.ends_with(".hpp"); }
 
 /// The deterministic domain: modules whose outputs must be reproducible
-/// from an explicit seed.
+/// from an explicit seed. src/sim is in the domain so fault schedules
+/// (sim/faults) can never draw from wall clocks or unseeded generators.
 bool deterministic_domain(const std::string& path) {
-  for (const char* dir : {"core/", "stats/", "linalg/", "mds/"}) {
+  for (const char* dir : {"core/", "stats/", "linalg/", "mds/", "sim/"}) {
     if (path.find(dir) != std::string::npos) return true;
   }
   return false;
@@ -316,6 +318,12 @@ std::vector<Fixture> self_test_fixtures() {
   f.push_back({"system-clock-in-linalg", "src/linalg/bad.cpp",
                "auto t = std::chrono::system_clock::now();\n",
                {"deterministic-random"}});
+  f.push_back({"system-clock-in-fault-schedule", "src/sim/faults_bad.cpp",
+               "auto now = std::chrono::system_clock::now();\n",
+               {"deterministic-random"}});
+  f.push_back({"seeded-rng-in-fault-schedule", "src/sim/faults_ok.cpp",
+               "Rng rng_(plan_.seed);\n",
+               {}});
   f.push_back({"rand-outside-domain", "src/apps/ok.cpp",
                "int draw() { return rand(); }\n",
                {}});

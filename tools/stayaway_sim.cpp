@@ -9,6 +9,12 @@
 //                        pause/resume transitions)
 //   --metrics-out FILE   JSON metrics summary (counters/gauges/histograms)
 //
+// Fault injection (DESIGN.md §12):
+//   --faults FILE        deterministic fault plan applied to the primary
+//                        run (overrides the scenario's `fault =` lines);
+//                        format: `seed = 7` plus repeatable `fault =`
+//                        lines, see src/sim/faults.hpp
+//
 // The scenario format is documented in src/harness/scenario_file.hpp.
 // Prints the QoS/utilization summary (and the full comparison when
 // `compare = true`), optionally saving the per-period series as CSV and
@@ -24,6 +30,7 @@
 #include "harness/scenario_file.hpp"
 #include "obs/events.hpp"
 #include "obs/observer.hpp"
+#include "sim/faults.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
@@ -45,12 +52,13 @@ compare      = true              # also run no-prevention + isolated references
 
 constexpr const char* kUsage =
     "usage: stayaway_sim [--events-out FILE] [--metrics-out FILE]\n"
-    "                    <scenario-file | - | --example>\n";
+    "                    [--faults FILE] <scenario-file | - | --example>\n";
 
 struct Options {
   std::string scenario;
   std::optional<std::string> events_out;
   std::optional<std::string> metrics_out;
+  std::optional<std::string> faults;
 };
 
 int run(std::istream& in, const Options& opts) {
@@ -58,6 +66,14 @@ int run(std::istream& in, const Options& opts) {
   using namespace stayaway::harness;
 
   Scenario scenario = parse_scenario(in);
+  if (opts.faults.has_value()) {
+    std::ifstream fin(*opts.faults);
+    SA_REQUIRE(fin.good(), "cannot open fault plan: " + *opts.faults);
+    scenario.spec.faults = sim::parse_fault_plan(fin);
+    std::cout << "fault plan loaded: " << *opts.faults << " ("
+              << scenario.spec.faults->faults.size() << " faults, seed "
+              << scenario.spec.faults->seed << ")\n";
+  }
   if (scenario.template_in.has_value()) {
     std::ifstream tin(*scenario.template_in);
     SA_REQUIRE(tin.good(), "cannot open template: " + *scenario.template_in);
@@ -89,6 +105,15 @@ int run(std::istream& in, const Options& opts) {
             << scenario.spec.duration_s << " s\n\n";
   ExperimentResult result = run_experiment(scenario.spec);
   scenario.spec.observer = nullptr;
+
+  if (scenario.spec.faults.has_value() && !scenario.spec.faults->empty()) {
+    std::cout << "faults: " << result.readings_quarantined
+              << " readings quarantined, " << result.degraded_periods
+              << " degraded + " << result.failsafe_periods
+              << " failsafe periods, " << result.actuation_retries
+              << " actuation retries (" << result.actuation_abandoned
+              << " abandoned)\n\n";
+  }
 
   if (observer.has_value()) {
     observer->flush();
@@ -168,7 +193,7 @@ int main(int argc, char** argv) {
       std::cout << kExample;
       return 0;
     }
-    if (arg == "--events-out" || arg == "--metrics-out") {
+    if (arg == "--events-out" || arg == "--metrics-out" || arg == "--faults") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " needs a file argument\n" << kUsage;
         return 2;
@@ -176,8 +201,10 @@ int main(int argc, char** argv) {
       ++i;
       if (arg == "--events-out") {
         opts.events_out = argv[i];
-      } else {
+      } else if (arg == "--metrics-out") {
         opts.metrics_out = argv[i];
+      } else {
+        opts.faults = argv[i];
       }
       continue;
     }
