@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/fleet.hpp"
 #include "harness/report.hpp"
 #include "harness/scenarios.hpp"
 #include "obs/metrics.hpp"
@@ -32,6 +33,18 @@ inline harness::ExperimentSpec figure_spec(harness::SensitiveKind sensitive,
   return spec;
 }
 
+/// figure_spec plus the compressed diurnal workload the QoS figures
+/// share; the workload seed is independent of the experiment seed.
+inline harness::ExperimentSpec diurnal_figure_spec(
+    harness::SensitiveKind sensitive, harness::BatchKind batch,
+    std::uint64_t workload_seed, double duration_s = 300.0,
+    std::uint64_t seed = 99) {
+  auto spec = figure_spec(sensitive, batch, duration_s, seed);
+  spec.workload =
+      harness::compressed_diurnal(duration_s, /*cycles=*/1.5, workload_seed);
+  return spec;
+}
+
 /// Runs the with/without/isolated triple every QoS figure needs.
 struct FigureRuns {
   harness::ExperimentResult stay_away;
@@ -39,14 +52,30 @@ struct FigureRuns {
   harness::ExperimentResult isolated;
 };
 
-inline FigureRuns run_figure(harness::ExperimentSpec spec) {
-  FigureRuns out;
-  out.stay_away = harness::run_experiment(spec);
+/// The figure triple as a three-host fleet: the spec itself, the same
+/// co-location without prevention, and the sensitive app isolated.
+inline harness::FleetSpec figure_fleet(const harness::ExperimentSpec& spec) {
+  harness::FleetSpec fleet;
+  fleet.hosts.push_back({"stay-away", spec});
   auto np = spec;
   np.policy = harness::PolicyKind::NoPrevention;
   np.seed_template.reset();
-  out.no_prevention = harness::run_experiment(np);
-  out.isolated = harness::run_isolated(spec);
+  fleet.hosts.push_back({"no-prevention", std::move(np)});
+  // Mirrors run_isolated: batch off, no policy; extra VMs (if any) stay,
+  // matching the historical reference runs.
+  auto iso = spec;
+  iso.batch = harness::BatchKind::None;
+  iso.policy = harness::PolicyKind::NoPrevention;
+  fleet.hosts.push_back({"isolated", std::move(iso)});
+  return fleet;
+}
+
+inline FigureRuns run_figure(const harness::ExperimentSpec& spec) {
+  harness::FleetResult fleet = harness::run_fleet(figure_fleet(spec));
+  FigureRuns out;
+  out.stay_away = std::move(fleet.hosts[0].result);
+  out.no_prevention = std::move(fleet.hosts[1].result);
+  out.isolated = std::move(fleet.hosts[2].result);
   return out;
 }
 

@@ -11,10 +11,10 @@ int main() {
   using namespace stayaway;
   using namespace stayaway::bench;
 
-  auto spec = figure_spec(harness::SensitiveKind::VlcStream,
-                          harness::BatchKind::CpuBomb);
-  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 31);
-  FigureRuns runs = run_figure(spec);
+  FigureRuns runs =
+      run_figure(diurnal_figure_spec(harness::SensitiveKind::VlcStream,
+                                     harness::BatchKind::CpuBomb,
+                                     /*workload_seed=*/31));
   print_qos_figure("Figure 8: VLC streaming + CPUBomb", runs);
 
   // Paper claim: violations concentrate in the early phase.

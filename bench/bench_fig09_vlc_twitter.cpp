@@ -11,10 +11,10 @@ int main() {
   using namespace stayaway;
   using namespace stayaway::bench;
 
-  auto spec = figure_spec(harness::SensitiveKind::VlcStream,
-                          harness::BatchKind::TwitterAnalysis);
-  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 32);
-  FigureRuns runs = run_figure(spec);
+  FigureRuns runs =
+      run_figure(diurnal_figure_spec(harness::SensitiveKind::VlcStream,
+                                     harness::BatchKind::TwitterAnalysis,
+                                     /*workload_seed=*/32));
   print_qos_figure("Figure 9: VLC streaming + Twitter-Analysis", runs);
 
   std::cout << "\nstay-away pauses: " << runs.stay_away.pauses

@@ -12,10 +12,10 @@ int main() {
   using namespace stayaway;
   using namespace stayaway::bench;
 
-  auto spec = figure_spec(harness::SensitiveKind::VlcStream,
-                          harness::BatchKind::CpuBomb);
-  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 33);
-  FigureRuns runs = run_figure(spec);
+  FigureRuns runs =
+      run_figure(diurnal_figure_spec(harness::SensitiveKind::VlcStream,
+                                     harness::BatchKind::CpuBomb,
+                                     /*workload_seed=*/33));
   print_gain_figure("Figure 10: gained utilization, VLC + CPUBomb", runs);
 
   auto lower = harness::gained_utilization(runs.stay_away, runs.isolated);

@@ -11,10 +11,10 @@ int main() {
   using namespace stayaway;
   using namespace stayaway::bench;
 
-  auto spec = figure_spec(harness::SensitiveKind::VlcStream,
-                          harness::BatchKind::TwitterAnalysis);
-  spec.workload = harness::compressed_diurnal(spec.duration_s, 1.5, 34);
-  FigureRuns runs = run_figure(spec);
+  FigureRuns runs =
+      run_figure(diurnal_figure_spec(harness::SensitiveKind::VlcStream,
+                                     harness::BatchKind::TwitterAnalysis,
+                                     /*workload_seed=*/34));
   print_gain_figure("Figure 11: gained utilization, VLC + Twitter-Analysis",
                     runs);
 

@@ -13,6 +13,11 @@
 #   ./ci.sh --faults             fault-injection smoke: stayaway_sim under a
 #                                generated fault plan in the ASan tree, so the
 #                                degraded-mode path runs sanitized end to end
+#   ./ci.sh --fleet              fleet gate (DESIGN.md §13): the fleet tests
+#                                (byte-identical fleet-of-1 golden, scenario
+#                                overlays, worker invariance) in the tier-1
+#                                tree, then the fleet concurrency surfaces
+#                                under ThreadSanitizer
 #   ./ci.sh --all                every leg above
 #
 # Each leg builds in its own tree (build, build-asan, build-tsan,
@@ -35,9 +40,10 @@ for arg in "$@"; do
     --paranoid) LEGS+=(paranoid) ;;
     --tidy) LEGS+=(tidy) ;;
     --faults) LEGS+=(faults) ;;
-    --all) LEGS+=(tier1 asan tsan paranoid tidy faults) ;;
+    --fleet) LEGS+=(fleet) ;;
+    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet) ;;
     *)
-      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--all]" >&2
+      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--all]" >&2
       exit 2
       ;;
   esac
@@ -108,6 +114,26 @@ EOF
       # The degraded path must actually have been exercised.
       grep -q "fault plan loaded" <<<"$out" &&
         grep -q "readings quarantined" <<<"$out"
+      ;;
+    fleet)
+      # Fleet gate: the golden fleet-of-1 / overlay / invariance tests in
+      # the tier-1 tree first (fast failure), then the fleet concurrency
+      # surfaces — 8 pipelines on a 4-worker pool sharing one observer —
+      # under ThreadSanitizer.
+      cmake -B build -S . >/dev/null &&
+        cmake --build build -j"$JOBS" \
+          --target test_fleet test_scenario_file test_concurrency ||
+        return 1
+      ctest --test-dir build --output-on-failure -R 'Fleet' || return 1
+      cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+        >/dev/null &&
+        cmake --build build-tsan -j"$JOBS" \
+          --target test_fleet test_concurrency || return 1
+      ./build-tsan/tests/test_fleet &&
+        ./build-tsan/tests/test_concurrency \
+          --gtest_filter='FleetConcurrency.*'
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then

@@ -1,41 +1,31 @@
 #include "baseline/reactive.hpp"
 
-#include "util/check.hpp"
+#include <utility>
+
+#include "core/host_port.hpp"
 
 namespace stayaway::baseline {
 
-ReactiveThrottle::ReactiveThrottle(ReactiveConfig config) : config_(config) {
-  SA_REQUIRE(config.cooldown_s > 0.0, "cooldown must be positive");
-}
+ReactiveThrottle::ReactiveThrottle(ReactiveConfig config) : stage_(config) {}
 
 PolicyDecision ReactiveThrottle::on_period(sim::SimHost& host,
                                            const sim::QosProbe& probe) {
+  core::SimHostActuationPort port(host);
+  core::PeriodRecord rec;
+  rec.time = host.now();
+  rec.violation_observed = probe.violated();
+  core::Actuator::Outcome outcome =
+      stage_.act(port, rec, core::DegradationState::Normal, nullptr);
   PolicyDecision decision;
-  if (!paused_) {
-    if (probe.violated()) {
-      for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
-        host.vm(id).pause();
-        decision.targets.push_back(id);
-      }
-      paused_ = true;
-      paused_at_ = host.now();
-      ++pauses_;
-      decision.action = PolicyAction::Pause;
-      decision.reason = "observed-violation";
-    }
-    decision.batch_paused_after = paused_;
-    return decision;
-  }
-  if (host.now() - paused_at_ >= config_.cooldown_s) {
-    for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
-      host.vm(id).resume();
-      decision.targets.push_back(id);
-    }
-    paused_ = false;
+  decision.batch_paused_after = rec.batch_paused_after;
+  decision.reason = outcome.reason;
+  if (rec.action == core::ThrottleAction::Pause) {
+    decision.action = PolicyAction::Pause;
+    decision.targets = std::move(outcome.paused);
+  } else if (rec.action == core::ThrottleAction::Resume) {
     decision.action = PolicyAction::Resume;
-    decision.reason = "cooldown-elapsed";
+    decision.targets = std::move(outcome.resumed);
   }
-  decision.batch_paused_after = paused_;
   return decision;
 }
 

@@ -4,16 +4,16 @@
 // actuation (pause/resume of batch VMs) but no state-space model, so every
 // contention episode costs at least one violated period before the pause
 // lands, and resumes are blind timeouts instead of phase-change detection.
+//
+// Since the stage decomposition (DESIGN.md §13) the decision logic lives
+// in stages/reactive_actuator.hpp; this class adapts the stage to the
+// legacy InterferencePolicy interface the harness drives.
 #pragma once
 
 #include "baseline/policy.hpp"
+#include "baseline/stages/reactive_actuator.hpp"
 
 namespace stayaway::baseline {
-
-struct ReactiveConfig {
-  /// Seconds the batch stays paused after a violation-triggered pause.
-  double cooldown_s = 10.0;
-};
 
 class ReactiveThrottle final : public InterferencePolicy {
  public:
@@ -23,13 +23,10 @@ class ReactiveThrottle final : public InterferencePolicy {
   PolicyDecision on_period(sim::SimHost& host,
                            const sim::QosProbe& probe) override;
 
-  std::size_t pauses() const { return pauses_; }
+  std::size_t pauses() const { return stage_.pauses(); }
 
  private:
-  ReactiveConfig config_;
-  bool paused_ = false;
-  double paused_at_ = 0.0;
-  std::size_t pauses_ = 0;
+  ReactiveActuator stage_;
 };
 
 }  // namespace stayaway::baseline

@@ -1,59 +1,31 @@
 #include "baseline/static_threshold.hpp"
 
-#include "util/check.hpp"
+#include <utility>
+
+#include "core/host_port.hpp"
 
 namespace stayaway::baseline {
 
 StaticThreshold::StaticThreshold(StaticThresholdConfig config)
-    : config_(config) {
-  SA_REQUIRE(config.hysteresis >= 0.0, "hysteresis must be non-negative");
-}
-
-StaticThreshold::Utilization StaticThreshold::measure(const sim::SimHost& host) {
-  Utilization u;
-  const auto& spec = host.spec();
-  for (sim::VmId id = 0; id < host.vm_count(); ++id) {
-    const auto& g = host.vm(id).last_allocation().granted;
-    u.cpu += g.cpu_cores / spec.cpu_cores;
-    u.memory += g.memory_mb / spec.memory_mb;
-    u.membw += g.membw_mbps / spec.membw_mbps;
-  }
-  return u;
-}
+    : stage_(config) {}
 
 PolicyDecision StaticThreshold::on_period(sim::SimHost& host,
                                           const sim::QosProbe&) {
-  Utilization u = measure(host);
+  core::SimHostActuationPort port(host);
+  core::PeriodRecord rec;
+  rec.time = host.now();
+  core::Actuator::Outcome outcome =
+      stage_.act(port, rec, core::DegradationState::Normal, nullptr);
   PolicyDecision decision;
-  if (!paused_) {
-    bool over = u.cpu > config_.cpu_cap || u.memory > config_.memory_cap ||
-                u.membw > config_.membw_cap;
-    if (over) {
-      for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
-        host.vm(id).pause();
-        decision.targets.push_back(id);
-      }
-      paused_ = true;
-      ++pauses_;
-      decision.action = PolicyAction::Pause;
-      decision.reason = "threshold-exceeded";
-    }
-    decision.batch_paused_after = paused_;
-    return decision;
-  }
-  bool clear = u.cpu < config_.cpu_cap - config_.hysteresis &&
-               u.memory < config_.memory_cap - config_.hysteresis &&
-               u.membw < config_.membw_cap - config_.hysteresis;
-  if (clear) {
-    for (sim::VmId id : host.vms_of_kind(sim::VmKind::Batch)) {
-      host.vm(id).resume();
-      decision.targets.push_back(id);
-    }
-    paused_ = false;
+  decision.batch_paused_after = rec.batch_paused_after;
+  decision.reason = outcome.reason;
+  if (rec.action == core::ThrottleAction::Pause) {
+    decision.action = PolicyAction::Pause;
+    decision.targets = std::move(outcome.paused);
+  } else if (rec.action == core::ThrottleAction::Resume) {
     decision.action = PolicyAction::Resume;
-    decision.reason = "below-hysteresis";
+    decision.targets = std::move(outcome.resumed);
   }
-  decision.batch_paused_after = paused_;
   return decision;
 }
 

@@ -6,18 +6,16 @@
 // utilization (sensitive app comfortably at peak alone) from contention,
 // so it either over-throttles or misses swap-driven violations that occur
 // at modest CPU utilization.
+//
+// Since the stage decomposition (DESIGN.md §13) the decision logic lives
+// in stages/static_actuator.hpp; this class adapts the stage to the
+// legacy InterferencePolicy interface the harness drives.
 #pragma once
 
 #include "baseline/policy.hpp"
+#include "baseline/stages/static_actuator.hpp"
 
 namespace stayaway::baseline {
-
-struct StaticThresholdConfig {
-  double cpu_cap = 0.85;      // of host cores
-  double memory_cap = 0.90;   // of physical memory
-  double membw_cap = 0.85;    // of bus bandwidth
-  double hysteresis = 0.10;   // resume once below cap - hysteresis
-};
 
 class StaticThreshold final : public InterferencePolicy {
  public:
@@ -27,21 +25,10 @@ class StaticThreshold final : public InterferencePolicy {
   PolicyDecision on_period(sim::SimHost& host,
                            const sim::QosProbe& probe) override;
 
-  std::size_t pauses() const { return pauses_; }
+  std::size_t pauses() const { return stage_.pauses(); }
 
  private:
-  /// Utilization fractions of the host for the last tick, computed from
-  /// granted allocations of present VMs.
-  struct Utilization {
-    double cpu = 0.0;
-    double memory = 0.0;
-    double membw = 0.0;
-  };
-  static Utilization measure(const sim::SimHost& host);
-
-  StaticThresholdConfig config_;
-  bool paused_ = false;
-  std::size_t pauses_ = 0;
+  StaticThresholdActuator stage_;
 };
 
 }  // namespace stayaway::baseline

@@ -1,10 +1,11 @@
 // Configuration of the Stay-Away runtime and its components.
 //
 // StayAwayConfig is the single config entry point: it carries the
-// monitor's SamplerOptions too, so StayAwayRuntime, StayAwayPolicy and
+// monitor's SamplerConfig too, so StayAwayRuntime, StayAwayPolicy and
 // harness::ExperimentSpec are configured through one object. The old
-// positional (config, SamplerOptions) constructors survive as thin
-// deprecated shims.
+// positional (config, sampler) runtime constructor survives as one thin
+// deprecated shim. FleetConfig sizes the multi-host controller built on
+// top of per-host pipelines.
 #pragma once
 
 #include <cstddef>
@@ -127,7 +128,17 @@ struct StayAwayConfig {
   DegradationConfig degradation;
   /// How the host monitor samples per-VM usage (metric set, §5 batch
   /// aggregation, measurement noise).
-  monitor::SamplerOptions sampler;
+  monitor::SamplerConfig sampler;
+  std::uint64_t seed = 1234;
+};
+
+/// Sizing of core::FleetController: how many worker threads drive the
+/// per-host pipelines, and the base seed from which per-host RNG streams
+/// are split (fleet_host_seed).
+struct FleetConfig {
+  /// Concurrent pipeline drivers. 1 = strictly sequential host-by-host.
+  std::size_t workers = 1;
+  /// Base seed; host i derives its streams via fleet_host_seed(seed, i).
   std::uint64_t seed = 1234;
 };
 

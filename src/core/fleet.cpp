@@ -1,0 +1,86 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace stayaway::core {
+
+std::uint64_t fleet_host_seed(std::uint64_t base, std::size_t host_index) {
+  // splitmix64 finalizer over base + (index+1) * golden-gamma: the +1
+  // keeps host 0 from collapsing onto the raw base seed.
+  std::uint64_t z =
+      base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(host_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+FleetController::FleetController(FleetConfig config) : config_(config) {
+  SA_REQUIRE(config_.workers >= 1, "a fleet needs at least one worker");
+}
+
+void FleetController::add_member(Member member) {
+  SA_REQUIRE(!member.name.empty(), "fleet members need a name");
+  SA_REQUIRE(member.host != nullptr && member.pipeline != nullptr,
+             "fleet members need a host and a pipeline");
+  SA_REQUIRE(member.ticks_per_period >= 1,
+             "each period must advance at least one tick");
+  for (const Member& m : members_) {
+    SA_REQUIRE(m.name != member.name, "fleet member names must be unique");
+    SA_REQUIRE(m.host != member.host,
+               "one host cannot belong to two fleet members");
+  }
+  members_.push_back(std::move(member));
+}
+
+void FleetController::drive(Member& member) const {
+  for (std::size_t p = 0; p < member.periods; ++p) {
+    if (member.on_tick) {
+      for (std::size_t t = 0; t < member.ticks_per_period; ++t) {
+        member.host->step();
+        member.on_tick();
+      }
+    } else {
+      member.host->run(member.ticks_per_period);
+    }
+    const PeriodRecord& rec = member.pipeline->on_period();
+    if (member.on_period) member.on_period(rec);
+  }
+}
+
+void FleetController::run() {
+  if (members_.empty()) return;
+  std::size_t workers = std::min(config_.workers, members_.size());
+  if (workers <= 1) {
+    for (Member& m : members_) drive(m);
+    return;
+  }
+  // Concurrent members each run full map->predict->act loops; the
+  // process-wide hot-path pool is non-reentrant and single-owner, so
+  // kernel-level parallelism must be off (1 thread = pure inline calls
+  // with no shared pool state) before host-level parallelism goes on.
+  SA_REQUIRE(util::hot_path_threads() == 1,
+             "fleet workers > 1 requires hot_path_threads == 1 "
+             "(host-level and kernel-level parallelism do not compose)");
+  util::ThreadPool pool(workers);
+  // RangeFn must not throw: capture per-member exceptions and surface
+  // the first after the section ends.
+  std::vector<std::exception_ptr> errors(members_.size());
+  pool.for_ranges(members_.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        drive(members_[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace stayaway::core

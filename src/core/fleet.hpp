@@ -1,0 +1,67 @@
+// FleetController — drives N independent per-host pipelines to
+// completion, optionally concurrently on a private worker pool
+// (DESIGN.md §13). Hosts never share mutable state: each member owns its
+// simulated host, pipeline, RNG streams (split from the fleet seed via
+// fleet_host_seed) and degradation machinery, so a fleet of one host
+// with default config emits a PeriodRecord stream byte-identical to the
+// single-host runtime (golden test in tests/test_fleet.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+
+namespace stayaway::core {
+
+/// Deterministic per-host seed split: mixes the fleet base seed with the
+/// host index (splitmix64 finalizer) so sibling hosts get decorrelated
+/// RNG streams while host i's stream is reproducible across runs and
+/// fleet sizes.
+std::uint64_t fleet_host_seed(std::uint64_t base, std::size_t host_index);
+
+class FleetController {
+ public:
+  /// One host's slot in the fleet. The host and pipeline are borrowed
+  /// and must outlive the controller.
+  struct Member {
+    std::string name;
+    sim::SimHost* host = nullptr;
+    HostPipeline* pipeline = nullptr;
+    /// Simulation ticks advanced before each control period.
+    std::size_t ticks_per_period = 10;
+    /// Control periods to drive this member for.
+    std::size_t periods = 0;
+    /// Optional per-tick hook (series accumulation); called after every
+    /// host tick, on the worker thread driving this member.
+    std::function<void()> on_tick;
+    /// Optional per-period hook; called with the fresh record, on the
+    /// worker thread driving this member.
+    std::function<void(const PeriodRecord&)> on_period;
+  };
+
+  explicit FleetController(FleetConfig config);
+
+  /// Member names must be unique and non-empty.
+  void add_member(Member member);
+  std::size_t size() const { return members_.size(); }
+
+  /// Drives every member for its configured periods, with up to
+  /// config.workers members in flight at once. Requires the process-wide
+  /// hot-path pool to be single-threaded when workers > 1 (host-level
+  /// and kernel-level parallelism do not compose — the global pool is
+  /// not reentrant). Exceptions from member loops are captured per
+  /// member and the first one rethrown after every worker joined.
+  void run();
+
+ private:
+  void drive(Member& member) const;
+
+  FleetConfig config_;
+  std::vector<Member> members_;
+};
+
+}  // namespace stayaway::core

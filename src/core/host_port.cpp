@@ -1,0 +1,75 @@
+#include "core/host_port.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace stayaway::core {
+
+double SimHostActuationPort::now() const { return host_->now(); }
+
+std::vector<VmFootprint> SimHostActuationPort::batch_footprints() const {
+  std::vector<VmFootprint> out;
+  const auto& spec = host_->spec();
+  for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Batch)) {
+    const auto& vm = host_->vm(id);
+    if (!vm.present(host_->now())) continue;
+    const auto& g = vm.last_allocation().granted;
+    double f = g.cpu_cores / spec.cpu_cores + g.memory_mb / spec.memory_mb +
+               g.membw_mbps / spec.membw_mbps;
+    out.push_back({id, f});
+  }
+  return out;
+}
+
+std::vector<sim::VmId> SimHostActuationPort::present_batch() const {
+  std::vector<sim::VmId> out;
+  for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Batch)) {
+    if (host_->vm(id).present(host_->now())) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<sim::VmId> SimHostActuationPort::all_batch() const {
+  return host_->vms_of_kind(sim::VmKind::Batch);
+}
+
+std::vector<sim::VmId> SimHostActuationPort::demotion_candidates() const {
+  std::vector<sim::VmId> out;
+  int top = std::numeric_limits<int>::min();
+  for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Sensitive)) {
+    const auto& vm = host_->vm(id);
+    if (vm.present(host_->now())) top = std::max(top, vm.priority());
+  }
+  for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Sensitive)) {
+    const auto& vm = host_->vm(id);
+    if (vm.present(host_->now()) && vm.priority() < top) out.push_back(id);
+  }
+  return out;
+}
+
+ResourceUtilization SimHostActuationPort::utilization() const {
+  ResourceUtilization u;
+  const auto& spec = host_->spec();
+  for (sim::VmId id = 0; id < host_->vm_count(); ++id) {
+    const auto& g = host_->vm(id).last_allocation().granted;
+    u.cpu += g.cpu_cores / spec.cpu_cores;
+    u.memory += g.memory_mb / spec.memory_mb;
+    u.membw += g.membw_mbps / spec.membw_mbps;
+  }
+  return u;
+}
+
+bool SimHostActuationPort::pause(sim::VmId id) {
+  bool delivered = faults_ == nullptr || faults_->pause_delivered(host_->now());
+  if (delivered) host_->vm(id).pause();
+  return delivered;
+}
+
+bool SimHostActuationPort::resume(sim::VmId id) {
+  bool delivered =
+      faults_ == nullptr || faults_->resume_delivered(host_->now());
+  if (delivered) host_->vm(id).resume();
+  return delivered;
+}
+
+}  // namespace stayaway::core

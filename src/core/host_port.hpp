@@ -1,0 +1,42 @@
+// SimHostActuationPort — the production ActuationPort: a thin view over
+// the simulated host with pause/resume delivery routed through the
+// optional fault channel (DESIGN.md §12). This is the only place where
+// actuation crosses from the stage world into the host; stage
+// implementations themselves must not see the host (stage-host-isolation
+// lint rule), which is why this lives in src/core/, not src/core/stages/.
+//
+// Shared by HostPipeline (which installs the fault injector) and the
+// baseline policy adapters in src/baseline/ (fault-free, constructed per
+// period).
+#pragma once
+
+#include "core/stages/port.hpp"
+#include "sim/faults.hpp"
+#include "sim/host.hpp"
+
+namespace stayaway::core {
+
+class SimHostActuationPort final : public ActuationPort {
+ public:
+  /// `host` must outlive the port.
+  explicit SimHostActuationPort(sim::SimHost& host) : host_(&host) {}
+
+  /// Routes subsequent pause/resume delivery through `faults` (nullptr
+  /// restores always-delivered semantics). The injector is borrowed.
+  void set_faults(sim::FaultInjector* faults) { faults_ = faults; }
+
+  double now() const override;
+  std::vector<VmFootprint> batch_footprints() const override;
+  std::vector<sim::VmId> present_batch() const override;
+  std::vector<sim::VmId> all_batch() const override;
+  std::vector<sim::VmId> demotion_candidates() const override;
+  ResourceUtilization utilization() const override;
+  bool pause(sim::VmId id) override;
+  bool resume(sim::VmId id) override;
+
+ private:
+  sim::SimHost* host_;
+  sim::FaultInjector* faults_ = nullptr;
+};
+
+}  // namespace stayaway::core

@@ -1,0 +1,92 @@
+// The per-period contract shared by every pipeline stage: the
+// PeriodRecord each stage fills its slice of, the degradation state
+// machine the pipeline threads through them, and the passive
+// prediction-accuracy tally. Split out of runtime.hpp so stage
+// implementations (src/core/stages/) can speak the record vocabulary
+// without seeing the host or the monolithic runtime.
+#pragma once
+
+#include <cstddef>
+
+#include "core/governor.hpp"
+#include "mds/point.hpp"
+#include "monitor/mode.hpp"
+
+namespace stayaway::core {
+
+/// Degradation state machine (DESIGN.md §12). Normal: full telemetry,
+/// paper behaviour. Degraded: running on imputed samples or a briefly
+/// blind QoS probe — decisions widen conservatively. Failsafe: QoS-blind
+/// past the configured patience — every batch VM is paused until
+/// telemetry recovers. Recovery steps down one level at a time with
+/// hysteresis (DegradationConfig::recovery_periods).
+enum class DegradationState {
+  Normal = 0,
+  Degraded = 1,
+  Failsafe = 2,
+};
+
+inline const char* to_string(DegradationState state) {
+  switch (state) {
+    case DegradationState::Normal:
+      return "normal";
+    case DegradationState::Degraded:
+      return "degraded";
+    case DegradationState::Failsafe:
+      return "failsafe";
+  }
+  return "unknown";
+}
+
+/// Everything the pipeline learned and did in one control period. Each
+/// stage owns a slice: the Mapper fills the mapping fields
+/// (representative, state, stress, quarantine health), the
+/// ViolationForecaster the prediction fields, the Actuator the action
+/// fields; the pipeline itself stamps time/mode/QoS/degradation.
+struct PeriodRecord {
+  double time = 0.0;
+  monitor::ExecutionMode mode = monitor::ExecutionMode::Idle;
+  mds::Point2 state;
+  std::size_t representative = 0;
+  bool new_representative = false;
+  bool violation_observed = false;
+  bool violation_predicted = false;
+  bool model_ready = false;
+  ThrottleAction action = ThrottleAction::None;
+  bool batch_paused_after = false;
+  double stress = 0.0;
+  double beta = 0.0;
+  // --- Degraded-mode telemetry (defaults describe a healthy period, so
+  // fault-free records compare equal to the historical sequence). ------
+  DegradationState degradation = DegradationState::Normal;
+  std::size_t quarantined_dims = 0;  // readings imputed this period
+  std::size_t max_staleness = 0;     // longest consecutive-imputation run
+  bool qos_visible = true;           // the probe reported this period
+  std::size_t actuation_retries = 0;  // commands re-issued this period
+  bool actuation_pending = false;     // ledger still diverged afterwards
+
+  bool operator==(const PeriodRecord& o) const = default;
+};
+
+/// Passive prediction-vs-outcome tallies: each period's forecast ("will
+/// the execution progress into the violation region?") scored against the
+/// next period's realised map position. Meaningful when actions are
+/// disabled (an acted-on prediction masks its own outcome).
+struct PredictionTally {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double accuracy() const {
+    std::size_t t = total();
+    if (t == 0) return 0.0;
+    return static_cast<double>(true_positive + true_negative) /
+           static_cast<double>(t);
+  }
+};
+
+}  // namespace stayaway::core

@@ -1,593 +1,23 @@
 #include "core/runtime.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "util/check.hpp"
-#include "util/thread_pool.hpp"
+#include <utility>
 
 namespace stayaway::core {
 
-namespace {
-
-/// Plausible upper bound of every raw reading: host capacity times the
-/// spike margin. Feeds the validate-and-quarantine stage.
-std::vector<double> quarantine_bounds(
-    const monitor::CapacityNormalizer& normalizer, double spike_margin) {
-  const monitor::MetricLayout& layout = normalizer.layout();
-  std::vector<double> bounds(layout.dimension(), 0.0);
-  for (std::size_t e = 0; e < layout.entities.size(); ++e) {
-    for (std::size_t k = 0; k < layout.metrics.size(); ++k) {
-      bounds[layout.index_of(e, k)] =
-          normalizer.capacity_of(layout.metrics[k]) * spike_margin;
-    }
-  }
-  return bounds;
-}
-
-}  // namespace
-
-const char* to_string(DegradationState state) {
-  switch (state) {
-    case DegradationState::Normal:
-      return "normal";
-    case DegradationState::Degraded:
-      return "degraded";
-    case DegradationState::Failsafe:
-      return "failsafe";
-  }
-  return "unknown";
-}
-
-double PredictionTally::accuracy() const {
-  std::size_t t = total();
-  if (t == 0) return 0.0;
-  return static_cast<double>(true_positive + true_negative) /
-         static_cast<double>(t);
-}
-
-StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
-                                 StayAwayConfig config,
-                                 monitor::SamplerOptions sampler_options)
-    : StayAwayRuntime(host, probe, [&] {
-        // Deprecated shim: the positional options win over config.sampler.
-        config.sampler = std::move(sampler_options);
-        return std::move(config);
-      }()) {}
-
 StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
                                  StayAwayConfig config)
-    : host_(&host),
-      probe_(&probe),
-      config_(config),
-      sampler_(host, config.sampler),
-      normalizer_(host.spec(), sampler_.layout()),
-      quarantine_(quarantine_bounds(normalizer_, config.degradation.spike_margin)),
-      reps_(config.dedup_epsilon, config.max_representatives),
-      embedder_(config.embed_method, config.landmark_count,
-                config.warm_skip_stress),
-      modes_(/*max_step=*/std::sqrt(
-                 static_cast<double>(sampler_.layout().dimension())),
-             config.histogram_bins),
-      predictor_(config.prediction_samples, config.majority_fraction,
-                 config.min_mode_observations),
-      governor_(config.governor, Rng(config.seed)),
-      rng_(config.seed ^ 0x5eedF00dULL) {
-  SA_REQUIRE(config.period_s > 0.0, "control period must be positive");
-  SA_REQUIRE(config.degradation.spike_margin > 0.0,
-             "spike margin must be positive");
-  SA_REQUIRE(config.degradation.qos_blind_failsafe_periods > 0,
-             "failsafe patience must be at least one period");
-  SA_REQUIRE(config.degradation.recovery_periods > 0,
-             "recovery hysteresis must be at least one period");
-  SA_REQUIRE(config.degradation.degraded_majority_fraction >= 0.0 &&
-                 config.degradation.degraded_majority_fraction <= 1.0,
-             "degraded majority fraction must be in [0,1]");
-  if (config.hot_path_threads != 0) {
-    util::set_hot_path_threads(config.hot_path_threads);
-  }
-}
+    : pipeline_(host, probe, std::move(config)) {}
 
-void StayAwayRuntime::install_faults(const sim::FaultPlan& plan) {
-  SA_REQUIRE(records_.empty(),
-             "fault plans must be installed before the first period");
-  faults_.emplace(plan);
-  sampler_.set_fault_injector(&*faults_);
-}
-
-void StayAwayRuntime::seed_template(const StateTemplate& t) {
-  SA_REQUIRE(reps_.size() == 0, "templates must be seeded before any period");
-  for (const auto& entry : t.entries) {
-    SA_REQUIRE(entry.vector.size() == sampler_.layout().dimension(),
-               "template dimension does not match the sampler layout");
-    auto assignment = reps_.assign(entry.vector);
-    if (assignment.is_new) {
-      space_.add_state(entry.label);
-    } else if (entry.label == StateLabel::Violation) {
-      space_.mark_violation(assignment.representative);
-    }
-  }
-  space_.sync_positions(embedder_.update(reps_));
-}
-
-StateTemplate StayAwayRuntime::export_template(
-    std::string sensitive_app_name) const {
-  StateTemplate t;
-  t.sensitive_app = std::move(sensitive_app_name);
-  t.entries.reserve(reps_.size());
-  for (std::size_t i = 0; i < reps_.size(); ++i) {
-    t.entries.push_back({reps_.representative(i), space_.label(i)});
-  }
-  return t;
-}
-
-const PeriodRecord& StayAwayRuntime::on_period() {
-  obs::Span period_span = observer_ != nullptr
-                              ? observer_->span("period", host_->now())
-                              : obs::Span{};
-  PeriodRecord rec;
-  rec.time = host_->now();
-  rec.mode = monitor::detect_mode(*host_);
-
-  // --- Mapping (§3.1): sample, quarantine, normalize, dedup, embed. ---
-  obs::Span sample_span = observer_ != nullptr
-                              ? observer_->span("sample", rec.time)
-                              : obs::Span{};
-  monitor::Measurement m = sampler_.sample();
-  // Validate-and-quarantine (DESIGN.md §12): non-finite or out-of-range
-  // readings never reach the embedder — they are imputed from the
-  // dimension's last good value. Pure pass-through on healthy input.
-  monitor::SampleHealth health = quarantine_.validate(m.values);
-  rec.quarantined_dims = health.quarantined;
-  rec.max_staleness = health.max_staleness;
-  std::vector<double> normalized = normalizer_.normalize(m);
-  monitor::Assignment assignment = reps_.assign(normalized);
-  sample_span.close();
-  rec.representative = assignment.representative;
-  rec.new_representative = assignment.is_new;
-  obs::Span embed_span = observer_ != nullptr
-                             ? observer_->span("embed", rec.time)
-                             : obs::Span{};
-  if (assignment.is_new) space_.add_state(StateLabel::Safe);
-  space_.sync_positions(embedder_.update(reps_));
-  embed_span.close();
-  rec.state = space_.position(assignment.representative);
-  rec.stress = embedder_.stress();
-
-  // QoS label (§3.1: the application reports violations). Labels are
-  // evidence based (see StateSpace): each period contributes one
-  // (visit, violated?) observation to its representative. A QoS-blind
-  // period contributes nothing — a silent probe is missing evidence, not
-  // evidence of safety.
-  rec.qos_visible = !(faults_.has_value() && faults_->qos_blind(rec.time));
-  rec.violation_observed = rec.qos_visible && probe_->violated();
-  if (rec.qos_visible) {
-    space_.observe_visit(assignment.representative, rec.violation_observed);
-  }
-
-  update_degradation(health, rec.qos_visible);
-  rec.degradation = degradation_;
-
-  // Trajectory observation: within-mode steps only; positions are looked
-  // up fresh so re-embeddings cannot smear old coordinates into the model.
-  if (prev_rep_.has_value() && prev_mode_ == rec.mode) {
-    modes_.model(rec.mode).observe(space_.position(*prev_rep_), rec.state);
-  }
-
-  // --- Prediction (§3.2). ---
-  obs::Span predict_span = observer_ != nullptr
-                               ? observer_->span("predict", rec.time)
-                               : obs::Span{};
-  // Degraded telemetry widens the decision: a lower vote threshold pauses
-  // earlier when the inputs are imputed or the probe just went quiet. Both
-  // predict() overloads consume identical Rng draws, so widening cannot
-  // shift the random stream (the no-fault golden test depends on that).
-  bool widened = config_.degradation.enabled &&
-                 degradation_ != DegradationState::Normal;
-  Prediction prediction =
-      widened ? predictor_.predict(
-                    space_, modes_, rec.mode, rec.state, rng_,
-                    config_.degradation.degraded_majority_fraction)
-              : predictor_.predict(space_, modes_, rec.mode, rec.state, rng_);
-  rec.model_ready = prediction.model_ready;
-  rec.violation_predicted = prediction.violation_predicted;
-
-  // Passive accuracy tally: last period's forecast ("will the execution
-  // progress into the violation region?", §3.2) against this period's
-  // realised outcome (did the mapped state actually enter the region?).
-  // Only meaningful when forecasts are not acted upon.
-  if (prev_predicted_.has_value()) {
-    bool entered = space_.in_violation_region(rec.state);
-    if (*prev_predicted_ && entered) ++tally_.true_positive;
-    if (*prev_predicted_ && !entered) ++tally_.false_positive;
-    if (!*prev_predicted_ && entered) ++tally_.false_negative;
-    if (!*prev_predicted_ && !entered) ++tally_.true_negative;
-  }
-  prev_predicted_ = prediction.model_ready
-                        ? std::optional<bool>(prediction.violation_predicted)
-                        : std::nullopt;
-  predict_span.close();
-
-  // --- Action (§3.3). In passive mode the governor is not consulted at
-  // all: a decision that is never applied must not advance its state
-  // (pause ledger, beta chain).
-  obs::Span act_span = observer_ != nullptr ? observer_->span("act", rec.time)
-                                            : obs::Span{};
-  ThrottleAction action = ThrottleAction::None;
-  bool failsafe_all = false;
-  if (config_.actions_enabled) {
-    // Reconcile first: commands the fault channel dropped last period are
-    // re-issued before any new decision can supersede them.
-    if (config_.degradation.enabled) {
-      rec.actuation_retries = reconcile_actuation(rec.time);
-    }
-    if (config_.degradation.enabled &&
-        degradation_ == DegradationState::Failsafe && !failsafe_pause_) {
-      // QoS-blind past the patience: the loop cannot label states, so it
-      // cannot reason about interference — stop every batch VM until the
-      // probe comes back (DESIGN.md §12).
-      action = ThrottleAction::Pause;
-      failsafe_all = true;
-    } else if (failsafe_pause_ &&
-               degradation_ == DegradationState::Normal) {
-      // Telemetry fully recovered (with hysteresis): release the failsafe.
-      action = ThrottleAction::Resume;
-    } else if (!failsafe_pause_) {
-      action = governor_.decide(rec.time, batch_paused_, rec.violation_predicted,
-                                rec.violation_observed, rec.state);
-    }
-    // else: hold the failsafe pause while telemetry is still degraded.
-  }
-  // The set a Resume releases is cleared by apply_action — keep it for
-  // the event stream.
-  std::vector<sim::VmId> resumed;
-  if (action == ThrottleAction::Resume) resumed = throttled_;
-  apply_action(action, failsafe_all);
-  act_span.close();
-  rec.action = action;
-  rec.batch_paused_after = batch_paused_;
-  rec.actuation_pending = pending_.has_value();
-  rec.beta = governor_.beta();
-
-  prev_rep_ = assignment.representative;
-  prev_mode_ = rec.mode;
-  records_.push_back(rec);
-  period_span.close();
-  if (observer_ != nullptr) publish(records_.back(), resumed);
-  transition_.reset();
-  return records_.back();
-}
-
-void StayAwayRuntime::update_degradation(const monitor::SampleHealth& health,
-                                         bool qos_visible) {
-  if (!config_.degradation.enabled) return;  // state pinned at Normal
-  if (qos_visible) {
-    qos_blind_streak_ = 0;
-  } else {
-    ++qos_blind_streak_;
-  }
-  DegradationState before = degradation_;
-  bool healthy = qos_visible && !health.imputed();
-  if (healthy) {
-    // Recovery is hysteretic and stepwise: recovery_periods clean periods
-    // buy one level down, so a flapping sensor cannot bounce the loop
-    // straight back to Normal.
-    ++healthy_streak_;
-    if (healthy_streak_ >= config_.degradation.recovery_periods &&
-        degradation_ != DegradationState::Normal) {
-      degradation_ = degradation_ == DegradationState::Failsafe
-                         ? DegradationState::Degraded
-                         : DegradationState::Normal;
-      healthy_streak_ = 0;
-    }
-  } else {
-    healthy_streak_ = 0;
-    DegradationState escalated =
-        qos_blind_streak_ >= config_.degradation.qos_blind_failsafe_periods
-            ? DegradationState::Failsafe
-            : DegradationState::Degraded;
-    if (escalated > degradation_) degradation_ = escalated;
-  }
-  if (degradation_ != before) {
-    transition_ = std::make_pair(before, degradation_);
-  }
-}
-
-std::size_t StayAwayRuntime::reconcile_actuation(double now) {
-  if (!pending_.has_value() || now < pending_->next_retry_time) return 0;
-  std::vector<sim::VmId> undelivered;
-  std::size_t reissued = 0;
-  for (sim::VmId id : pending_->targets) {
-    ++reissued;
-    if (!deliver(pending_->op, id, now)) undelivered.push_back(id);
-  }
-  actuation_retries_total_ += reissued;
-  if (undelivered.empty()) {
-    pending_.reset();
-    return reissued;
-  }
-  pending_->targets = std::move(undelivered);
-  ++pending_->attempts;
-  if (pending_->attempts > config_.degradation.actuation_max_retries) {
-    // Retry budget exhausted: record the divergence and stop hammering a
-    // dead channel. The next Pause/Resume decision rebuilds the ledger.
-    actuation_abandoned_total_ += pending_->targets.size();
-    pending_.reset();
-  } else {
-    double backoff = static_cast<double>(
-                         config_.degradation.actuation_backoff_periods) *
-                     config_.period_s *
-                     static_cast<double>(1ULL << (pending_->attempts - 1));
-    pending_->next_retry_time = now + backoff;
-  }
-  return reissued;
-}
-
-std::vector<sim::VmId> StayAwayRuntime::all_present_batch() const {
-  std::vector<sim::VmId> out;
-  for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Batch)) {
-    if (host_->vm(id).present(host_->now())) out.push_back(id);
-  }
-  return out;
-}
-
-bool StayAwayRuntime::deliver(ThrottleAction op, sim::VmId id, double now) {
-  SA_DCHECK(op != ThrottleAction::None, "only pause/resume can be delivered");
-  bool delivered = true;
-  if (faults_.has_value()) {
-    delivered = op == ThrottleAction::Pause ? faults_->pause_delivered(now)
-                                            : faults_->resume_delivered(now);
-  }
-  if (delivered) {
-    if (op == ThrottleAction::Pause) {
-      host_->vm(id).pause();
-    } else {
-      host_->vm(id).resume();
-    }
-  }
-  return delivered;
-}
-
-void StayAwayRuntime::set_observer(obs::Observer* observer) {
-  observer_ = observer;
-  if (observer_ == nullptr) {
-    metrics_ = LoopMetrics{};
-    return;
-  }
-  obs::MetricsRegistry& reg = observer_->metrics();
-  metrics_.periods = reg.counter("loop.periods");
-  metrics_.violations_observed = reg.counter("loop.violations_observed");
-  metrics_.violations_predicted = reg.counter("loop.violations_predicted");
-  metrics_.new_representatives = reg.counter("loop.new_representatives");
-  metrics_.pauses = reg.counter("loop.pauses");
-  metrics_.resumes = reg.counter("loop.resumes");
-  metrics_.beta = reg.gauge("governor.beta");
-  metrics_.stress = reg.gauge("embedder.stress");
-  metrics_.representatives = reg.gauge("map.representatives");
-  metrics_.violation_states = reg.gauge("map.violation_states");
-  metrics_.tally_accuracy = reg.gauge("predictor.tally_accuracy");
-  metrics_.embed_iterations = reg.gauge("embedder.smacof_iterations_total");
-  metrics_.embed_cold_skips = reg.gauge("embedder.cold_runs_skipped_total");
-  metrics_.embed_rebuilds = reg.gauge("embedder.matrix_rebuilds_total");
-  metrics_.space_invalidations = reg.gauge("space.cache_invalidations_total");
-  metrics_.space_rebuilds = reg.gauge("space.cache_rebuilds_total");
-  metrics_.governor_failed_resumes = reg.gauge("governor.failed_resumes_total");
-  metrics_.governor_random_resumes = reg.gauge("governor.random_resumes_total");
-  metrics_.sampler_samples = reg.gauge("sampler.samples_total");
-  metrics_.quarantined_readings = reg.counter("health.quarantined_readings");
-  metrics_.qos_blind_periods = reg.counter("health.qos_blind_periods");
-  metrics_.degraded_periods = reg.counter("health.degraded_periods");
-  metrics_.degradation_transitions =
-      reg.counter("health.degradation_transitions");
-  metrics_.actuation_retries = reg.counter("actuation.retries");
-  metrics_.degradation_state = reg.gauge("health.degradation_state");
-  metrics_.sample_staleness = reg.gauge("health.sample_staleness");
-  metrics_.actuation_abandoned = reg.gauge("actuation.abandoned_total");
-  metrics_.faults_injected = reg.gauge("faults.faulted_samples_total");
-}
-
-void StayAwayRuntime::publish(const PeriodRecord& rec,
-                              const std::vector<sim::VmId>& resumed) {
-  metrics_.periods.inc();
-  if (rec.violation_observed) metrics_.violations_observed.inc();
-  if (rec.violation_predicted) metrics_.violations_predicted.inc();
-  if (rec.new_representative) metrics_.new_representatives.inc();
-  if (rec.action == ThrottleAction::Pause) metrics_.pauses.inc();
-  if (rec.action == ThrottleAction::Resume) metrics_.resumes.inc();
-  metrics_.beta.set(rec.beta);
-  metrics_.stress.set(rec.stress);
-  metrics_.representatives.set(static_cast<double>(reps_.size()));
-  metrics_.violation_states.set(
-      static_cast<double>(space_.violation_count()));
-  metrics_.tally_accuracy.set(tally_.accuracy());
-  metrics_.embed_iterations.set(
-      static_cast<double>(embedder_.total_iterations()));
-  metrics_.embed_cold_skips.set(
-      static_cast<double>(embedder_.cold_runs_skipped()));
-  metrics_.embed_rebuilds.set(static_cast<double>(embedder_.rebuilds()));
-  metrics_.space_invalidations.set(
-      static_cast<double>(space_.cache_invalidations()));
-  metrics_.space_rebuilds.set(static_cast<double>(space_.cache_rebuilds()));
-  metrics_.governor_failed_resumes.set(
-      static_cast<double>(governor_.failed_resumes()));
-  metrics_.governor_random_resumes.set(
-      static_cast<double>(governor_.random_resumes()));
-  metrics_.sampler_samples.set(static_cast<double>(sampler_.samples_taken()));
-  if (rec.quarantined_dims > 0) {
-    metrics_.quarantined_readings.inc(rec.quarantined_dims);
-  }
-  if (!rec.qos_visible) metrics_.qos_blind_periods.inc();
-  if (rec.degradation != DegradationState::Normal) {
-    metrics_.degraded_periods.inc();
-  }
-  if (transition_.has_value()) metrics_.degradation_transitions.inc();
-  if (rec.actuation_retries > 0) {
-    metrics_.actuation_retries.inc(rec.actuation_retries);
-  }
-  metrics_.degradation_state.set(static_cast<double>(rec.degradation));
-  metrics_.sample_staleness.set(static_cast<double>(rec.max_staleness));
-  metrics_.actuation_abandoned.set(
-      static_cast<double>(actuation_abandoned_total_));
-  if (faults_.has_value()) {
-    metrics_.faults_injected.set(
-        static_cast<double>(faults_->faulted_samples()));
-  }
-
-  if (observer_->sink() == nullptr) return;
-  obs::Event e(rec.time, "period");
-  e.with("period", obs::JsonValue(records_.size() - 1))
-      .with("mode", obs::JsonValue(monitor::to_string(rec.mode)))
-      .with("rep", obs::JsonValue(rec.representative))
-      .with("new_rep", obs::JsonValue(rec.new_representative))
-      .with("x", obs::JsonValue(rec.state.x))
-      .with("y", obs::JsonValue(rec.state.y))
-      .with("violation_observed", obs::JsonValue(rec.violation_observed))
-      .with("violation_predicted", obs::JsonValue(rec.violation_predicted))
-      .with("model_ready", obs::JsonValue(rec.model_ready))
-      .with("action", obs::JsonValue(to_string(rec.action)))
-      .with("batch_paused", obs::JsonValue(rec.batch_paused_after))
-      .with("stress", obs::JsonValue(rec.stress))
-      .with("beta", obs::JsonValue(rec.beta))
-      .with("degradation", obs::JsonValue(to_string(rec.degradation)))
-      .with("quarantined", obs::JsonValue(rec.quarantined_dims))
-      .with("qos_visible", obs::JsonValue(rec.qos_visible));
-  observer_->emit(e);
-
-  if (transition_.has_value()) {
-    obs::Event de(rec.time, "degradation");
-    de.with("from", obs::JsonValue(to_string(transition_->first)))
-        .with("to", obs::JsonValue(to_string(transition_->second)))
-        .with("qos_blind_streak", obs::JsonValue(qos_blind_streak_))
-        .with("max_staleness", obs::JsonValue(rec.max_staleness));
-    observer_->emit(de);
-  }
-  if (rec.actuation_retries > 0 || rec.actuation_pending) {
-    obs::Event ae(rec.time, "actuation");
-    ae.with("reissued", obs::JsonValue(rec.actuation_retries))
-        .with("pending", obs::JsonValue(rec.actuation_pending))
-        .with("abandoned_total", obs::JsonValue(actuation_abandoned_total_));
-    observer_->emit(ae);
-  }
-
-  if (rec.action == ThrottleAction::Pause) {
-    obs::Event pe(rec.time, "pause");
-    pe.with("reason", obs::JsonValue(rec.violation_observed
-                                         ? "observed-violation"
-                                         : "predicted-violation"))
-        .with("targets", obs::JsonValue(throttled_.size()));
-    observer_->emit(pe);
-  } else if (rec.action == ThrottleAction::Resume) {
-    obs::Event re(rec.time, "resume");
-    auto reason = governor_.last_resume_reason();
-    re.with("reason", obs::JsonValue(reason.has_value() ? to_string(*reason)
-                                                        : "external"))
-        .with("targets", obs::JsonValue(resumed.size()));
-    observer_->emit(re);
-  }
-}
-
-std::vector<sim::VmId> StayAwayRuntime::throttle_targets() const {
-  // Rank active batch VMs by their demand footprint (CPU share + memory
-  // share + bus share) and take the head of the ranking until it covers
-  // the majority of the total batch footprint.
-  struct Entry {
-    sim::VmId id;
-    double footprint;
-  };
-  std::vector<Entry> entries;
-  double total = 0.0;
-  const auto& spec = host_->spec();
-  for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Batch)) {
-    const auto& vm = host_->vm(id);
-    if (!vm.present(host_->now())) continue;
-    const auto& g = vm.last_allocation().granted;
-    double f = g.cpu_cores / spec.cpu_cores + g.memory_mb / spec.memory_mb +
-               g.membw_mbps / spec.membw_mbps;
-    entries.push_back({id, f});
-    total += f;
-  }
-  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    return a.footprint > b.footprint;
-  });
-
-  std::vector<sim::VmId> out;
-  double covered = 0.0;
-  for (const auto& e : entries) {
-    out.push_back(e.id);
-    covered += e.footprint;
-    if (total > 0.0 && covered / total >= 0.75) break;
-  }
-
-  // §2.1 fallback: with no batch VM to throttle, sacrifice lower-priority
-  // sensitive VMs (when the deployment opted in).
-  if (out.empty() && config_.allow_sensitive_demotion) {
-    int top = std::numeric_limits<int>::min();
-    for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Sensitive)) {
-      const auto& vm = host_->vm(id);
-      if (vm.present(host_->now())) top = std::max(top, vm.priority());
-    }
-    for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Sensitive)) {
-      const auto& vm = host_->vm(id);
-      if (vm.present(host_->now()) && vm.priority() < top) out.push_back(id);
-    }
-  }
-  return out;
-}
-
-void StayAwayRuntime::apply_action(ThrottleAction action,
-                                   bool failsafe_all_batch) {
-  // A fresh decision supersedes whatever the retry ledger was still
-  // chasing; undelivered commands below seed a new ledger entry.
-  double now = host_->now();
-  switch (action) {
-    case ThrottleAction::None:
-      return;
-    case ThrottleAction::Pause: {
-      // throttled_ records intent — the pause set the loop believes is
-      // stopped. deliver() records reality; the gap lands in pending_ and
-      // reconcile_actuation() closes it with bounded retries.
-      throttled_ = failsafe_all_batch ? all_present_batch()
-                                      : throttle_targets();
-      std::vector<sim::VmId> undelivered;
-      for (sim::VmId id : throttled_) {
-        if (!deliver(ThrottleAction::Pause, id, now)) undelivered.push_back(id);
-      }
-      batch_paused_ = true;
-      failsafe_pause_ = failsafe_all_batch;
-      pending_.reset();
-      if (!undelivered.empty() && config_.degradation.enabled) {
-        double backoff = static_cast<double>(
-                             config_.degradation.actuation_backoff_periods) *
-                         config_.period_s;
-        pending_ = PendingActuation{ThrottleAction::Pause,
-                                    std::move(undelivered), 1, now + backoff};
-      }
-      return;
-    }
-    case ThrottleAction::Resume: {
-      // Resume exactly what this runtime paused (batch VMs and, under
-      // §2.1 demotion, lower-priority sensitive VMs).
-      std::vector<sim::VmId> undelivered;
-      for (sim::VmId id : throttled_) {
-        if (!deliver(ThrottleAction::Resume, id, now)) {
-          undelivered.push_back(id);
-        }
-      }
-      throttled_.clear();
-      batch_paused_ = false;
-      failsafe_pause_ = false;
-      pending_.reset();
-      if (!undelivered.empty() && config_.degradation.enabled) {
-        double backoff = static_cast<double>(
-                             config_.degradation.actuation_backoff_periods) *
-                         config_.period_s;
-        pending_ = PendingActuation{ThrottleAction::Resume,
-                                    std::move(undelivered), 1, now + backoff};
-      }
-      return;
-    }
-  }
-}
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
+                                 StayAwayConfig config,
+                                 monitor::SamplerConfig sampler_config)
+    : StayAwayRuntime(host, probe, [&] {
+        // Deprecated shim: the positional config wins over config.sampler.
+        config.sampler = std::move(sampler_config);
+        return std::move(config);
+      }()) {}
+#pragma GCC diagnostic pop
 
 }  // namespace stayaway::core

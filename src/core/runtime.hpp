@@ -1,116 +1,53 @@
 // StayAwayRuntime — the per-host middleware loop (§3 of the paper):
 // Mapping, Prediction, Action, performed every control period.
 //
+// Since the stage decomposition (DESIGN.md §13) this is a thin facade
+// over HostPipeline wired with the full Stay-Away stage set
+// (StayAwayMapper -> TrajectoryForecaster -> GovernorActuator). The
+// facade preserves the historical single-host API; new multi-host code
+// should compose HostPipeline / FleetController directly.
+//
 // Usage pattern (see src/harness/experiment.cpp and examples/):
 //   sim::SimHost host{spec};
 //   ... add sensitive + batch VMs ...
-//   StayAwayRuntime runtime{host, sensitive_id, probe, config};
+//   StayAwayRuntime runtime{host, probe, config};
 //   while (...) { host.run(ticks_per_period); runtime.on_period(); }
 #pragma once
 
-#include <optional>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
-#include "core/embedder.hpp"
-#include "core/governor.hpp"
-#include "core/predictor.hpp"
-#include "core/statespace.hpp"
-#include "core/template_store.hpp"
-#include "core/trajectory.hpp"
-#include "monitor/health.hpp"
-#include "monitor/mode.hpp"
-#include "monitor/normalizer.hpp"
-#include "monitor/representative.hpp"
-#include "monitor/sampler.hpp"
-#include "obs/observer.hpp"
-#include "sim/faults.hpp"
-#include "sim/host.hpp"
-#include "util/rng.hpp"
+#include "core/period.hpp"
+#include "core/pipeline.hpp"
 
 namespace stayaway::core {
-
-/// Degradation state machine (DESIGN.md §12). Normal: full telemetry,
-/// paper behaviour. Degraded: running on imputed samples or a briefly
-/// blind QoS probe — decisions widen conservatively. Failsafe: QoS-blind
-/// past the configured patience — every batch VM is paused until
-/// telemetry recovers. Recovery steps down one level at a time with
-/// hysteresis (DegradationConfig::recovery_periods).
-enum class DegradationState {
-  Normal = 0,
-  Degraded = 1,
-  Failsafe = 2,
-};
-
-const char* to_string(DegradationState state);
-
-/// Everything the runtime learned and did in one control period.
-struct PeriodRecord {
-  double time = 0.0;
-  monitor::ExecutionMode mode = monitor::ExecutionMode::Idle;
-  mds::Point2 state;
-  std::size_t representative = 0;
-  bool new_representative = false;
-  bool violation_observed = false;
-  bool violation_predicted = false;
-  bool model_ready = false;
-  ThrottleAction action = ThrottleAction::None;
-  bool batch_paused_after = false;
-  double stress = 0.0;
-  double beta = 0.0;
-  // --- Degraded-mode telemetry (defaults describe a healthy period, so
-  // fault-free records compare equal to the historical sequence). ------
-  DegradationState degradation = DegradationState::Normal;
-  std::size_t quarantined_dims = 0;  // readings imputed this period
-  std::size_t max_staleness = 0;     // longest consecutive-imputation run
-  bool qos_visible = true;           // the probe reported this period
-  std::size_t actuation_retries = 0;  // commands re-issued this period
-  bool actuation_pending = false;     // ledger still diverged afterwards
-
-  bool operator==(const PeriodRecord& o) const = default;
-};
-
-/// Passive prediction-vs-outcome tallies: each period's forecast ("will
-/// the execution progress into the violation region?") scored against the
-/// next period's realised map position. Meaningful when actions are
-/// disabled (an acted-on prediction masks its own outcome).
-struct PredictionTally {
-  std::size_t true_positive = 0;
-  std::size_t false_positive = 0;
-  std::size_t true_negative = 0;
-  std::size_t false_negative = 0;
-
-  std::size_t total() const {
-    return true_positive + false_positive + true_negative + false_negative;
-  }
-  double accuracy() const;
-};
 
 class StayAwayRuntime {
  public:
   /// host and probe must outlive the runtime. `probe` is the sensitive
   /// app's QoS reporting channel (§3.1). `config` is the single entry
-  /// point — it carries the sampler options too (config.sampler; the
+  /// point — it carries the sampler config too (config.sampler; the
   /// defaults aggregate all batch VMs into one logical entity, §5).
   StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
                   StayAwayConfig config);
 
-  /// Deprecated positional shim: prefer setting config.sampler and using
-  /// the three-argument constructor. `sampler_options` overrides
-  /// config.sampler wholesale.
+  /// Positional shim from before the config unification: prefer setting
+  /// config.sampler and using the three-argument constructor.
+  /// `sampler_config` overrides config.sampler wholesale.
+  [[deprecated("set config.sampler and use the 3-argument constructor")]]
   StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
-                  StayAwayConfig config,
-                  monitor::SamplerOptions sampler_options);
+                  StayAwayConfig config, monitor::SamplerConfig sampler_config);
 
   /// Attaches (or detaches, with nullptr) a passive observability
   /// observer: phase span timers, loop metrics and period/action events.
   /// The observer must outlive the runtime or be detached first; it never
   /// influences decisions — the PeriodRecord sequence is identical with
   /// observability on or off.
-  void set_observer(obs::Observer* observer);
-  obs::Observer* observer() const { return observer_; }
+  void set_observer(obs::Observer* observer) {
+    pipeline_.set_observer(observer);
+  }
+  obs::Observer* observer() const { return pipeline_.observer(); }
 
   /// Installs a fault plan (DESIGN.md §12): sensor faults apply to every
   /// sample, QoS-blind windows silence the probe, and pause/resume
@@ -118,144 +55,84 @@ class StayAwayRuntime {
   /// on_period(). With no plan installed (or an empty one) the emitted
   /// PeriodRecord sequence is byte-identical to the fault-free loop
   /// (golden test in tests/test_runtime.cpp).
-  void install_faults(const sim::FaultPlan& plan);
+  void install_faults(const sim::FaultPlan& plan) {
+    pipeline_.install_faults(plan);
+  }
   const sim::FaultInjector* fault_injector() const {
-    return faults_.has_value() ? &*faults_ : nullptr;
+    return pipeline_.fault_injector();
   }
 
   /// Pre-loads the labelled states of a previous run (§6). Must be called
   /// before the first on_period(); entry dimensions must match the
   /// sampler layout.
-  void seed_template(const StateTemplate& t);
+  void seed_template(const StateTemplate& t) {
+    pipeline_.stay_away_mapper()->seed_template(t);
+  }
 
   /// Exports the current labelled representative set as a template.
-  StateTemplate export_template(std::string sensitive_app_name) const;
+  StateTemplate export_template(std::string sensitive_app_name) const {
+    return pipeline_.stay_away_mapper()->export_template(
+        std::move(sensitive_app_name));
+  }
 
   /// Runs one control period: sample, map, predict, act.
-  const PeriodRecord& on_period();
+  const PeriodRecord& on_period() { return pipeline_.on_period(); }
 
-  const StateSpace& state_space() const { return space_; }
-  const MapEmbedder& embedder() const { return embedder_; }
-  const ThrottleGovernor& governor() const { return governor_; }
-  const monitor::RepresentativeSet& representatives() const { return reps_; }
-  const monitor::MetricLayout& layout() const { return sampler_.layout(); }
-  const ModeTrajectories& trajectories() const { return modes_; }
-  const std::vector<PeriodRecord>& records() const { return records_; }
-  const PredictionTally& tally() const { return tally_; }
-  const StayAwayConfig& config() const { return config_; }
+  const StateSpace& state_space() const {
+    return pipeline_.stay_away_mapper()->space();
+  }
+  const MapEmbedder& embedder() const {
+    return pipeline_.stay_away_mapper()->embedder();
+  }
+  const ThrottleGovernor& governor() const {
+    return pipeline_.governor_actuator()->governor();
+  }
+  const monitor::RepresentativeSet& representatives() const {
+    return pipeline_.stay_away_mapper()->representatives();
+  }
+  const monitor::MetricLayout& layout() const {
+    return pipeline_.stay_away_mapper()->layout();
+  }
+  const ModeTrajectories& trajectories() const {
+    return pipeline_.trajectory_forecaster()->trajectories();
+  }
+  const std::vector<PeriodRecord>& records() const {
+    return pipeline_.records();
+  }
+  const PredictionTally& tally() const {
+    return pipeline_.trajectory_forecaster()->tally();
+  }
+  const StayAwayConfig& config() const { return pipeline_.config(); }
 
-  bool batch_paused() const { return batch_paused_; }
+  bool batch_paused() const {
+    return pipeline_.governor_actuator()->batch_paused();
+  }
   /// VMs paused by the last Pause action (empty after a Resume).
-  const std::vector<sim::VmId>& throttled() const { return throttled_; }
+  const std::vector<sim::VmId>& throttled() const {
+    return pipeline_.governor_actuator()->throttled();
+  }
 
   /// Current degradation state (Normal unless faults degraded telemetry).
-  DegradationState degradation() const { return degradation_; }
+  DegradationState degradation() const { return pipeline_.degradation(); }
   /// Readings quarantined before they could reach the map (lifetime).
   std::size_t readings_quarantined() const {
-    return quarantine_.total_quarantined();
+    return pipeline_.stay_away_mapper()->readings_quarantined();
   }
   /// Pause/resume commands re-issued by the reconciling ledger (lifetime).
-  std::size_t actuation_retries() const { return actuation_retries_total_; }
+  std::size_t actuation_retries() const {
+    return pipeline_.governor_actuator()->actuation_retries();
+  }
   /// Commands abandoned after the bounded retry budget ran out (lifetime).
   std::size_t actuation_abandoned() const {
-    return actuation_abandoned_total_;
+    return pipeline_.governor_actuator()->actuation_abandoned();
   }
 
+  /// The underlying pipeline (stage-level access for fleet composition).
+  HostPipeline& pipeline() { return pipeline_; }
+  const HostPipeline& pipeline() const { return pipeline_; }
+
  private:
-  /// Outstanding pause/resume commands the fault channel dropped; the
-  /// ledger retries them with exponential backoff until delivered or the
-  /// retry budget runs out.
-  struct PendingActuation {
-    ThrottleAction op = ThrottleAction::None;
-    std::vector<sim::VmId> targets;  // commands not yet delivered
-    std::size_t attempts = 1;        // delivery rounds tried so far
-    double next_retry_time = 0.0;
-  };
-
-  void apply_action(ThrottleAction action, bool failsafe_all_batch);
-  /// Re-issues pending undelivered commands once their backoff elapses.
-  /// Returns the number of commands re-issued this period.
-  std::size_t reconcile_actuation(double now);
-  /// Updates the degradation state machine with this period's health.
-  void update_degradation(const monitor::SampleHealth& health,
-                          bool qos_visible);
-  /// Every present batch VM (the failsafe pause set).
-  std::vector<sim::VmId> all_present_batch() const;
-  /// Sends one pause/resume command through the (possibly faulty)
-  /// actuation channel; true when it took effect.
-  bool deliver(ThrottleAction op, sim::VmId id, double now);
-  /// Publishes the period's metrics and events to the attached observer.
-  void publish(const PeriodRecord& rec, const std::vector<sim::VmId>& resumed);
-  /// Batch VMs consuming the major share of batch resources (§5:
-  /// "batch applications consuming a majority share of resources are
-  /// collectively throttled").
-  std::vector<sim::VmId> throttle_targets() const;
-
-  sim::SimHost* host_;
-  const sim::QosProbe* probe_;
-  StayAwayConfig config_;
-  monitor::HostSampler sampler_;
-  monitor::CapacityNormalizer normalizer_;
-  monitor::SampleQuarantine quarantine_;
-  monitor::RepresentativeSet reps_;
-  StateSpace space_;
-  MapEmbedder embedder_;
-  ModeTrajectories modes_;
-  Predictor predictor_;
-  ThrottleGovernor governor_;
-  Rng rng_;
-  bool batch_paused_ = false;
-  std::vector<sim::VmId> throttled_;  // VMs paused by the last Pause action
-  // --- Degraded-mode control loop (DESIGN.md §12). ----------------------
-  std::optional<sim::FaultInjector> faults_;
-  DegradationState degradation_ = DegradationState::Normal;
-  std::size_t qos_blind_streak_ = 0;
-  std::size_t healthy_streak_ = 0;
-  bool failsafe_pause_ = false;  // the current pause was failsafe-initiated
-  std::optional<PendingActuation> pending_;
-  std::size_t actuation_retries_total_ = 0;
-  std::size_t actuation_abandoned_total_ = 0;
-  /// Set on a state transition, consumed by publish() for the event.
-  std::optional<std::pair<DegradationState, DegradationState>> transition_;
-  std::optional<std::size_t> prev_rep_;
-  std::optional<monitor::ExecutionMode> prev_mode_;
-  std::optional<bool> prev_predicted_;  // last period's passive prediction
-  std::vector<PeriodRecord> records_;
-  PredictionTally tally_;
-
-  // --- Observability (passive; see set_observer). -----------------------
-  obs::Observer* observer_ = nullptr;
-  struct LoopMetrics {
-    obs::Counter periods;
-    obs::Counter violations_observed;
-    obs::Counter violations_predicted;
-    obs::Counter new_representatives;
-    obs::Counter pauses;
-    obs::Counter resumes;
-    obs::Gauge beta;
-    obs::Gauge stress;
-    obs::Gauge representatives;
-    obs::Gauge violation_states;
-    obs::Gauge tally_accuracy;
-    obs::Gauge embed_iterations;
-    obs::Gauge embed_cold_skips;
-    obs::Gauge embed_rebuilds;
-    obs::Gauge space_invalidations;
-    obs::Gauge space_rebuilds;
-    obs::Gauge governor_failed_resumes;
-    obs::Gauge governor_random_resumes;
-    obs::Gauge sampler_samples;
-    // Degraded-mode telemetry (DESIGN.md §12).
-    obs::Counter quarantined_readings;
-    obs::Counter qos_blind_periods;
-    obs::Counter degraded_periods;
-    obs::Counter degradation_transitions;
-    obs::Counter actuation_retries;
-    obs::Gauge degradation_state;
-    obs::Gauge sample_staleness;
-    obs::Gauge actuation_abandoned;
-    obs::Gauge faults_injected;
-  } metrics_;
+  HostPipeline pipeline_;
 };
 
 }  // namespace stayaway::core

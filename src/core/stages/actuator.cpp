@@ -1,0 +1,193 @@
+#include "core/stages/actuator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stayaway::core {
+
+GovernorActuator::GovernorActuator(const StayAwayConfig& config)
+    : actions_enabled_(config.actions_enabled),
+      allow_sensitive_demotion_(config.allow_sensitive_demotion),
+      period_s_(config.period_s),
+      degradation_(config.degradation),
+      governor_(config.governor, Rng(config.seed)) {}
+
+Actuator::Outcome GovernorActuator::act(ActuationPort& port, PeriodRecord& rec,
+                                        DegradationState degradation,
+                                        obs::Observer* observer) {
+  // In passive mode the governor is not consulted at all: a decision that
+  // is never applied must not advance its state (pause ledger, beta
+  // chain).
+  obs::Span act_span = observer != nullptr ? observer->span("act", rec.time)
+                                           : obs::Span{};
+  ThrottleAction action = ThrottleAction::None;
+  bool failsafe_all = false;
+  if (actions_enabled_) {
+    // Reconcile first: commands the fault channel dropped last period are
+    // re-issued before any new decision can supersede them.
+    if (degradation_.enabled) {
+      rec.actuation_retries = reconcile_actuation(port, rec.time);
+    }
+    if (degradation_.enabled && degradation == DegradationState::Failsafe &&
+        !failsafe_pause_) {
+      // QoS-blind past the patience: the loop cannot label states, so it
+      // cannot reason about interference — stop every batch VM until the
+      // probe comes back (DESIGN.md §12).
+      action = ThrottleAction::Pause;
+      failsafe_all = true;
+    } else if (failsafe_pause_ && degradation == DegradationState::Normal) {
+      // Telemetry fully recovered (with hysteresis): release the failsafe.
+      action = ThrottleAction::Resume;
+    } else if (!failsafe_pause_) {
+      action = governor_.decide(rec.time, batch_paused_,
+                                rec.violation_predicted,
+                                rec.violation_observed, rec.state);
+    }
+    // else: hold the failsafe pause while telemetry is still degraded.
+  }
+  // The set a Resume releases is cleared by apply_action — keep it for
+  // the event stream.
+  Outcome outcome;
+  if (action == ThrottleAction::Resume) {
+    outcome.resumed = throttled_;
+    std::optional<ResumeReason> reason = governor_.last_resume_reason();
+    outcome.reason = reason.has_value() ? to_string(*reason) : "external";
+  }
+  apply_action(port, action, failsafe_all);
+  if (action == ThrottleAction::Pause) {
+    outcome.paused = throttled_;
+    outcome.reason = rec.violation_observed ? "observed-violation"
+                                            : "predicted-violation";
+  }
+  act_span.close();
+  rec.action = action;
+  rec.batch_paused_after = batch_paused_;
+  rec.actuation_pending = pending_.has_value();
+  rec.beta = governor_.beta();
+  return outcome;
+}
+
+std::size_t GovernorActuator::reconcile_actuation(ActuationPort& port,
+                                                  double now) {
+  if (!pending_.has_value() || now < pending_->next_retry_time) return 0;
+  std::vector<sim::VmId> undelivered;
+  std::size_t reissued = 0;
+  for (sim::VmId id : pending_->targets) {
+    ++reissued;
+    if (!deliver(port, pending_->op, id)) undelivered.push_back(id);
+  }
+  actuation_retries_total_ += reissued;
+  if (undelivered.empty()) {
+    pending_.reset();
+    return reissued;
+  }
+  pending_->targets = std::move(undelivered);
+  ++pending_->attempts;
+  if (pending_->attempts > degradation_.actuation_max_retries) {
+    // Retry budget exhausted: record the divergence and stop hammering a
+    // dead channel. The next Pause/Resume decision rebuilds the ledger.
+    actuation_abandoned_total_ += pending_->targets.size();
+    pending_.reset();
+  } else {
+    double backoff =
+        static_cast<double>(degradation_.actuation_backoff_periods) *
+        period_s_ * static_cast<double>(1ULL << (pending_->attempts - 1));
+    pending_->next_retry_time = now + backoff;
+  }
+  return reissued;
+}
+
+bool GovernorActuator::deliver(ActuationPort& port, ThrottleAction op,
+                               sim::VmId id) {
+  SA_DCHECK(op != ThrottleAction::None, "only pause/resume can be delivered");
+  return op == ThrottleAction::Pause ? port.pause(id) : port.resume(id);
+}
+
+std::vector<sim::VmId> GovernorActuator::throttle_targets(
+    ActuationPort& port) const {
+  // Rank active batch VMs by their demand footprint (CPU share + memory
+  // share + bus share) and take the head of the ranking until it covers
+  // the majority of the total batch footprint.
+  std::vector<VmFootprint> entries = port.batch_footprints();
+  double total = 0.0;
+  for (const auto& e : entries) total += e.footprint;
+  std::sort(entries.begin(), entries.end(),
+            [](const VmFootprint& a, const VmFootprint& b) {
+              return a.footprint > b.footprint;
+            });
+
+  std::vector<sim::VmId> out;
+  double covered = 0.0;
+  for (const auto& e : entries) {
+    out.push_back(e.id);
+    covered += e.footprint;
+    if (total > 0.0 && covered / total >= 0.75) break;
+  }
+
+  // §2.1 fallback: with no batch VM to throttle, sacrifice lower-priority
+  // sensitive VMs (when the deployment opted in).
+  if (out.empty() && allow_sensitive_demotion_) {
+    out = port.demotion_candidates();
+  }
+  return out;
+}
+
+void GovernorActuator::apply_action(ActuationPort& port, ThrottleAction action,
+                                    bool failsafe_all_batch) {
+  // A fresh decision supersedes whatever the retry ledger was still
+  // chasing; undelivered commands below seed a new ledger entry.
+  double now = port.now();
+  switch (action) {
+    case ThrottleAction::None:
+      return;
+    case ThrottleAction::Pause: {
+      // throttled_ records intent — the pause set the loop believes is
+      // stopped. deliver() records reality; the gap lands in pending_ and
+      // reconcile_actuation() closes it with bounded retries.
+      throttled_ = failsafe_all_batch ? port.present_batch()
+                                      : throttle_targets(port);
+      std::vector<sim::VmId> undelivered;
+      for (sim::VmId id : throttled_) {
+        if (!deliver(port, ThrottleAction::Pause, id)) {
+          undelivered.push_back(id);
+        }
+      }
+      batch_paused_ = true;
+      failsafe_pause_ = failsafe_all_batch;
+      pending_.reset();
+      if (!undelivered.empty() && degradation_.enabled) {
+        double backoff =
+            static_cast<double>(degradation_.actuation_backoff_periods) *
+            period_s_;
+        pending_ = PendingActuation{ThrottleAction::Pause,
+                                    std::move(undelivered), 1, now + backoff};
+      }
+      return;
+    }
+    case ThrottleAction::Resume: {
+      // Resume exactly what this actuator paused (batch VMs and, under
+      // §2.1 demotion, lower-priority sensitive VMs).
+      std::vector<sim::VmId> undelivered;
+      for (sim::VmId id : throttled_) {
+        if (!deliver(port, ThrottleAction::Resume, id)) {
+          undelivered.push_back(id);
+        }
+      }
+      throttled_.clear();
+      batch_paused_ = false;
+      failsafe_pause_ = false;
+      pending_.reset();
+      if (!undelivered.empty() && degradation_.enabled) {
+        double backoff =
+            static_cast<double>(degradation_.actuation_backoff_periods) *
+            period_s_;
+        pending_ = PendingActuation{ThrottleAction::Resume,
+                                    std::move(undelivered), 1, now + backoff};
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace stayaway::core

@@ -1,0 +1,61 @@
+#include "core/stages/forecaster.hpp"
+
+#include <cmath>
+
+#include "core/statespace.hpp"
+
+namespace stayaway::core {
+
+TrajectoryForecaster::TrajectoryForecaster(const StayAwayConfig& config,
+                                           std::size_t dimension)
+    : modes_(/*max_step=*/std::sqrt(static_cast<double>(dimension)),
+             config.histogram_bins),
+      predictor_(config.prediction_samples, config.majority_fraction,
+                 config.min_mode_observations),
+      rng_(config.seed ^ 0x5eedF00dULL),
+      degraded_majority_fraction_(
+          config.degradation.degraded_majority_fraction) {}
+
+void TrajectoryForecaster::forecast(const StateSpace& space, PeriodRecord& rec,
+                                    bool widened, obs::Observer* observer) {
+  // Trajectory observation: within-mode steps only; positions are looked
+  // up fresh so re-embeddings cannot smear old coordinates into the model.
+  if (prev_rep_.has_value() && prev_mode_ == rec.mode) {
+    modes_.model(rec.mode).observe(space.position(*prev_rep_), rec.state);
+  }
+
+  obs::Span predict_span = observer != nullptr
+                               ? observer->span("predict", rec.time)
+                               : obs::Span{};
+  // Degraded telemetry widens the decision: a lower vote threshold pauses
+  // earlier when the inputs are imputed or the probe just went quiet. Both
+  // predict() overloads consume identical Rng draws, so widening cannot
+  // shift the random stream (the no-fault golden test depends on that).
+  Prediction prediction =
+      widened ? predictor_.predict(space, modes_, rec.mode, rec.state, rng_,
+                                   degraded_majority_fraction_)
+              : predictor_.predict(space, modes_, rec.mode, rec.state, rng_);
+  rec.model_ready = prediction.model_ready;
+  rec.violation_predicted = prediction.violation_predicted;
+
+  // Passive accuracy tally: last period's forecast ("will the execution
+  // progress into the violation region?", §3.2) against this period's
+  // realised outcome (did the mapped state actually enter the region?).
+  // Only meaningful when forecasts are not acted upon.
+  if (prev_predicted_.has_value()) {
+    bool entered = space.in_violation_region(rec.state);
+    if (*prev_predicted_ && entered) ++tally_.true_positive;
+    if (*prev_predicted_ && !entered) ++tally_.false_positive;
+    if (!*prev_predicted_ && entered) ++tally_.false_negative;
+    if (!*prev_predicted_ && !entered) ++tally_.true_negative;
+  }
+  prev_predicted_ = prediction.model_ready
+                        ? std::optional<bool>(prediction.violation_predicted)
+                        : std::nullopt;
+  predict_span.close();
+
+  prev_rep_ = rec.representative;
+  prev_mode_ = rec.mode;
+}
+
+}  // namespace stayaway::core

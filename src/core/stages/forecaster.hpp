@@ -1,0 +1,40 @@
+// TrajectoryForecaster: the paper's Prediction stage (§3.2) as a
+// pipeline stage. Owns the per-mode trajectory models, the sampled-vote
+// predictor with its private RNG stream, and the passive accuracy tally.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/predictor.hpp"
+#include "core/stages/stage.hpp"
+#include "core/trajectory.hpp"
+#include "util/rng.hpp"
+
+namespace stayaway::core {
+
+class TrajectoryForecaster final : public ViolationForecaster {
+ public:
+  /// `dimension` is the metric-space dimension (bounds the trajectory
+  /// step length, since normalized coordinates live in [0,1]^dimension).
+  TrajectoryForecaster(const StayAwayConfig& config, std::size_t dimension);
+
+  void forecast(const StateSpace& space, PeriodRecord& rec, bool widened,
+                obs::Observer* observer) override;
+
+  const ModeTrajectories& trajectories() const { return modes_; }
+  const PredictionTally& tally() const { return tally_; }
+
+ private:
+  ModeTrajectories modes_;
+  Predictor predictor_;
+  Rng rng_;
+  double degraded_majority_fraction_;
+  std::optional<std::size_t> prev_rep_;
+  std::optional<monitor::ExecutionMode> prev_mode_;
+  std::optional<bool> prev_predicted_;  // last period's passive prediction
+  PredictionTally tally_;
+};
+
+}  // namespace stayaway::core

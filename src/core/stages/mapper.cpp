@@ -1,0 +1,96 @@
+#include "core/stages/mapper.hpp"
+
+#include "util/check.hpp"
+
+namespace stayaway::core {
+
+namespace {
+
+/// Plausible upper bound of every raw reading: host capacity times the
+/// spike margin. Feeds the validate-and-quarantine stage.
+std::vector<double> quarantine_bounds(
+    const monitor::CapacityNormalizer& normalizer, double spike_margin) {
+  const monitor::MetricLayout& layout = normalizer.layout();
+  std::vector<double> bounds(layout.dimension(), 0.0);
+  for (std::size_t e = 0; e < layout.entities.size(); ++e) {
+    for (std::size_t k = 0; k < layout.metrics.size(); ++k) {
+      bounds[layout.index_of(e, k)] =
+          normalizer.capacity_of(layout.metrics[k]) * spike_margin;
+    }
+  }
+  return bounds;
+}
+
+}  // namespace
+
+StayAwayMapper::StayAwayMapper(monitor::HostSampler sampler,
+                               monitor::CapacityNormalizer normalizer,
+                               const StayAwayConfig& config)
+    : sampler_(std::move(sampler)),
+      normalizer_(std::move(normalizer)),
+      quarantine_(
+          quarantine_bounds(normalizer_, config.degradation.spike_margin)),
+      reps_(config.dedup_epsilon, config.max_representatives),
+      embedder_(config.embed_method, config.landmark_count,
+                config.warm_skip_stress) {}
+
+monitor::SampleHealth StayAwayMapper::map(PeriodRecord& rec,
+                                          obs::Observer* observer) {
+  mapped_any_period_ = true;
+  obs::Span sample_span = observer != nullptr
+                              ? observer->span("sample", rec.time)
+                              : obs::Span{};
+  monitor::Measurement m = sampler_.sample();
+  // Validate-and-quarantine (DESIGN.md §12): non-finite or out-of-range
+  // readings never reach the embedder — they are imputed from the
+  // dimension's last good value. Pure pass-through on healthy input.
+  monitor::SampleHealth health = quarantine_.validate(m.values);
+  rec.quarantined_dims = health.quarantined;
+  rec.max_staleness = health.max_staleness;
+  std::vector<double> normalized = normalizer_.normalize(m);
+  monitor::Assignment assignment = reps_.assign(normalized);
+  sample_span.close();
+  rec.representative = assignment.representative;
+  rec.new_representative = assignment.is_new;
+  obs::Span embed_span = observer != nullptr
+                             ? observer->span("embed", rec.time)
+                             : obs::Span{};
+  if (assignment.is_new) space_.add_state(StateLabel::Safe);
+  space_.sync_positions(embedder_.update(reps_));
+  embed_span.close();
+  rec.state = space_.position(assignment.representative);
+  rec.stress = embedder_.stress();
+  return health;
+}
+
+void StayAwayMapper::observe_qos(std::size_t representative, bool violated) {
+  space_.observe_visit(representative, violated);
+}
+
+void StayAwayMapper::seed_template(const StateTemplate& t) {
+  SA_REQUIRE(reps_.size() == 0, "templates must be seeded before any period");
+  for (const auto& entry : t.entries) {
+    SA_REQUIRE(entry.vector.size() == sampler_.layout().dimension(),
+               "template dimension does not match the sampler layout");
+    auto assignment = reps_.assign(entry.vector);
+    if (assignment.is_new) {
+      space_.add_state(entry.label);
+    } else if (entry.label == StateLabel::Violation) {
+      space_.mark_violation(assignment.representative);
+    }
+  }
+  space_.sync_positions(embedder_.update(reps_));
+}
+
+StateTemplate StayAwayMapper::export_template(
+    std::string sensitive_app_name) const {
+  StateTemplate t;
+  t.sensitive_app = std::move(sensitive_app_name);
+  t.entries.reserve(reps_.size());
+  for (std::size_t i = 0; i < reps_.size(); ++i) {
+    t.entries.push_back({reps_.representative(i), space_.label(i)});
+  }
+  return t;
+}
+
+}  // namespace stayaway::core

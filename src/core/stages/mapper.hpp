@@ -1,0 +1,68 @@
+// StayAwayMapper: the paper's Mapping stage (§3.1) as a pipeline stage.
+// Owns the whole sample -> quarantine -> normalize -> dedup -> embed
+// chain plus the labelled state space the downstream stages read. The
+// sampler and normalizer are built by the pipeline (which is allowed to
+// see the host) and moved in, so this stage never touches the host.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/embedder.hpp"
+#include "core/stages/stage.hpp"
+#include "core/statespace.hpp"
+#include "core/template_store.hpp"
+#include "monitor/health.hpp"
+#include "monitor/normalizer.hpp"
+#include "monitor/representative.hpp"
+#include "monitor/sampler.hpp"
+
+namespace stayaway::core {
+
+class StayAwayMapper final : public Mapper {
+ public:
+  /// `sampler` and `normalizer` must describe the same layout (the
+  /// pipeline builds both from the host).
+  StayAwayMapper(monitor::HostSampler sampler,
+                 monitor::CapacityNormalizer normalizer,
+                 const StayAwayConfig& config);
+
+  monitor::SampleHealth map(PeriodRecord& rec,
+                            obs::Observer* observer) override;
+  void observe_qos(std::size_t representative, bool violated) override;
+  const StateSpace& space() const override { return space_; }
+
+  /// Sensor faults from the plan apply to every sample; nullptr detaches.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    sampler_.set_fault_injector(injector);
+  }
+
+  /// Pre-loads the labelled states of a previous run (§6). Must be called
+  /// before the first map(); entry dimensions must match the layout.
+  void seed_template(const StateTemplate& t);
+  /// Exports the current labelled representative set as a template.
+  StateTemplate export_template(std::string sensitive_app_name) const;
+
+  const MapEmbedder& embedder() const { return embedder_; }
+  const monitor::RepresentativeSet& representatives() const { return reps_; }
+  const monitor::MetricLayout& layout() const { return sampler_.layout(); }
+  const monitor::HostSampler& sampler() const { return sampler_; }
+  /// Readings quarantined before they could reach the map (lifetime).
+  std::size_t readings_quarantined() const {
+    return quarantine_.total_quarantined();
+  }
+  bool mapped_any_period() const { return mapped_any_period_; }
+
+ private:
+  monitor::HostSampler sampler_;
+  monitor::CapacityNormalizer normalizer_;
+  monitor::SampleQuarantine quarantine_;
+  monitor::RepresentativeSet reps_;
+  StateSpace space_;
+  MapEmbedder embedder_;
+  bool mapped_any_period_ = false;
+};
+
+}  // namespace stayaway::core

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "apps/webservice.hpp"
 #include "baseline/reactive.hpp"
 #include "baseline/static_threshold.hpp"
+#include "harness/rig.hpp"
 #include "harness/stayaway_policy.hpp"
 #include "util/check.hpp"
 
@@ -27,54 +27,14 @@ const char* to_string(PolicyKind kind) {
 }
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
-  SA_REQUIRE(spec.duration_s > 0.0, "experiment duration must be positive");
-  SA_REQUIRE(spec.period_s >= spec.tick_s, "period must cover >= one tick");
+  HostRig rig = build_host_rig(spec);
+  sim::SimHost& host = *rig.host;
+  const sim::QosProbe* probe = rig.probe;
+  const apps::Webservice* webservice = rig.webservice;
+  sim::VmId sensitive_id = rig.sensitive_id;
+  const std::vector<sim::VmId>& batch_ids = rig.batch_ids;
 
-  sim::SimHost host(spec.host, spec.tick_s);
-
-  SensitiveSetup sensitive = make_sensitive(
-      spec.sensitive, spec.workload, spec.duration_s - spec.sensitive_start_s,
-      spec.seed);
-  const sim::QosProbe* probe = sensitive.probe;
-  const auto* webservice =
-      dynamic_cast<const apps::Webservice*>(sensitive.app.get());
-  std::string sensitive_name(sensitive.app->name());
-  sim::VmId sensitive_id =
-      host.add_vm(std::move(sensitive_name), sim::VmKind::Sensitive,
-                  std::move(sensitive.app), spec.sensitive_start_s);
-
-  std::vector<sim::VmId> batch_ids;
-  for (auto& app : make_batch(spec.batch)) {
-    std::string batch_name(app->name());
-    batch_ids.push_back(host.add_vm(std::move(batch_name), sim::VmKind::Batch,
-                                    std::move(app), spec.batch_start_s));
-  }
-  {
-    std::set<std::string> extra_names;
-    for (const auto& extra : spec.extra_batch) {
-      SA_REQUIRE(!extra.name.empty(), "extra batch VM names must be non-empty");
-      SA_REQUIRE(extra_names.insert(extra.name).second,
-                 "duplicate extra batch VM name: " + extra.name);
-      auto apps = make_batch(extra.kind);
-      SA_REQUIRE(!apps.empty(), "extra batch VM kind must not be 'none'");
-      std::size_t index = 0;
-      for (auto& app : apps) {
-        // Multi-app kinds (Batch1/Batch2) get a per-app name suffix so
-        // every VM name on the host stays distinct.
-        std::string name = apps.size() == 1
-                               ? extra.name
-                               : extra.name + "-" + std::to_string(index);
-        batch_ids.push_back(host.add_vm(std::move(name), sim::VmKind::Batch,
-                                        std::move(app), extra.start_s));
-        ++index;
-      }
-    }
-  }
-
-  core::StayAwayConfig sa_config = spec.stayaway;
-  sa_config.period_s = spec.period_s;
-  sa_config.seed = spec.seed;
-  sa_config.sampler.seed = spec.seed ^ 0xabcdULL;
+  core::StayAwayConfig sa_config = derive_stayaway_config(spec);
 
   std::unique_ptr<baseline::InterferencePolicy> policy;
   StayAwayPolicy* stayaway = nullptr;

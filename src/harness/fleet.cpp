@@ -1,0 +1,256 @@
+#include "harness/fleet.hpp"
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "apps/webservice.hpp"
+#include "baseline/policy.hpp"
+#include "baseline/stages/reactive_actuator.hpp"
+#include "baseline/stages/static_actuator.hpp"
+#include "core/fleet.hpp"
+#include "harness/rig.hpp"
+#include "util/check.hpp"
+
+namespace stayaway::harness {
+namespace {
+
+baseline::PolicyAction to_policy_action(core::ThrottleAction action) {
+  switch (action) {
+    case core::ThrottleAction::None:
+      return baseline::PolicyAction::None;
+    case core::ThrottleAction::Pause:
+      return baseline::PolicyAction::Pause;
+    case core::ThrottleAction::Resume:
+      return baseline::PolicyAction::Resume;
+  }
+  return baseline::PolicyAction::None;
+}
+
+/// One host's mutable driving state for the duration of run_fleet. Slots
+/// are only ever touched by the single worker driving their member, so
+/// the fleet needs no cross-host synchronisation.
+struct Slot {
+  const FleetHostSpec* spec = nullptr;
+  HostRig rig;
+  std::unique_ptr<core::HostPipeline> pipeline;
+  ExperimentResult result;
+  double util_acc = 0.0;
+};
+
+/// Builds the pipeline a policy kind runs as: Stay-Away gets the full
+/// stage wiring, the baselines run as actuator-only pipelines, and
+/// no-prevention is an empty pipeline that still records periods.
+std::unique_ptr<core::HostPipeline> make_pipeline(
+    const FleetHostSpec& hs, HostRig& rig) {
+  const ExperimentSpec& spec = hs.experiment;
+  core::StayAwayConfig sa_config = derive_stayaway_config(spec);
+  switch (spec.policy) {
+    case PolicyKind::StayAway: {
+      auto pipeline = std::make_unique<core::HostPipeline>(
+          *rig.host, *rig.probe, std::move(sa_config));
+      if (spec.seed_template.has_value()) {
+        pipeline->stay_away_mapper()->seed_template(*spec.seed_template);
+      }
+      if (spec.faults.has_value() && !spec.faults->empty()) {
+        pipeline->install_faults(*spec.faults);
+      }
+      return pipeline;
+    }
+    case PolicyKind::NoPrevention:
+      return std::make_unique<core::HostPipeline>(
+          *rig.host, *rig.probe, std::move(sa_config), core::StageSet{});
+    case PolicyKind::Reactive: {
+      core::StageSet stages;
+      stages.actuator = std::make_unique<baseline::ReactiveActuator>();
+      return std::make_unique<core::HostPipeline>(
+          *rig.host, *rig.probe, std::move(sa_config), std::move(stages));
+    }
+    case PolicyKind::StaticThreshold: {
+      core::StageSet stages;
+      stages.actuator = std::make_unique<baseline::StaticThresholdActuator>();
+      return std::make_unique<core::HostPipeline>(
+          *rig.host, *rig.probe, std::move(sa_config), std::move(stages));
+    }
+  }
+  SA_CHECK(false, "unknown policy kind");
+  return nullptr;
+}
+
+/// Post-run extraction of the Stay-Away internals, mirroring what
+/// run_experiment reads off StayAwayRuntime.
+void extract_stayaway(const core::HostPipeline& pipeline,
+                      const ExperimentSpec& spec, ExperimentResult& result) {
+  const core::StayAwayMapper* mapper = pipeline.stay_away_mapper();
+  const core::TrajectoryForecaster* forecaster =
+      pipeline.trajectory_forecaster();
+  const core::GovernorActuator* actuator = pipeline.governor_actuator();
+  result.stayaway_records = pipeline.records();
+  result.tally = forecaster->tally();
+  result.pauses = actuator->governor().pauses();
+  result.resumes = actuator->governor().resumes();
+  for (const auto& rec : result.stayaway_records) {
+    if (rec.degradation == core::DegradationState::Degraded) {
+      ++result.degraded_periods;
+    } else if (rec.degradation == core::DegradationState::Failsafe) {
+      ++result.failsafe_periods;
+    }
+  }
+  result.readings_quarantined = mapper->readings_quarantined();
+  result.actuation_retries = actuator->actuation_retries();
+  result.actuation_abandoned = actuator->actuation_abandoned();
+  result.final_beta = actuator->governor().beta();
+  result.representative_count = mapper->representatives().size();
+  result.final_stress = mapper->embedder().stress();
+  result.exported_template = mapper->export_template(to_string(spec.sensitive));
+  result.final_map = mapper->space().positions();
+}
+
+}  // namespace
+
+FleetSpec replicate_fleet(const ExperimentSpec& base, std::size_t host_count,
+                          std::uint64_t base_seed, std::size_t workers) {
+  SA_REQUIRE(host_count >= 1, "a fleet needs at least one host");
+  FleetSpec fleet;
+  fleet.workers = workers;
+  fleet.hosts.reserve(host_count);
+  for (std::size_t i = 0; i < host_count; ++i) {
+    FleetHostSpec hs;
+    hs.name = "host" + std::to_string(i);
+    hs.experiment = base;
+    hs.experiment.seed = core::fleet_host_seed(base_seed, i);
+    fleet.hosts.push_back(std::move(hs));
+  }
+  return fleet;
+}
+
+FleetResult run_fleet(const FleetSpec& spec) {
+  SA_REQUIRE(!spec.hosts.empty(), "a fleet needs at least one host");
+  {
+    std::set<std::string> names;
+    for (const FleetHostSpec& hs : spec.hosts) {
+      SA_REQUIRE(!hs.name.empty(), "fleet host names must be non-empty");
+      SA_REQUIRE(names.insert(hs.name).second,
+                 "duplicate fleet host name: " + hs.name);
+    }
+  }
+  // A fleet of one keeps the historical unlabelled observability stream
+  // (the byte-identical-fleet-of-1 contract); real fleets tag everything.
+  const bool label_hosts = spec.hosts.size() > 1;
+
+  std::vector<Slot> slots(spec.hosts.size());
+  core::FleetConfig controller_config;
+  controller_config.workers = spec.workers;
+  core::FleetController controller(controller_config);
+
+  for (std::size_t i = 0; i < spec.hosts.size(); ++i) {
+    const FleetHostSpec& hs = spec.hosts[i];
+    Slot& slot = slots[i];
+    slot.spec = &hs;
+    slot.rig = build_host_rig(hs.experiment);
+    slot.pipeline = make_pipeline(hs, slot.rig);
+    if (label_hosts) slot.pipeline->set_host_label(hs.name);
+    obs::Observer* observer = hs.experiment.observer != nullptr
+                                  ? hs.experiment.observer
+                                  : spec.observer;
+    // Mirror run_experiment: only the Stay-Away loop publishes its
+    // internal metric/event stream; every policy narrates decisions.
+    if (observer != nullptr && hs.experiment.policy == PolicyKind::StayAway) {
+      slot.pipeline->set_observer(observer);
+    }
+
+    const ExperimentSpec& espec = hs.experiment;
+    auto ticks_per_period =
+        static_cast<std::size_t>(std::llround(espec.period_s / espec.tick_s));
+    core::FleetController::Member member;
+    member.name = hs.name;
+    member.host = slot.rig.host.get();
+    member.pipeline = slot.pipeline.get();
+    member.ticks_per_period = ticks_per_period;
+    member.periods =
+        static_cast<std::size_t>(std::llround(espec.duration_s /
+                                              espec.period_s));
+    member.on_tick = [&slot] {
+      slot.util_acc += slot.rig.host->instantaneous_cpu_utilization();
+    };
+    member.on_period = [&slot, observer, ticks_per_period,
+                        label_hosts](const core::PeriodRecord& rec) {
+      sim::SimHost& host = *slot.rig.host;
+      ExperimentResult& result = slot.result;
+      bool sensitive_up = host.vm(slot.rig.sensitive_id).present(host.now());
+      result.time.push_back(host.now());
+      result.qos.push_back(sensitive_up ? slot.rig.probe->normalized_qos()
+                                        : 1.0);
+      bool violated = sensitive_up && slot.rig.probe->violated();
+      if (observer != nullptr && observer->sink() != nullptr) {
+        const core::Actuator::Outcome& outcome =
+            slot.pipeline->last_outcome();
+        std::size_t targets = rec.action == core::ThrottleAction::Pause
+                                  ? outcome.paused.size()
+                                  : outcome.resumed.size();
+        obs::Event e(host.now(), "decision");
+        if (label_hosts) e.with("host", obs::JsonValue(slot.spec->name));
+        e.with("policy",
+               obs::JsonValue(to_string(slot.spec->experiment.policy)))
+            .with("action",
+                  obs::JsonValue(to_string(to_policy_action(rec.action))))
+            .with("reason", obs::JsonValue(outcome.reason))
+            .with("targets", obs::JsonValue(targets))
+            .with("batch_paused", obs::JsonValue(rec.batch_paused_after))
+            .with("qos", obs::JsonValue(result.qos.back()))
+            .with("violated", obs::JsonValue(violated));
+        observer->emit(e);
+      }
+      result.violated.push_back(violated ? 1 : 0);
+      result.utilization.push_back(slot.util_acc /
+                                   static_cast<double>(ticks_per_period));
+      slot.util_acc = 0.0;
+      bool any_batch = false;
+      for (sim::VmId id : slot.rig.batch_ids) {
+        if (host.vm(id).active(host.now())) any_batch = true;
+      }
+      result.batch_running.push_back(any_batch ? 1 : 0);
+      if (slot.rig.webservice != nullptr) {
+        result.offered_tps.push_back(
+            slot.rig.webservice->offered_rps(host.now()));
+        result.completed_tps.push_back(slot.rig.webservice->completed_tps());
+      }
+      if (violated) ++result.violation_periods;
+    };
+    controller.add_member(std::move(member));
+  }
+
+  controller.run();
+
+  FleetResult out;
+  out.hosts.reserve(slots.size());
+  for (Slot& slot : slots) {
+    ExperimentResult& result = slot.result;
+    sim::SimHost& host = *slot.rig.host;
+    if (!result.qos.empty()) {
+      double qacc = 0.0;
+      double uacc = 0.0;
+      for (std::size_t i = 0; i < result.qos.size(); ++i) {
+        qacc += result.qos[i];
+        uacc += result.utilization[i];
+      }
+      result.avg_qos = qacc / static_cast<double>(result.qos.size());
+      result.avg_utilization = uacc / static_cast<double>(result.qos.size());
+      result.violation_fraction =
+          static_cast<double>(result.violation_periods) /
+          static_cast<double>(result.qos.size());
+    }
+    result.sensitive_cpu_work = host.vm(slot.rig.sensitive_id).cpu_work_done();
+    for (sim::VmId id : slot.rig.batch_ids) {
+      result.batch_cpu_work += host.vm(id).cpu_work_done();
+    }
+    if (slot.spec->experiment.policy == PolicyKind::StayAway) {
+      extract_stayaway(*slot.pipeline, slot.spec->experiment, result);
+    }
+    out.hosts.push_back({slot.spec->name, std::move(result)});
+  }
+  return out;
+}
+
+}  // namespace stayaway::harness

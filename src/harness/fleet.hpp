@@ -1,0 +1,59 @@
+// Fleet experiment runner (DESIGN.md §13): N named per-host experiment
+// specs driven as independent HostPipelines by core::FleetController,
+// optionally concurrently. Each host gets its own simulated host, VM set,
+// RNG streams and degradation state; the per-host results are the same
+// ExperimentResult the single-host runner produces. A fleet of one host
+// replays run_experiment byte-for-byte (golden test in
+// tests/test_fleet.cpp, fault-free and under a fault plan).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace stayaway::harness {
+
+/// One host's slot in a fleet scenario. The name must be unique across
+/// the fleet; in fleets of more than one host it labels the host's
+/// observability (metric prefix + event "host" field).
+struct FleetHostSpec {
+  std::string name;
+  ExperimentSpec experiment;
+};
+
+struct FleetSpec {
+  std::vector<FleetHostSpec> hosts;
+  /// Hosts driven concurrently (core::FleetController workers). More
+  /// than one worker requires the hot-path pool pinned to one thread —
+  /// host-level and kernel-level parallelism do not compose.
+  std::size_t workers = 1;
+  /// Shared passive observer for every host that does not carry its own
+  /// (ExperimentSpec::observer takes precedence per host). With more
+  /// than one host, metric keys gain a "host.<name>." prefix and events
+  /// a "host" field; a fleet of one keeps the historical names.
+  obs::Observer* observer = nullptr;
+};
+
+struct FleetHostResult {
+  std::string name;
+  ExperimentResult result;
+};
+
+struct FleetResult {
+  std::vector<FleetHostResult> hosts;
+};
+
+/// Homogeneous fleet helper: `host_count` copies of `base` named
+/// "host0".."hostN-1", each with a decorrelated per-host seed split from
+/// `base_seed` (core::fleet_host_seed).
+FleetSpec replicate_fleet(const ExperimentSpec& base, std::size_t host_count,
+                          std::uint64_t base_seed, std::size_t workers);
+
+/// Runs every host of the fleet to completion; results are returned in
+/// spec order regardless of worker scheduling.
+FleetResult run_fleet(const FleetSpec& spec);
+
+}  // namespace stayaway::harness

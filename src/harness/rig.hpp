@@ -1,0 +1,42 @@
+// HostRig — one fully populated simulated host for an experiment: the
+// host itself plus the sensitive VM and every batch VM the spec asks
+// for, in the exact construction order the single-host runner has always
+// used (order is part of the determinism contract: VM ids, app RNG
+// streams and the sampler's metric layout all derive from it). Shared by
+// run_experiment and the fleet runner so a fleet of one host replays the
+// historical run byte-for-byte.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "sim/host.hpp"
+
+namespace stayaway::apps {
+class Webservice;
+}
+
+namespace stayaway::harness {
+
+struct HostRig {
+  std::unique_ptr<sim::SimHost> host;
+  /// The sensitive app's QoS channel; owned by the app inside the host.
+  const sim::QosProbe* probe = nullptr;
+  /// Non-null only when the sensitive app is the webservice (its
+  /// offered/completed TPS series feed Figures 10-11).
+  const apps::Webservice* webservice = nullptr;
+  sim::VmId sensitive_id = 0;
+  std::vector<sim::VmId> batch_ids;
+};
+
+/// Builds the host and places every VM per the spec. Validates the spec's
+/// timing (positive duration, period covering at least one tick).
+HostRig build_host_rig(const ExperimentSpec& spec);
+
+/// The Stay-Away config an experiment actually runs with: spec.stayaway
+/// plus the harness seed/period splits (sampler seed decorrelated from
+/// the control seed).
+core::StayAwayConfig derive_stayaway_config(const ExperimentSpec& spec);
+
+}  // namespace stayaway::harness

@@ -68,31 +68,29 @@ PolicyKind policy_kind_from_string(const std::string& name) {
   throw PreconditionError("unknown policy: " + name);
 }
 
-Scenario parse_scenario(std::istream& in) {
+namespace {
+
+/// Accumulated parse state for one scenario body (the base document or
+/// one [host] section overlaying it). Copyable: a host section starts
+/// from a copy of the base state with a fresh duplicate-key set.
+struct ParserState {
   Scenario scenario;
   std::string workload = "constant";
   double workload_cycles = 1.5;
-
   std::set<std::string> seen;
   std::set<std::string> vm_names;
   std::vector<sim::FaultSpec> fault_specs;
   std::optional<std::uint64_t> fault_seed;
-  std::string raw;
-  std::size_t line_no = 0;
-  while (std::getline(in, raw)) {
-    ++line_no;
-    std::string line = raw;
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    line = trim(line);
-    if (line.empty()) continue;
 
-    auto eq = line.find('=');
-    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
-    std::string key = trim(line.substr(0, eq));
-    std::string value = trim(line.substr(eq + 1));
-    if (key.empty()) fail(line_no, "empty key");
-    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+  void consume(std::size_t line_no, const std::string& key,
+               const std::string& value);
+  /// Applies the deferred workload/fault post-processing (both depend on
+  /// the final seed/duration) and returns the finished scenario.
+  Scenario finish() const;
+};
+
+void ParserState::consume(std::size_t line_no, const std::string& key,
+                          const std::string& value) {
     // `fault` and `vm` are list-building keys and may repeat; everything
     // else appears at most once.
     bool repeatable = key == "fault" || key == "vm";
@@ -204,21 +202,122 @@ Scenario parse_scenario(std::istream& in) {
       if (what.rfind("scenario line", 0) == 0) throw;
       fail(line_no, what);
     }
-  }
+}
 
+Scenario ParserState::finish() const {
+  Scenario out = scenario;
   if (workload == "diurnal") {
-    scenario.spec.workload = compressed_diurnal(
-        scenario.spec.duration_s, workload_cycles, scenario.spec.seed);
+    out.spec.workload =
+        compressed_diurnal(out.spec.duration_s, workload_cycles, out.spec.seed);
   }
   if (!fault_specs.empty()) {
     // Fault schedules are always explicitly seeded (the lint rule enforces
     // the same for code): fault_seed when given, else the experiment seed.
     sim::FaultPlan plan;
-    plan.seed = fault_seed.value_or(scenario.spec.seed);
-    plan.faults = std::move(fault_specs);
-    scenario.spec.faults = std::move(plan);
+    plan.seed = fault_seed.value_or(out.spec.seed);
+    plan.faults = fault_specs;
+    out.spec.faults = std::move(plan);
   }
-  return scenario;
+  return out;
+}
+
+/// Parses a `[host "name"]` section header (the line arrives
+/// comment-stripped and trimmed, starting with '[').
+std::string parse_host_header(std::size_t line_no, const std::string& line) {
+  if (line.back() != ']') fail(line_no, "unterminated section header");
+  std::string inner = trim(line.substr(1, line.size() - 2));
+  if (inner.rfind("host", 0) != 0) {
+    fail(line_no, "unknown section '" + inner + "' (expected [host \"name\"])");
+  }
+  std::string rest = trim(inner.substr(4));
+  if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
+    fail(line_no, "host name must be quoted: [host \"name\"]");
+  }
+  std::string name = rest.substr(1, rest.size() - 2);
+  if (name.empty()) fail(line_no, "host name must not be empty");
+  return name;
+}
+
+}  // namespace
+
+FleetScenario parse_fleet_scenario(std::istream& in) {
+  FleetScenario fleet;
+  ParserState base;
+  // Host states overlay a snapshot of the base state taken at their
+  // section header; `current` indexes into hosts, npos = still in base.
+  std::vector<std::pair<std::string, ParserState>> hosts;
+  std::set<std::string> host_names;
+  constexpr std::size_t kBase = static_cast<std::size_t>(-1);
+  std::size_t current = kBase;
+  bool seen_workers = false;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      std::string name = parse_host_header(line_no, line);
+      if (!host_names.insert(name).second) {
+        fail(line_no, "duplicate host section '" + name + "'");
+      }
+      fleet.fleet_syntax = true;
+      ParserState host = base;
+      // Scalar base keys may be overridden once per section; inherited
+      // VMs keep their names reserved so overlays cannot collide.
+      host.seen.clear();
+      hosts.emplace_back(std::move(name), std::move(host));
+      current = hosts.size() - 1;
+      continue;
+    }
+
+    auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+
+    if (key == "workers") {
+      if (current != kBase) {
+        fail(line_no,
+             "'workers' is a fleet-level key; set it before any [host] "
+             "section");
+      }
+      if (seen_workers) fail(line_no, "duplicate key 'workers'");
+      seen_workers = true;
+      fleet.fleet_syntax = true;
+      double v = parse_double(line_no, value);
+      if (v < 1.0) fail(line_no, "workers must be >= 1");
+      fleet.workers = static_cast<std::size_t>(v);
+      continue;
+    }
+
+    ParserState& state = current == kBase ? base : hosts[current].second;
+    state.consume(line_no, key, value);
+  }
+
+  fleet.base = base.finish();
+  fleet.hosts.reserve(hosts.size());
+  for (const auto& [name, state] : hosts) {
+    fleet.hosts.emplace_back(name, state.finish());
+  }
+  return fleet;
+}
+
+Scenario parse_scenario(std::istream& in) {
+  FleetScenario fleet = parse_fleet_scenario(in);
+  if (fleet.fleet_syntax) {
+    throw PreconditionError(
+        "multi-host scenario ([host] sections / workers key): use "
+        "parse_fleet_scenario");
+  }
+  return fleet.base;
 }
 
 }  // namespace stayaway::harness

@@ -16,11 +16,29 @@
 //   vm         = extra1:cpubomb:30   # extra named batch VM (repeatable)
 //   fault_seed = 7                   # fault plan seed (default: seed)
 //   fault      = sensor-dropout start=20 end=60 p=0.2   # repeatable
+//
+// Multi-host fleet scenarios (DESIGN.md §13) add `[host "name"]`
+// sections and the fleet-level `workers` key. Keys before the first
+// section form the base scenario every host inherits; a section's keys
+// overlay it (scalar keys override, the list-building `vm`/`fault` keys
+// append):
+//
+//   sensitive = vlc-stream
+//   policy    = stay-away
+//   workers   = 4
+//   [host "web-a"]
+//   batch = twitter-analysis
+//   [host "web-b"]
+//   batch = cpubomb
+//   seed  = 7
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/experiment.hpp"
 
@@ -43,11 +61,34 @@ struct Scenario {
   std::optional<std::string> series_csv;
 };
 
+/// A parsed multi-host scenario document.
+struct FleetScenario {
+  /// The keys before any [host] section — on its own a complete,
+  /// runnable single-host scenario.
+  Scenario base;
+  /// Per-host overlays in file order: (section name, base scenario with
+  /// the section's overrides applied). Empty for plain documents.
+  std::vector<std::pair<std::string, Scenario>> hosts;
+  /// Fleet-level `workers` key (hosts driven concurrently).
+  std::size_t workers = 1;
+  /// True when the document used any fleet syntax ([host] sections or
+  /// the workers key), even for a degenerate fleet of one.
+  bool fleet_syntax = false;
+};
+
 /// Parses a scenario document. Unknown keys, malformed lines, invalid
 /// values, duplicate VM names and unknown fault/metric kinds throw
 /// PreconditionError naming the offending line. Empty lines and '#'
 /// comments are ignored; keys may appear at most once, except the
-/// list-building `fault` and `vm` keys.
+/// list-building `fault` and `vm` keys. Rejects fleet syntax — use
+/// parse_fleet_scenario for documents with [host] sections.
 Scenario parse_scenario(std::istream& in);
+
+/// Parses a scenario document that may contain [host "name"] sections
+/// and the `workers` key (see the header comment for the syntax). Plain
+/// single-host documents parse with hosts empty and base identical to
+/// parse_scenario's result. Section names must be unique and non-empty;
+/// per-section keys may override any base key once.
+FleetScenario parse_fleet_scenario(std::istream& in);
 
 }  // namespace stayaway::harness

@@ -11,17 +11,6 @@ StayAwayPolicy::StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
   if (seed.has_value()) runtime_->seed_template(*seed);
 }
 
-StayAwayPolicy::StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
-                               core::StayAwayConfig config,
-                               monitor::SamplerOptions sampler_options,
-                               std::optional<core::StateTemplate> seed)
-    : StayAwayPolicy(host, probe,
-                     [&] {
-                       config.sampler = std::move(sampler_options);
-                       return std::move(config);
-                     }(),
-                     std::move(seed)) {}
-
 baseline::PolicyDecision StayAwayPolicy::on_period(sim::SimHost&,
                                                    const sim::QosProbe&) {
   // The runtime is already bound to its host and probe from construction.

@@ -20,13 +20,6 @@ class StayAwayPolicy final : public baseline::InterferencePolicy {
                  core::StayAwayConfig config,
                  std::optional<core::StateTemplate> seed = std::nullopt);
 
-  /// Deprecated positional shim: prefer config.sampler and the
-  /// constructor above. `sampler_options` overrides config.sampler.
-  StayAwayPolicy(sim::SimHost& host, const sim::QosProbe& probe,
-                 core::StayAwayConfig config,
-                 monitor::SamplerOptions sampler_options,
-                 std::optional<core::StateTemplate> seed = std::nullopt);
-
   std::string_view name() const override { return "stay-away"; }
   baseline::PolicyDecision on_period(sim::SimHost& host,
                                      const sim::QosProbe& probe) override;

@@ -6,7 +6,7 @@
 
 namespace stayaway::monitor {
 
-HostSampler::HostSampler(const sim::SimHost& host, SamplerOptions options)
+HostSampler::HostSampler(const sim::SimHost& host, SamplerConfig options)
     : host_(&host),
       options_(std::move(options)),
       layout_vm_count_(host.vm_count()),

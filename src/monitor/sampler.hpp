@@ -13,7 +13,7 @@
 
 namespace stayaway::monitor {
 
-struct SamplerOptions {
+struct SamplerConfig {
   std::vector<MetricKind> metrics = {MetricKind::Cpu, MetricKind::Memory,
                                      MetricKind::DiskIo, MetricKind::Network};
   /// §5: "The monitored metrics of all the batch applications are
@@ -27,11 +27,15 @@ struct SamplerOptions {
   std::uint64_t seed = 17;
 };
 
+/// Pre-rename spelling; new code should say SamplerConfig.
+using SamplerOptions [[deprecated("use monitor::SamplerConfig")]] =
+    SamplerConfig;
+
 class HostSampler {
  public:
   /// The host must outlive the sampler. The layout is fixed at
   /// construction from the host's current VM set.
-  HostSampler(const sim::SimHost& host, SamplerOptions options = {});
+  HostSampler(const sim::SimHost& host, SamplerConfig options = {});
 
   const MetricLayout& layout() const { return layout_; }
 
@@ -58,7 +62,7 @@ class HostSampler {
 
  private:
   const sim::SimHost* host_;
-  SamplerOptions options_;
+  SamplerConfig options_;
   MetricLayout layout_;
   /// entity index -> VM ids contributing to it
   std::vector<std::vector<sim::VmId>> entity_vms_;

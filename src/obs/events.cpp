@@ -44,12 +44,25 @@ Event Event::from_json(const JsonValue& v) {
 }
 
 void JsonlSink::emit(const Event& e) {
-  e.to_json().dump(*out_);
-  *out_ << "\n";
+  // Render outside the lock; only the stream write is serialized, so
+  // concurrent fleet hosts contend for as little as possible.
+  std::ostringstream line;
+  e.to_json().dump(line);
+  line << "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line.str();
   ++emitted_;
 }
 
-void JsonlSink::flush() { out_->flush(); }
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_->flush();
+}
+
+std::size_t JsonlSink::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
 
 std::vector<Event> parse_jsonl(std::istream& in) {
   std::vector<Event> out;
@@ -62,20 +75,25 @@ std::vector<Event> parse_jsonl(std::istream& in) {
 }
 
 void TextSink::emit(const Event& e) {
-  std::ostream& out = *out_;
-  out << "t=" << e.time << " " << e.type;
+  std::ostringstream line;
+  line << "t=" << e.time << " " << e.type;
   for (const auto& [k, v] : e.fields) {
-    out << " " << k << "=";
+    line << " " << k << "=";
     if (v.is_string()) {
-      out << v.as_string();  // unquoted: this sink is for humans
+      line << v.as_string();  // unquoted: this sink is for humans
     } else {
-      v.dump(out);
+      v.dump(line);
     }
   }
-  out << "\n";
+  line << "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line.str();
 }
 
-void TextSink::flush() { out_->flush(); }
+void TextSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_->flush();
+}
 
 CsvSummarySink::~CsvSummarySink() {
   // Best-effort final flush; an explicit flush() beforehand is cleaner.
@@ -83,10 +101,18 @@ CsvSummarySink::~CsvSummarySink() {
 }
 
 void CsvSummarySink::emit(const Event& e) {
-  if (e.type == type_) events_.push_back(e);
+  if (e.type != type_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(e);
+}
+
+std::size_t CsvSummarySink::buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
 }
 
 void CsvSummarySink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   flushed_ = true;
   std::vector<std::string> columns{"t"};
   for (const auto& e : events_) {

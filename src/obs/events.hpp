@@ -3,9 +3,16 @@
 // events routed through pluggable sinks — machine-readable JSONL, a CSV
 // summary of one event type, or a human text log. Sinks are passive:
 // emitting an event never feeds back into the control decisions.
+//
+// The sinks defined here serialize emit/flush internally, so one sink
+// may be shared by the concurrent host pipelines of a fleet (DESIGN.md
+// §13); lines from different hosts interleave whole, never mid-line.
+// Custom EventSink implementations attached to a multi-worker fleet
+// must do the same.
 #pragma once
 
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -51,11 +58,12 @@ class JsonlSink final : public EventSink {
   explicit JsonlSink(std::ostream& out) : out_(&out) {}
   void emit(const Event& e) override;
   void flush() override;
-  std::size_t emitted() const { return emitted_; }
+  std::size_t emitted() const;
 
  private:
   std::ostream* out_;
   std::size_t emitted_ = 0;
+  mutable std::mutex mu_;
 };
 
 /// Parses a JSONL document back into events (round-trip testing and
@@ -71,6 +79,7 @@ class TextSink final : public EventSink {
 
  private:
   std::ostream* out_;
+  std::mutex mu_;
 };
 
 /// Collects every event of one type and writes them as a CSV table on
@@ -83,13 +92,14 @@ class CsvSummarySink final : public EventSink {
   void emit(const Event& e) override;
   /// Writes the table (header + one row per event) and clears the buffer.
   void flush() override;
-  std::size_t buffered() const { return events_.size(); }
+  std::size_t buffered() const;
 
  private:
   std::ostream* out_;
   std::string type_;
   std::vector<Event> events_;
   bool flushed_ = false;
+  mutable std::mutex mu_;
 };
 
 /// Fans one event out to several sinks (non-owning).

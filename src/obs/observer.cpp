@@ -22,6 +22,9 @@ void Span::close() {
 }
 
 Histogram& Observer::span_histogram(const char* name) {
+  // References into the map stay valid across rehashes, so the returned
+  // handle may be used after the lock is dropped.
+  std::lock_guard<std::mutex> lock(span_mu_);
   auto it = span_hist_.find(name);
   if (it != span_hist_.end()) return it->second;
   // 1 us .. 10 s, 24 exponential buckets: covers sub-period phases up to

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -89,9 +90,13 @@ class Observer {
   MetricsRegistry metrics_;
   EventSink* sink_ = nullptr;
   bool span_events_ = true;
-  /// Handle cache so per-period spans skip the registry mutex. Only the
-  /// owning control thread touches it.
+  /// Handle cache so per-period spans take one short lock instead of the
+  /// registry's name lookup. Guarded by span_mu_: an observer may be
+  /// shared by the concurrent host pipelines of a fleet, whose phase
+  /// spans share names — the histograms then aggregate wall-clock phase
+  /// timings fleet-wide (the handles' atomic updates make that safe).
   std::unordered_map<std::string, Histogram> span_hist_;
+  std::mutex span_mu_;
 };
 
 }  // namespace stayaway::obs

@@ -1,22 +1,27 @@
 // Multi-threaded stress tests, written to run under ThreadSanitizer
 // (./ci.sh --tsan) as well as in the plain tier-1 suite. They hammer the
-// three concurrent surfaces of the library: the hot-path thread pool
-// (worker hand-off, repeated reconfiguration), the parallel SMACOF/
-// distance kernels (determinism across thread counts), and the obs
-// metrics registry (relaxed-atomic updates racing registration and
-// snapshots).
+// concurrent surfaces of the library: the hot-path thread pool (worker
+// hand-off, repeated reconfiguration), the parallel SMACOF/distance
+// kernels (determinism across thread counts), the obs metrics registry
+// (relaxed-atomic updates racing registration and snapshots), and the
+// fleet runner (full host pipelines publishing into one shared observer
+// from a worker pool).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "harness/fleet.hpp"
 #include "mds/distance.hpp"
 #include "mds/smacof.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/observer.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -155,6 +160,61 @@ TEST(ParallelEmbedding, SmacofIsDeterministicAcrossThreadCounts) {
     EXPECT_NEAR(seq.points[i].y, par4.points[i].y, 1e-9);
   }
   EXPECT_NEAR(seq.stress, par4.stress, 1e-9);
+}
+
+// DESIGN.md §13: eight full host pipelines — map, predict, act, degraded
+// -mode bookkeeping and observability publish — driven 200 periods each
+// on a 4-worker fleet pool, all publishing into one shared observer.
+// Concurrency must be invisible in the results: every host's record
+// stream matches a serial run of the same fleet, host by host.
+TEST(FleetConcurrency, EightPipelinesOnFourWorkersMatchSerialRun) {
+  PoolGuard guard;
+  // Host-level parallelism requires the hot-path pool pinned to one
+  // thread (pure inline kernels, no shared pool state).
+  util::set_hot_path_threads(1);
+
+  harness::ExperimentSpec base;
+  base.sensitive = harness::SensitiveKind::VlcStream;
+  base.batch = harness::BatchKind::TwitterAnalysis;
+  base.policy = harness::PolicyKind::StayAway;
+  base.duration_s = 200.0;  // period_s = 1.0 -> 200 periods per host
+  base.sensitive_start_s = 2.0;
+  base.batch_start_s = 10.0;
+
+  constexpr std::size_t kHosts = 8;
+  harness::FleetResult serial =
+      harness::run_fleet(harness::replicate_fleet(base, kHosts, 321, 1));
+
+  std::ostringstream events;
+  obs::JsonlSink sink(events);
+  obs::Observer observer(&sink);
+  harness::FleetSpec spec = harness::replicate_fleet(base, kHosts, 321, 4);
+  spec.observer = &observer;
+  harness::FleetResult parallel = harness::run_fleet(spec);
+
+  ASSERT_EQ(serial.hosts.size(), kHosts);
+  ASSERT_EQ(parallel.hosts.size(), kHosts);
+  for (std::size_t i = 0; i < kHosts; ++i) {
+    EXPECT_EQ(parallel.hosts[i].name, serial.hosts[i].name);
+    const harness::ExperimentResult& p = parallel.hosts[i].result;
+    const harness::ExperimentResult& s = serial.hosts[i].result;
+    EXPECT_TRUE(p.stayaway_records == s.stayaway_records)
+        << "record stream diverged on host " << parallel.hosts[i].name;
+    EXPECT_EQ(p.qos, s.qos);
+    EXPECT_EQ(p.utilization, s.utilization);
+    EXPECT_EQ(p.violation_periods, s.violation_periods);
+    EXPECT_EQ(p.pauses, s.pauses);
+    EXPECT_EQ(p.resumes, s.resumes);
+    EXPECT_EQ(p.final_beta, s.final_beta);
+  }
+  // The shared observer saw every host's full run, under its own name.
+  for (std::size_t i = 0; i < kHosts; ++i) {
+    EXPECT_EQ(observer.metrics()
+                  .counter("host.host" + std::to_string(i) + ".loop.periods")
+                  .value(),
+              200u);
+  }
+  EXPECT_GT(sink.emitted(), kHosts * 200);
 }
 
 TEST(ConcurrentObs, CountersGaugesHistogramsUnderContention) {

@@ -1,0 +1,210 @@
+// Fleet runner tests: the byte-identical fleet-of-1 contract (fault-free
+// and under a fault plan), the baseline policies driven as pipeline
+// stages, per-host seed splitting, host-labelled observability and
+// worker-count invariance.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/fleet.hpp"
+#include "harness/fleet.hpp"
+#include "obs/events.hpp"
+#include "obs/observer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace stayaway::harness {
+namespace {
+
+ExperimentSpec short_spec(PolicyKind policy) {
+  ExperimentSpec spec;
+  spec.sensitive = SensitiveKind::VlcStream;
+  spec.batch = BatchKind::CpuBomb;
+  spec.policy = policy;
+  spec.duration_s = 40.0;
+  spec.batch_start_s = 5.0;
+  return spec;
+}
+
+sim::FaultSpec fault_of(sim::FaultKind kind, double start, double end,
+                        double p = 1.0) {
+  sim::FaultSpec s;
+  s.kind = kind;
+  s.start_s = start;
+  s.end_s = end;
+  s.probability = p;
+  return s;
+}
+
+sim::FaultPlan stress_plan() {
+  sim::FaultPlan plan;
+  plan.seed = 11;
+  plan.faults.push_back(
+      fault_of(sim::FaultKind::SensorDropout, 5.0, 25.0, 0.3));
+  plan.faults.push_back(fault_of(sim::FaultKind::QosBlind, 10.0, 18.0));
+  plan.faults.push_back(fault_of(sim::FaultKind::PauseFail, 0.0, 30.0, 0.5));
+  return plan;
+}
+
+/// Full-field comparison: the fleet of one must replay the single-host
+/// runner exactly, not approximately.
+void expect_results_equal(const ExperimentResult& fleet,
+                          const ExperimentResult& solo) {
+  EXPECT_EQ(fleet.time, solo.time);
+  EXPECT_EQ(fleet.qos, solo.qos);
+  EXPECT_EQ(fleet.violated, solo.violated);
+  EXPECT_EQ(fleet.utilization, solo.utilization);
+  EXPECT_EQ(fleet.batch_running, solo.batch_running);
+  EXPECT_EQ(fleet.offered_tps, solo.offered_tps);
+  EXPECT_EQ(fleet.completed_tps, solo.completed_tps);
+  EXPECT_EQ(fleet.violation_periods, solo.violation_periods);
+  EXPECT_EQ(fleet.violation_fraction, solo.violation_fraction);
+  EXPECT_EQ(fleet.avg_utilization, solo.avg_utilization);
+  EXPECT_EQ(fleet.avg_qos, solo.avg_qos);
+  EXPECT_EQ(fleet.batch_cpu_work, solo.batch_cpu_work);
+  EXPECT_EQ(fleet.sensitive_cpu_work, solo.sensitive_cpu_work);
+  EXPECT_EQ(fleet.stayaway_records, solo.stayaway_records);
+  EXPECT_EQ(fleet.tally.true_positive, solo.tally.true_positive);
+  EXPECT_EQ(fleet.tally.false_positive, solo.tally.false_positive);
+  EXPECT_EQ(fleet.tally.true_negative, solo.tally.true_negative);
+  EXPECT_EQ(fleet.tally.false_negative, solo.tally.false_negative);
+  EXPECT_EQ(fleet.pauses, solo.pauses);
+  EXPECT_EQ(fleet.resumes, solo.resumes);
+  EXPECT_EQ(fleet.degraded_periods, solo.degraded_periods);
+  EXPECT_EQ(fleet.failsafe_periods, solo.failsafe_periods);
+  EXPECT_EQ(fleet.readings_quarantined, solo.readings_quarantined);
+  EXPECT_EQ(fleet.actuation_retries, solo.actuation_retries);
+  EXPECT_EQ(fleet.actuation_abandoned, solo.actuation_abandoned);
+  EXPECT_EQ(fleet.final_beta, solo.final_beta);
+  EXPECT_EQ(fleet.representative_count, solo.representative_count);
+  EXPECT_EQ(fleet.final_stress, solo.final_stress);
+}
+
+TEST(FleetHostSeed, SplitsAreDeterministicAndDecorrelated) {
+  EXPECT_EQ(core::fleet_host_seed(7, 0), core::fleet_host_seed(7, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {1ULL, 99ULL, 1234ULL}) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_TRUE(seen.insert(core::fleet_host_seed(base, i)).second)
+          << "collision at base " << base << " host " << i;
+    }
+  }
+}
+
+TEST(Fleet, SingleHostMatchesExperimentByteIdentical) {
+  ExperimentSpec spec = short_spec(PolicyKind::StayAway);
+  ExperimentResult solo = run_experiment(spec);
+
+  FleetSpec fleet;
+  fleet.hosts.push_back({"solo", spec});
+  FleetResult r = run_fleet(fleet);
+  ASSERT_EQ(r.hosts.size(), 1u);
+  EXPECT_EQ(r.hosts[0].name, "solo");
+  expect_results_equal(r.hosts[0].result, solo);
+  ASSERT_TRUE(r.hosts[0].result.exported_template.has_value());
+  ASSERT_TRUE(solo.exported_template.has_value());
+  EXPECT_EQ(r.hosts[0].result.exported_template->entries.size(),
+            solo.exported_template->entries.size());
+}
+
+TEST(Fleet, SingleHostMatchesExperimentUnderFaults) {
+  ExperimentSpec spec = short_spec(PolicyKind::StayAway);
+  spec.faults = stress_plan();
+  ExperimentResult solo = run_experiment(spec);
+
+  FleetSpec fleet;
+  fleet.hosts.push_back({"faulted", spec});
+  FleetResult r = run_fleet(fleet);
+  ASSERT_EQ(r.hosts.size(), 1u);
+  expect_results_equal(r.hosts[0].result, solo);
+  // The plan must actually have degraded the loop, or the golden proves
+  // nothing about the faulted path.
+  EXPECT_GT(solo.degraded_periods + solo.failsafe_periods, 0u);
+}
+
+TEST(Fleet, BaselinePoliciesMatchExperiment) {
+  for (PolicyKind policy :
+       {PolicyKind::NoPrevention, PolicyKind::Reactive,
+        PolicyKind::StaticThreshold}) {
+    ExperimentSpec spec = short_spec(policy);
+    ExperimentResult solo = run_experiment(spec);
+    FleetSpec fleet;
+    fleet.hosts.push_back({"base", spec});
+    FleetResult r = run_fleet(fleet);
+    ASSERT_EQ(r.hosts.size(), 1u) << to_string(policy);
+    expect_results_equal(r.hosts[0].result, solo);
+  }
+}
+
+TEST(Fleet, ReplicateSplitsNamesAndSeeds) {
+  FleetSpec fleet =
+      replicate_fleet(short_spec(PolicyKind::StayAway), 3, 99, 2);
+  ASSERT_EQ(fleet.hosts.size(), 3u);
+  EXPECT_EQ(fleet.workers, 2u);
+  EXPECT_EQ(fleet.hosts[0].name, "host0");
+  EXPECT_EQ(fleet.hosts[2].name, "host2");
+  EXPECT_NE(fleet.hosts[0].experiment.seed, fleet.hosts[1].experiment.seed);
+  EXPECT_EQ(fleet.hosts[1].experiment.seed, core::fleet_host_seed(99, 1));
+}
+
+TEST(Fleet, WorkersDoNotChangeResults) {
+  util::set_hot_path_threads(1);
+  ExperimentSpec base = short_spec(PolicyKind::StayAway);
+  base.duration_s = 30.0;
+  FleetSpec serial = replicate_fleet(base, 4, 5, 1);
+  FleetSpec parallel = replicate_fleet(base, 4, 5, 4);
+  FleetResult rs = run_fleet(serial);
+  FleetResult rp = run_fleet(parallel);
+  ASSERT_EQ(rs.hosts.size(), rp.hosts.size());
+  for (std::size_t i = 0; i < rs.hosts.size(); ++i) {
+    EXPECT_EQ(rs.hosts[i].name, rp.hosts[i].name);
+    expect_results_equal(rp.hosts[i].result, rs.hosts[i].result);
+  }
+  // Decorrelated seeds: sibling hosts must not mirror each other.
+  EXPECT_NE(rs.hosts[0].result.stayaway_records,
+            rs.hosts[1].result.stayaway_records);
+}
+
+TEST(Fleet, HostLabelledObservability) {
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  obs::Observer observer(&sink);
+
+  ExperimentSpec base = short_spec(PolicyKind::StayAway);
+  base.duration_s = 20.0;
+  FleetSpec fleet = replicate_fleet(base, 2, 42, 1);
+  fleet.observer = &observer;
+  run_fleet(fleet);
+
+  // Metric keys are host-prefixed so the shared registry keeps the two
+  // loops apart.
+  EXPECT_EQ(observer.metrics().counter("host.host0.loop.periods").value(),
+            20u);
+  EXPECT_EQ(observer.metrics().counter("host.host1.loop.periods").value(),
+            20u);
+  EXPECT_EQ(observer.metrics().counter("loop.periods").value(), 0u);
+  // Every event carries the host tag.
+  std::string events = out.str();
+  EXPECT_NE(events.find("\"host\":\"host0\""), std::string::npos);
+  EXPECT_NE(events.find("\"host\":\"host1\""), std::string::npos);
+}
+
+TEST(Fleet, SingleHostKeepsUnlabelledObservability) {
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  obs::Observer observer(&sink);
+
+  ExperimentSpec base = short_spec(PolicyKind::StayAway);
+  base.duration_s = 20.0;
+  FleetSpec fleet;
+  fleet.hosts.push_back({"solo", base});
+  fleet.observer = &observer;
+  run_fleet(fleet);
+
+  EXPECT_EQ(observer.metrics().counter("loop.periods").value(), 20u);
+  EXPECT_EQ(out.str().find("\"host\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stayaway::harness

@@ -79,7 +79,7 @@ TEST(Sampler, AggregatesBatchVmsIntoLogicalEntity) {
   host.add_vm("sensitive", sim::VmKind::Sensitive, cpu_app(1.0));
   host.add_vm("b1", sim::VmKind::Batch, cpu_app(1.0));
   host.add_vm("b2", sim::VmKind::Batch, cpu_app(0.5));
-  SamplerOptions opts;
+  SamplerConfig opts;
   opts.aggregate_batch = true;
   opts.noise_fraction = 0.0;
   HostSampler sampler(host, opts);
@@ -106,7 +106,7 @@ TEST(Sampler, PerVmModeKeepsAllEntities) {
   host.add_vm("s", sim::VmKind::Sensitive, cpu_app(1.0));
   host.add_vm("b1", sim::VmKind::Batch, cpu_app(1.0));
   host.add_vm("b2", sim::VmKind::Batch, cpu_app(1.0));
-  SamplerOptions opts;
+  SamplerConfig opts;
   opts.aggregate_batch = false;
   HostSampler sampler(host, opts);
   EXPECT_EQ(sampler.layout().entities.size(), 3u);
@@ -116,7 +116,7 @@ TEST(Sampler, NoiseIsDeterministicPerSeed) {
   sim::SimHost host(test_spec(), 0.1);
   host.add_vm("s", sim::VmKind::Sensitive, cpu_app(2.0));
   host.run(1);
-  SamplerOptions opts;
+  SamplerConfig opts;
   opts.noise_fraction = 0.05;
   opts.seed = 7;
   HostSampler a(host, opts);
@@ -132,7 +132,7 @@ TEST(Sampler, NoiseNeverProducesNegativeReadings) {
   sim::SimHost host(test_spec(), 0.1);
   host.add_vm("s", sim::VmKind::Sensitive, cpu_app(0.01));
   host.run(1);
-  SamplerOptions opts;
+  SamplerConfig opts;
   opts.noise_fraction = 2.0;  // extreme noise
   HostSampler sampler(host, opts);
   for (int i = 0; i < 100; ++i) {
@@ -144,7 +144,7 @@ TEST(Sampler, PausedVmReadsZero) {
   sim::SimHost host(test_spec(), 0.1);
   host.add_vm("s", sim::VmKind::Sensitive, cpu_app(1.0));
   host.add_vm("b", sim::VmKind::Batch, cpu_app(2.0));
-  SamplerOptions opts;
+  SamplerConfig opts;
   opts.noise_fraction = 0.0;
   HostSampler sampler(host, opts);
   host.vm(1).pause();
@@ -284,7 +284,7 @@ TEST(RepresentativeSet, RuntimeConfigBoundsGrowth) {
   // the representative set past the configured cap.
   sim::SimHost host(test_spec(), 0.1);
   host.add_vm("s", sim::VmKind::Sensitive, cpu_app(1.0));
-  SamplerOptions opts;
+  SamplerConfig opts;
   opts.noise_fraction = 0.3;
   RepresentativeSet reps(0.0, 16);
   HostSampler sampler(host, opts);

@@ -46,8 +46,8 @@ StayAwayConfig test_config() {
   return cfg;
 }
 
-monitor::SamplerOptions quiet_sampler() {
-  monitor::SamplerOptions opts;
+monitor::SamplerConfig quiet_sampler() {
+  monitor::SamplerConfig opts;
   opts.noise_fraction = 0.005;
   return opts;
 }
@@ -202,15 +202,20 @@ TEST(Runtime, InvalidPeriodRejected) {
 }
 
 TEST(Runtime, DeprecatedSamplerShimMatchesUnifiedConfig) {
-  // The old positional (config, sampler_options) constructor must behave
-  // exactly like config.sampler carrying the same options.
+  // The one surviving piece of the pre-unification surface: the positional
+  // (config, sampler) constructor and the monitor::SamplerOptions alias
+  // must keep compiling (with a deprecation warning) and behave exactly
+  // like config.sampler carrying the same options.
   StayAwayConfig base;
   base.period_s = 1.0;
   base.seed = 42;
 
   Rig rig_shim(3.0);
-  StayAwayRuntime rt_shim(rig_shim.host, *rig_shim.probe, base,
-                          quiet_sampler());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  monitor::SamplerOptions legacy = quiet_sampler();
+  StayAwayRuntime rt_shim(rig_shim.host, *rig_shim.probe, base, legacy);
+#pragma GCC diagnostic pop
   run_periods(rig_shim, rt_shim, 25);
 
   Rig rig_unified(3.0);

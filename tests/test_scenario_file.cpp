@@ -16,6 +16,11 @@ Scenario parse(const std::string& text) {
   return parse_scenario(in);
 }
 
+FleetScenario parse_fleet(const std::string& text) {
+  std::istringstream in(text);
+  return parse_fleet_scenario(in);
+}
+
 TEST(ScenarioFile, DefaultsWhenEmpty) {
   Scenario s = parse("");
   EXPECT_EQ(s.spec.sensitive, SensitiveKind::VlcStream);
@@ -226,6 +231,76 @@ TEST(ScenarioFile, ParsedScenarioActuallyRuns) {
   )");
   ExperimentResult r = run_experiment(s.spec);
   EXPECT_EQ(r.qos.size(), 30u);
+}
+
+TEST(FleetScenarioFile, PlainDocumentsParseUnchanged) {
+  FleetScenario f = parse_fleet("sensitive = vlc-stream\nseed = 7\n");
+  EXPECT_FALSE(f.fleet_syntax);
+  EXPECT_TRUE(f.hosts.empty());
+  EXPECT_EQ(f.workers, 1u);
+  EXPECT_EQ(f.base.spec.seed, 7u);
+}
+
+TEST(FleetScenarioFile, HostSectionsOverlayTheBase) {
+  FleetScenario f = parse_fleet(R"(
+    sensitive = vlc-stream
+    batch = twitter-analysis
+    duration_s = 30
+    workers = 4
+    [host "web-a"]
+    seed = 5
+    [host "web-b"]   # inherits everything, overrides the batch
+    batch = cpubomb
+  )");
+  EXPECT_TRUE(f.fleet_syntax);
+  EXPECT_EQ(f.workers, 4u);
+  ASSERT_EQ(f.hosts.size(), 2u);
+  EXPECT_EQ(f.hosts[0].first, "web-a");
+  EXPECT_EQ(f.hosts[0].second.spec.seed, 5u);
+  EXPECT_EQ(f.hosts[0].second.spec.batch, BatchKind::TwitterAnalysis);
+  EXPECT_EQ(f.hosts[1].first, "web-b");
+  EXPECT_EQ(f.hosts[1].second.spec.batch, BatchKind::CpuBomb);
+  EXPECT_EQ(f.hosts[1].second.spec.sensitive, SensitiveKind::VlcStream);
+  EXPECT_DOUBLE_EQ(f.hosts[1].second.spec.duration_s, 30.0);
+}
+
+TEST(FleetScenarioFile, DiurnalAndFaultsFinishPerHost) {
+  // The diurnal trace and fault-plan seed must derive from each host's
+  // final (possibly overridden) seed, not the base's.
+  FleetScenario f = parse_fleet(R"(
+    workload = diurnal
+    fault = qos-blind start=5 end=10
+    seed = 3
+    [host "a"]
+    seed = 4
+  )");
+  ASSERT_EQ(f.hosts.size(), 1u);
+  ASSERT_TRUE(f.base.spec.faults.has_value());
+  ASSERT_TRUE(f.hosts[0].second.spec.faults.has_value());
+  EXPECT_EQ(f.base.spec.faults->seed, 3u);
+  EXPECT_EQ(f.hosts[0].second.spec.faults->seed, 4u);
+  EXPECT_TRUE(f.hosts[0].second.spec.workload.has_value());
+}
+
+TEST(FleetScenarioFile, RejectsMalformedFleetSyntax) {
+  EXPECT_THROW(parse_fleet("[host \"a\"\n"), PreconditionError);
+  EXPECT_THROW(parse_fleet("[node \"a\"]\n"), PreconditionError);
+  EXPECT_THROW(parse_fleet("[host a]\n"), PreconditionError);
+  EXPECT_THROW(parse_fleet("[host \"\"]\n"), PreconditionError);
+  EXPECT_THROW(parse_fleet("[host \"a\"]\n[host \"a\"]\n"),
+               PreconditionError);
+  EXPECT_THROW(parse_fleet("[host \"a\"]\nworkers = 2\n"),
+               PreconditionError);
+  EXPECT_THROW(parse_fleet("workers = 0\n"), PreconditionError);
+  EXPECT_THROW(parse_fleet("workers = 2\nworkers = 2\n"), PreconditionError);
+  // Per-section duplicate keys are still duplicates.
+  EXPECT_THROW(parse_fleet("[host \"a\"]\nseed = 1\nseed = 2\n"),
+               PreconditionError);
+}
+
+TEST(FleetScenarioFile, PlainParserRejectsFleetSyntax) {
+  EXPECT_THROW(parse("workers = 2\n"), PreconditionError);
+  EXPECT_THROW(parse("[host \"a\"]\n"), PreconditionError);
 }
 
 }  // namespace

@@ -21,6 +21,11 @@
 //   pragma-once             every header carries `#pragma once`.
 //   naked-new-delete        naked new/delete expressions are banned; use
 //                           std::make_unique, containers, or values.
+//   stage-host-isolation    pipeline stage implementations (files under a
+//                           stages/ directory) may not touch sim::SimHost
+//                           directly; all host access goes through the
+//                           ActuationPort / PeriodRecord seams so stages
+//                           stay host-agnostic (DESIGN.md §13).
 //
 // Usage:
 //   stayaway_lint <root>...   lint every .hpp/.cpp under the roots
@@ -183,6 +188,17 @@ bool deterministic_domain(const std::string& path) {
 
 void check_line_rules(const std::string& path, std::size_t lineno,
                       const std::string& line, std::vector<Violation>& out) {
+  // Stage implementations are the pluggable units of the host pipeline;
+  // reaching into the simulated host directly would bypass the port seam
+  // that keeps them reusable across hosts (and mockable). Word-boundary
+  // matching keeps SimHostActuationPort — the port adapter itself —
+  // legal to *name*, though stages have no reason to.
+  if (path.find("stages/") != std::string::npos &&
+      find_word(line, "SimHost") != std::string::npos) {
+    out.push_back({path, lineno, "stage-host-isolation",
+                   "pipeline stages must not touch sim::SimHost directly; "
+                   "go through the ActuationPort seam"});
+  }
   if (deterministic_domain(path)) {
     struct Banned {
       std::string_view token;
@@ -359,6 +375,21 @@ std::vector<Fixture> self_test_fixtures() {
                {}});
   f.push_back({"new-in-comment", "src/sim/ok3.cpp",
                "/* a new representative */ int x = 0;\n",
+               {}});
+  f.push_back({"simhost-in-stage", "src/core/stages/bad.cpp",
+               "void f(sim::SimHost& host) { host.step(); }\n",
+               {"stage-host-isolation"}});
+  f.push_back({"port-type-in-stage", "src/baseline/stages/ok.cpp",
+               "void f(core::SimHostActuationPort& port);\n",
+               {}});
+  f.push_back({"port-seam-in-stage", "src/core/stages/ok2.cpp",
+               "void act(ActuationPort& port) { port.pause({}); }\n",
+               {}});
+  f.push_back({"simhost-outside-stages", "src/core/host_port_ok.cpp",
+               "void f(sim::SimHost& host);\n",
+               {}});
+  f.push_back({"simhost-in-stage-comment", "src/core/stages/ok3.cpp",
+               "// the SimHost lives behind the port\nint x = 0;\n",
                {}});
   return f;
 }

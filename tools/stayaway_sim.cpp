@@ -15,10 +15,22 @@
 //                        format: `seed = 7` plus repeatable `fault =`
 //                        lines, see src/sim/faults.hpp
 //
+// Multi-host fleets (DESIGN.md §13):
+//   --hosts N            replicate a plain scenario across N hosts with
+//                        decorrelated per-host seeds and run them as a
+//                        fleet; alternatively give the scenario file
+//                        [host "name"] sections (see
+//                        src/harness/scenario_file.hpp)
+//   --workers N          drive fleet hosts on N concurrent workers
+//                        (overrides the scenario's `workers` key)
+//
 // The scenario format is documented in src/harness/scenario_file.hpp.
 // Prints the QoS/utilization summary (and the full comparison when
 // `compare = true`), optionally saving the per-period series as CSV and
-// importing/exporting Stay-Away templates.
+// importing/exporting Stay-Away templates. Fleet runs print one summary
+// row per host; `compare`, templates, series CSV and --faults are
+// single-host features.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -26,6 +38,7 @@
 #include <string>
 
 #include "core/template_store.hpp"
+#include "harness/fleet.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario_file.hpp"
 #include "obs/events.hpp"
@@ -48,24 +61,35 @@ compare      = true              # also run no-prevention + isolated references
 # template_in  = previous.template.csv
 # template_out = learned.template.csv
 # series_csv   = run_series.csv
+#
+# Multi-host fleet: the keys above become the base every host inherits;
+# [host "name"] sections overlay it (scalars override, vm/fault append).
+# workers = 4
+# [host "web-a"]
+# batch = twitter-analysis
+# [host "web-b"]
+# batch = cpubomb
+# seed  = 7
 )";
 
 constexpr const char* kUsage =
     "usage: stayaway_sim [--events-out FILE] [--metrics-out FILE]\n"
-    "                    [--faults FILE] <scenario-file | - | --example>\n";
+    "                    [--faults FILE] [--hosts N] [--workers N]\n"
+    "                    <scenario-file | - | --example>\n";
 
 struct Options {
   std::string scenario;
   std::optional<std::string> events_out;
   std::optional<std::string> metrics_out;
   std::optional<std::string> faults;
+  std::size_t hosts = 0;    // 0 = no replication requested
+  std::size_t workers = 0;  // 0 = take the scenario's `workers` key
 };
 
-int run(std::istream& in, const Options& opts) {
+int run_single(stayaway::harness::Scenario scenario, const Options& opts) {
   using namespace stayaway;
   using namespace stayaway::harness;
 
-  Scenario scenario = parse_scenario(in);
   if (opts.faults.has_value()) {
     std::ifstream fin(*opts.faults);
     SA_REQUIRE(fin.good(), "cannot open fault plan: " + *opts.faults);
@@ -182,6 +206,126 @@ int run(std::istream& in, const Options& opts) {
   return 0;
 }
 
+/// Rejects the single-host-only scenario features in fleet mode, naming
+/// the offending section.
+void require_fleet_compatible(const stayaway::harness::Scenario& scenario,
+                              const std::string& where) {
+  SA_REQUIRE(!scenario.compare,
+             where + ": `compare` is unsupported in fleet mode");
+  SA_REQUIRE(!scenario.template_in.has_value() &&
+                 !scenario.template_out.has_value(),
+             where + ": templates are unsupported in fleet mode");
+  SA_REQUIRE(!scenario.series_csv.has_value(),
+             where + ": `series_csv` is unsupported in fleet mode");
+}
+
+int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
+                   const Options& opts) {
+  using namespace stayaway;
+  using namespace stayaway::harness;
+
+  SA_REQUIRE(!opts.faults.has_value(),
+             "--faults applies to single-host runs; use per-host "
+             "`fault =` lines in the scenario");
+  SA_REQUIRE(opts.hosts == 0 || doc.hosts.empty(),
+             "--hosts replicates a plain scenario; this file already "
+             "defines [host] sections");
+  require_fleet_compatible(doc.base, "base scenario");
+
+  FleetSpec fleet;
+  std::size_t workers = opts.workers != 0 ? opts.workers : doc.workers;
+  if (!doc.hosts.empty()) {
+    fleet.workers = workers;
+    for (const auto& [name, scenario] : doc.hosts) {
+      require_fleet_compatible(scenario, "[host \"" + name + "\"]");
+      fleet.hosts.push_back({name, scenario.spec});
+    }
+  } else {
+    fleet = replicate_fleet(doc.base.spec, opts.hosts, doc.base.spec.seed,
+                            workers);
+  }
+
+  std::ofstream events_file;
+  std::optional<obs::JsonlSink> sink;
+  std::optional<obs::Observer> observer;
+  if (opts.events_out.has_value() || opts.metrics_out.has_value()) {
+    observer.emplace();
+    if (opts.events_out.has_value()) {
+      events_file.open(*opts.events_out);
+      SA_REQUIRE(events_file.good(), "cannot write: " + *opts.events_out);
+      sink.emplace(events_file);
+      observer->set_sink(&*sink);
+    }
+    fleet.observer = &*observer;
+  }
+
+  std::cout << "running fleet: " << fleet.hosts.size() << " hosts, "
+            << fleet.workers << " worker" << (fleet.workers == 1 ? "" : "s")
+            << "\n";
+  for (const FleetHostSpec& host : fleet.hosts) {
+    std::cout << "  " << host.name << ": "
+              << to_string(host.experiment.sensitive) << " + "
+              << to_string(host.experiment.batch) << " under "
+              << to_string(host.experiment.policy) << ", "
+              << host.experiment.duration_s << " s (seed "
+              << host.experiment.seed << ")\n";
+  }
+  std::cout << "\n";
+
+  FleetResult result = run_fleet(fleet);
+
+  for (std::size_t i = 0; i < result.hosts.size(); ++i) {
+    const FleetHostResult& host = result.hosts[i];
+    const ExperimentSpec& spec = fleet.hosts[i].experiment;
+    if (spec.faults.has_value() && !spec.faults->empty()) {
+      std::cout << "faults[" << host.name << "]: "
+                << host.result.readings_quarantined
+                << " readings quarantined, " << host.result.degraded_periods
+                << " degraded + " << host.result.failsafe_periods
+                << " failsafe periods, " << host.result.actuation_retries
+                << " actuation retries (" << host.result.actuation_abandoned
+                << " abandoned)\n";
+    }
+  }
+
+  if (observer.has_value()) {
+    observer->flush();
+    if (sink.has_value()) {
+      std::cout << "events written: " << *opts.events_out << " ("
+                << sink->emitted() << " events)\n";
+    }
+    if (opts.metrics_out.has_value()) {
+      std::ofstream mout(*opts.metrics_out);
+      SA_REQUIRE(mout.good(), "cannot write: " + *opts.metrics_out);
+      observer->metrics().write_json(mout);
+      std::cout << "metrics written: " << *opts.metrics_out << "\n";
+    }
+    std::cout << "\n";
+    print_metrics_summary(std::cout, observer->metrics());
+  }
+
+  std::cout << "\n";
+  print_summary_header(std::cout);
+  for (const FleetHostResult& host : result.hosts) {
+    print_summary_row(std::cout, host.name, host.result);
+  }
+  return 0;
+}
+
+int run(std::istream& in, const Options& opts) {
+  using namespace stayaway::harness;
+
+  FleetScenario doc = parse_fleet_scenario(in);
+  // Plain documents without --hosts keep the historical single-host path
+  // (and its exact output) — fleet mode is strictly opt-in.
+  if (doc.hosts.empty() && opts.hosts == 0) {
+    SA_REQUIRE(opts.workers == 0,
+               "--workers needs a fleet (--hosts N or [host] sections)");
+    return run_single(doc.base, opts);
+  }
+  return run_fleet_mode(doc, opts);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,9 +337,10 @@ int main(int argc, char** argv) {
       std::cout << kExample;
       return 0;
     }
-    if (arg == "--events-out" || arg == "--metrics-out" || arg == "--faults") {
+    if (arg == "--events-out" || arg == "--metrics-out" || arg == "--faults" ||
+        arg == "--hosts" || arg == "--workers") {
       if (i + 1 >= argc) {
-        std::cerr << "error: " << arg << " needs a file argument\n" << kUsage;
+        std::cerr << "error: " << arg << " needs an argument\n" << kUsage;
         return 2;
       }
       ++i;
@@ -203,8 +348,18 @@ int main(int argc, char** argv) {
         opts.events_out = argv[i];
       } else if (arg == "--metrics-out") {
         opts.metrics_out = argv[i];
-      } else {
+      } else if (arg == "--faults") {
         opts.faults = argv[i];
+      } else {
+        char* end = nullptr;
+        long n = std::strtol(argv[i], &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1) {
+          std::cerr << "error: " << arg << " needs a positive integer\n"
+                    << kUsage;
+          return 2;
+        }
+        (arg == "--hosts" ? opts.hosts : opts.workers) =
+            static_cast<std::size_t>(n);
       }
       continue;
     }
