@@ -18,6 +18,11 @@
 #                                overlays, worker invariance) in the tier-1
 #                                tree, then the fleet concurrency surfaces
 #                                under ThreadSanitizer
+#   ./ci.sh --fuzz               record/replay gate (DESIGN.md §14): replay
+#                                every committed tests/regressions/*.runlog
+#                                byte-identically, then a budgeted
+#                                stayaway_fuzz batch over the pinned seed
+#                                set (must keep reproducing findings)
 #   ./ci.sh --all                every leg above
 #
 # Each leg builds in its own tree (build, build-asan, build-tsan,
@@ -41,9 +46,10 @@ for arg in "$@"; do
     --tidy) LEGS+=(tidy) ;;
     --faults) LEGS+=(faults) ;;
     --fleet) LEGS+=(fleet) ;;
-    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet) ;;
+    --fuzz) LEGS+=(fuzz) ;;
+    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz) ;;
     *)
-      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--all]" >&2
+      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--all]" >&2
       exit 2
       ;;
   esac
@@ -134,6 +140,38 @@ EOF
       ./build-tsan/tests/test_fleet &&
         ./build-tsan/tests/test_concurrency \
           --gtest_filter='FleetConcurrency.*'
+      ;;
+    fuzz)
+      # Record/replay gate (DESIGN.md §14). Budgeted to ~60 s: the
+      # committed regression logs replay byte-identically, then the
+      # pinned fuzz seed set re-runs and must keep producing findings —
+      # at least one regenerated log byte-identical to a committed one
+      # (same seed, same budget, same shrink => same bytes).
+      cmake -B build -S . >/dev/null &&
+        cmake --build build -j"$JOBS" \
+          --target stayaway_sim stayaway_fuzz || return 1
+      local log
+      for log in tests/regressions/*.runlog; do
+        [[ -f "$log" ]] || { echo "no committed regression logs" >&2; return 1; }
+        ./build/tools/stayaway_sim --replay "$log" || return 1
+      done
+      local tmpdir rc
+      tmpdir="$(mktemp -d)" || return 1
+      ./build/tools/stayaway_fuzz --seed 8,10 --runs 20 --budget 30000 \
+        --out "$tmpdir" --expect-findings
+      rc=$?
+      if [[ $rc -eq 0 ]]; then
+        rc=1
+        for log in tests/regressions/*.runlog; do
+          if cmp -s "$log" "$tmpdir/$(basename "$log")"; then
+            echo "regenerated byte-identically: $(basename "$log")"
+            rc=0
+          fi
+        done
+        [[ $rc -eq 0 ]] || echo "no regenerated log matches a committed one" >&2
+      fi
+      rm -rf "$tmpdir"
+      return $rc
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then

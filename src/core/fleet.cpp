@@ -8,14 +8,27 @@
 
 namespace stayaway::core {
 
-std::uint64_t fleet_host_seed(std::uint64_t base, std::size_t host_index) {
-  // splitmix64 finalizer over base + (index+1) * golden-gamma: the +1
-  // keeps host 0 from collapsing onto the raw base seed.
-  std::uint64_t z =
-      base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(host_index) + 1);
+namespace {
+
+// splitmix64 finalizer: full-avalanche bijection on u64.
+std::uint64_t mix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t fleet_host_seed(std::uint64_t base, std::size_t host_index) {
+  // Avalanche base and index independently before combining. A single
+  // finalizer over the affine input base + gamma*(i+1) is a bijection,
+  // but its input lattice makes (base + gamma, i) and (base, i + 1)
+  // identical — correlated fleets for golden-gamma-related base seeds.
+  // Mixing base first destroys that additive structure; the +1 keeps
+  // host 0 from collapsing onto mix64(mix64(base)).
+  const std::uint64_t gamma = 0x9e3779b97f4a7c15ULL;
+  return mix64(mix64(base) ^
+               (gamma * (static_cast<std::uint64_t>(host_index) + 1)));
 }
 
 FleetController::FleetController(FleetConfig config) : config_(config) {
@@ -48,6 +61,7 @@ void FleetController::drive(Member& member) const {
     }
     const PeriodRecord& rec = member.pipeline->on_period();
     if (member.on_period) member.on_period(rec);
+    if (recorder_) recorder_->record_period(member.name, rec);
   }
 }
 

@@ -17,11 +17,29 @@
 
 namespace stayaway::core {
 
-/// Deterministic per-host seed split: mixes the fleet base seed with the
-/// host index (splitmix64 finalizer) so sibling hosts get decorrelated
-/// RNG streams while host i's stream is reproducible across runs and
-/// fleet sizes.
+/// Deterministic per-host seed split: avalanches the fleet base seed and
+/// the host index through independent splitmix64 finalizer rounds before
+/// combining, so sibling hosts get decorrelated RNG streams while host
+/// i's stream is reproducible across runs and fleet sizes. The earlier
+/// additive mixer (`finalize(base + gamma * (i + 1))`) made
+/// fleet_host_seed(base + gamma, i) collide with fleet_host_seed(base,
+/// i + 1) — two fleets whose base seeds differed by the golden gamma
+/// shared shifted host streams; the two-round mix has no such lattice
+/// (pinned by the independence tests in tests/test_fleet.cpp).
 std::uint64_t fleet_host_seed(std::uint64_t base, std::size_t host_index);
+
+/// Passive per-period recorder port (DESIGN.md §14): the fleet controller
+/// hands every freshly emitted PeriodRecord to the attached sink, tagged
+/// with the owning member's name. Implementations must be thread-safe —
+/// with workers > 1 the controller invokes the sink concurrently from
+/// different member drivers (always in period order per host). Sinks are
+/// strictly observational: they must not touch hosts or pipelines.
+class PeriodSink {
+ public:
+  virtual ~PeriodSink() = default;
+  virtual void record_period(const std::string& host,
+                             const PeriodRecord& rec) = 0;
+};
 
 class FleetController {
  public:
@@ -49,6 +67,11 @@ class FleetController {
   void add_member(Member member);
   std::size_t size() const { return members_.size(); }
 
+  /// Attaches a passive per-period recorder (may be null to detach). The
+  /// sink is borrowed and must outlive run(); it observes every record
+  /// after the member's own on_period hook.
+  void set_recorder(PeriodSink* recorder) { recorder_ = recorder; }
+
   /// Drives every member for its configured periods, with up to
   /// config.workers members in flight at once. Requires the process-wide
   /// hot-path pool to be single-threaded when workers > 1 (host-level
@@ -62,6 +85,7 @@ class FleetController {
 
   FleetConfig config_;
   std::vector<Member> members_;
+  PeriodSink* recorder_ = nullptr;
 };
 
 }  // namespace stayaway::core

@@ -39,6 +39,14 @@ ThrottleGovernor::ThrottleGovernor(GovernorConfig config, Rng rng)
              "beta_max must be >= beta_initial (or <= 0 to disable the cap)");
 }
 
+void ThrottleGovernor::abandon_pause() {
+  // Deliberately leaves resumed_at_/last_resume_reason_ untouched: an
+  // abandoned pause never ran, so any in-flight probation window from
+  // the preceding resume remains meaningful.
+  paused_since_.reset();
+  last_paused_state_.reset();
+}
+
 ThrottleAction ThrottleGovernor::decide(double now, bool batch_paused,
                                         bool violation_predicted,
                                         bool violation_observed,

@@ -45,6 +45,14 @@ class ThrottleGovernor {
                         bool violation_predicted, bool violation_observed,
                         const mds::Point2& mapped_state);
 
+  /// Closes an open pause ledger without emitting (or counting) a
+  /// Resume. Called by the actuator when a Pause it issued was fully
+  /// abandoned after exhausting retries, or when Failsafe supersedes the
+  /// governor's own pause: the books must not describe a pause that no
+  /// longer exists, or the stale starvation clock and distance chain
+  /// leak into the next genuine pause. No-op when no pause is open.
+  void abandon_pause();
+
   double beta() const { return beta_; }
   /// Why the most recent Resume fired; nullopt before the first resume.
   std::optional<ResumeReason> last_resume_reason() const {

@@ -33,9 +33,13 @@ Actuator::Outcome GovernorActuator::act(ActuationPort& port, PeriodRecord& rec,
         !failsafe_pause_) {
       // QoS-blind past the patience: the loop cannot label states, so it
       // cannot reason about interference — stop every batch VM until the
-      // probe comes back (DESIGN.md §12).
+      // probe comes back (DESIGN.md §12). Failsafe supersedes whatever
+      // pause the governor may have had open; close its ledger so the
+      // stale starvation clock and distance chain do not leak into the
+      // first governor pause after the failsafe releases.
       action = ThrottleAction::Pause;
       failsafe_all = true;
+      governor_.abandon_pause();
     } else if (failsafe_pause_ && degradation == DegradationState::Normal) {
       // Telemetry fully recovered (with hysteresis): release the failsafe.
       action = ThrottleAction::Resume;
@@ -85,10 +89,11 @@ std::size_t GovernorActuator::reconcile_actuation(ActuationPort& port,
   pending_->targets = std::move(undelivered);
   ++pending_->attempts;
   if (pending_->attempts > degradation_.actuation_max_retries) {
-    // Retry budget exhausted: record the divergence and stop hammering a
-    // dead channel. The next Pause/Resume decision rebuilds the ledger.
+    // Retry budget exhausted: record the divergence, roll the books back
+    // to what was actually delivered and stop hammering a dead channel.
+    // The next Pause/Resume decision rebuilds the ledger.
     actuation_abandoned_total_ += pending_->targets.size();
-    pending_.reset();
+    abandon_pending();
   } else {
     double backoff =
         static_cast<double>(degradation_.actuation_backoff_periods) *
@@ -96,6 +101,42 @@ std::size_t GovernorActuator::reconcile_actuation(ActuationPort& port,
     pending_->next_retry_time = now + backoff;
   }
   return reissued;
+}
+
+void GovernorActuator::abandon_pending() {
+  SA_DCHECK(pending_.has_value(), "nothing pending to abandon");
+  if (pending_->op == ThrottleAction::Pause) {
+    // The abandoned targets were never paused: drop them from the
+    // intent set so a later Resume does not "release" running VMs. If
+    // nothing at all got paused, the pause never happened — without the
+    // rollback the governor keeps reasoning in its paused branch over
+    // map states of a *running* system, the distance chain immediately
+    // exceeds beta and the loop enters a pause/resume oscillation.
+    for (sim::VmId id : pending_->targets) {
+      throttled_.erase(std::remove(throttled_.begin(), throttled_.end(), id),
+                       throttled_.end());
+    }
+    if (throttled_.empty()) {
+      batch_paused_ = false;
+      failsafe_pause_ = false;
+      governor_.abandon_pause();
+    }
+  } else {
+    // The abandoned targets are still paused on the host: splice them
+    // back into the intent set and re-raise the pause flags, or the
+    // controller believes the batch is running while the VMs starve
+    // forever. Re-latching failsafe_pause_ makes act() retry a failsafe
+    // release the next period telemetry is Normal.
+    for (sim::VmId id : pending_->targets) {
+      if (std::find(throttled_.begin(), throttled_.end(), id) ==
+          throttled_.end()) {
+        throttled_.push_back(id);
+      }
+    }
+    batch_paused_ = true;
+    if (pending_->was_failsafe) failsafe_pause_ = true;
+  }
+  pending_.reset();
 }
 
 bool GovernorActuator::deliver(ActuationPort& port, ThrottleAction op,
@@ -161,13 +202,15 @@ void GovernorActuator::apply_action(ActuationPort& port, ThrottleAction action,
             static_cast<double>(degradation_.actuation_backoff_periods) *
             period_s_;
         pending_ = PendingActuation{ThrottleAction::Pause,
-                                    std::move(undelivered), 1, now + backoff};
+                                    std::move(undelivered), 1, now + backoff,
+                                    failsafe_all_batch};
       }
       return;
     }
     case ThrottleAction::Resume: {
       // Resume exactly what this actuator paused (batch VMs and, under
       // §2.1 demotion, lower-priority sensitive VMs).
+      bool releasing_failsafe = failsafe_pause_;
       std::vector<sim::VmId> undelivered;
       for (sim::VmId id : throttled_) {
         if (!deliver(port, ThrottleAction::Resume, id)) {
@@ -183,7 +226,8 @@ void GovernorActuator::apply_action(ActuationPort& port, ThrottleAction action,
             static_cast<double>(degradation_.actuation_backoff_periods) *
             period_s_;
         pending_ = PendingActuation{ThrottleAction::Resume,
-                                    std::move(undelivered), 1, now + backoff};
+                                    std::move(undelivered), 1, now + backoff,
+                                    releasing_failsafe};
       }
       return;
     }

@@ -43,6 +43,9 @@ class GovernorActuator final : public Actuator {
     std::vector<sim::VmId> targets;  // commands not yet delivered
     std::size_t attempts = 1;        // delivery rounds tried so far
     double next_retry_time = 0.0;
+    /// The command belonged to a failsafe pause (or its release); on
+    /// abandonment the failsafe latch must be rolled to match reality.
+    bool was_failsafe = false;
   };
 
   void apply_action(ActuationPort& port, ThrottleAction action,
@@ -50,6 +53,11 @@ class GovernorActuator final : public Actuator {
   /// Re-issues pending undelivered commands once their backoff elapses.
   /// Returns the number of commands re-issued this period.
   std::size_t reconcile_actuation(ActuationPort& port, double now);
+  /// Rolls back the books for commands abandoned after the retry budget
+  /// ran out, so batch_paused_/throttled_/failsafe_pause_ and the
+  /// governor's pause ledger describe what actually happened on the host
+  /// rather than what the abandoned command intended.
+  void abandon_pending();
   /// Sends one pause/resume command through the port; true when it took.
   static bool deliver(ActuationPort& port, ThrottleAction op, sim::VmId id);
   /// Batch VMs consuming the major share of batch resources (§5:

@@ -221,6 +221,7 @@ FleetResult run_fleet(const FleetSpec& spec) {
     controller.add_member(std::move(member));
   }
 
+  controller.set_recorder(spec.recorder);
   controller.run();
 
   FleetResult out;

@@ -14,6 +14,10 @@
 
 #include "harness/experiment.hpp"
 
+namespace stayaway::core {
+class PeriodSink;
+}
+
 namespace stayaway::harness {
 
 /// One host's slot in a fleet scenario. The name must be unique across
@@ -35,6 +39,10 @@ struct FleetSpec {
   /// than one host, metric keys gain a "host.<name>." prefix and events
   /// a "host" field; a fleet of one keeps the historical names.
   obs::Observer* observer = nullptr;
+  /// Optional passive per-period recorder (DESIGN.md §14): receives
+  /// every PeriodRecord the controller emits, tagged with the host name.
+  /// Borrowed; must be thread-safe when workers > 1.
+  core::PeriodSink* recorder = nullptr;
 };
 
 struct FleetHostResult {

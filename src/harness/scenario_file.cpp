@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/check.hpp"
+#include "util/strings.hpp"
 
 namespace stayaway::harness {
 
@@ -37,6 +38,91 @@ bool parse_bool(std::size_t line, const std::string& value) {
   if (value == "true" || value == "yes" || value == "1") return true;
   if (value == "false" || value == "no" || value == "0") return false;
   fail(line, "expected true/false, got '" + value + "'");
+}
+
+std::uint64_t parse_seed(std::size_t line, const std::string& value) {
+  // Plain decimal covers the full 64-bit range; the double fallback
+  // keeps forms like `seed = 1e6` working but truncates above 2^53 —
+  // recorded scenarios always use the exact decimal form.
+  std::uint64_t seed = 0;
+  if (parse_u64(value, seed)) return seed;
+  return static_cast<std::uint64_t>(parse_double(line, value));
+}
+
+/// Truncates `line` at the first '#' that is not inside a double-quoted
+/// region. Inside quotes a backslash escapes the next character, so
+/// `path = "a\"# b"` keeps its '#'.
+std::string strip_comment(const std::string& line) {
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes && c == '\\' && i + 1 < line.size()) {
+      ++i;  // escaped character, never a delimiter
+      continue;
+    }
+    if (c == '"') in_quotes = !in_quotes;
+    if (c == '#' && !in_quotes) return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Decodes a double-quoted value (`"a # b"`, escapes \\ \" \n \t \r).
+/// Values not starting with a quote pass through untouched.
+std::string unquote_value(std::size_t line_no, const std::string& value) {
+  if (value.empty() || value.front() != '"') return value;
+  std::string out;
+  std::size_t i = 1;
+  for (; i < value.size(); ++i) {
+    char c = value[i];
+    if (c == '"') {
+      if (i + 1 != value.size()) {
+        fail(line_no, "trailing characters after closing quote");
+      }
+      return out;
+    }
+    if (c == '\\') {
+      if (i + 1 == value.size()) fail(line_no, "dangling escape in string");
+      char esc = value[++i];
+      switch (esc) {
+        case '\\': out += '\\'; break;
+        case '"': out += '"'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default:
+          fail(line_no, std::string("unknown escape '\\") + esc + "'");
+      }
+      continue;
+    }
+    out += c;
+  }
+  fail(line_no, "unterminated quoted string");
+}
+
+bool needs_quoting(const std::string& s) {
+  if (s.empty()) return true;
+  if (s.front() == '"' || s.front() == ' ' || s.back() == ' ') return true;
+  return s.find_first_of("#\\\"\n\t\r") != std::string::npos;
+}
+
+std::string quote_value(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string maybe_quote(const std::string& s) {
+  return needs_quoting(s) ? quote_value(s) : s;
 }
 
 }  // namespace
@@ -75,8 +161,6 @@ namespace {
 /// from a copy of the base state with a fresh duplicate-key set.
 struct ParserState {
   Scenario scenario;
-  std::string workload = "constant";
-  double workload_cycles = 1.5;
   std::set<std::string> seen;
   std::set<std::string> vm_names;
   std::vector<sim::FaultSpec> fault_specs;
@@ -117,14 +201,14 @@ void ParserState::consume(std::size_t line_no, const std::string& key,
       } else if (key == "sensitive_start_s") {
         spec.sensitive_start_s = parse_double(line_no, value);
       } else if (key == "seed") {
-        spec.seed = static_cast<std::uint64_t>(parse_double(line_no, value));
+        spec.seed = parse_seed(line_no, value);
       } else if (key == "workload") {
         if (value != "constant" && value != "diurnal") {
           fail(line_no, "workload must be 'constant' or 'diurnal'");
         }
-        workload = value;
+        scenario.workload = value;
       } else if (key == "workload_cycles") {
-        workload_cycles = parse_double(line_no, value);
+        scenario.workload_cycles = parse_double(line_no, value);
       } else if (key == "dedup_epsilon") {
         spec.stayaway.dedup_epsilon = parse_double(line_no, value);
       } else if (key == "prediction_samples") {
@@ -132,6 +216,18 @@ void ParserState::consume(std::size_t line_no, const std::string& key,
             static_cast<std::size_t>(parse_double(line_no, value));
       } else if (key == "beta_initial") {
         spec.stayaway.governor.beta_initial = parse_double(line_no, value);
+      } else if (key == "beta_increment") {
+        spec.stayaway.governor.beta_increment = parse_double(line_no, value);
+      } else if (key == "beta_max") {
+        spec.stayaway.governor.beta_max = parse_double(line_no, value);
+      } else if (key == "resume_grace_s") {
+        spec.stayaway.governor.resume_grace_s = parse_double(line_no, value);
+      } else if (key == "starvation_patience_s") {
+        spec.stayaway.governor.starvation_patience_s =
+            parse_double(line_no, value);
+      } else if (key == "random_resume_probability") {
+        spec.stayaway.governor.random_resume_probability =
+            parse_double(line_no, value);
       } else if (key == "actions_enabled") {
         spec.stayaway.actions_enabled = parse_bool(line_no, value);
       } else if (key == "allow_sensitive_demotion") {
@@ -183,8 +279,7 @@ void ParserState::consume(std::size_t line_no, const std::string& key,
       } else if (key == "fault") {
         fault_specs.push_back(sim::parse_fault_spec(value, line_no));
       } else if (key == "fault_seed") {
-        fault_seed =
-            static_cast<std::uint64_t>(parse_double(line_no, value));
+        fault_seed = parse_seed(line_no, value);
       } else if (key == "compare") {
         scenario.compare = parse_bool(line_no, value);
       } else if (key == "template_in") {
@@ -206,9 +301,9 @@ void ParserState::consume(std::size_t line_no, const std::string& key,
 
 Scenario ParserState::finish() const {
   Scenario out = scenario;
-  if (workload == "diurnal") {
-    out.spec.workload =
-        compressed_diurnal(out.spec.duration_s, workload_cycles, out.spec.seed);
+  if (out.workload == "diurnal") {
+    out.spec.workload = compressed_diurnal(out.spec.duration_s,
+                                           out.workload_cycles, out.spec.seed);
   }
   if (!fault_specs.empty()) {
     // Fault schedules are always explicitly seeded (the lint rule enforces
@@ -255,10 +350,7 @@ FleetScenario parse_fleet_scenario(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, raw)) {
     ++line_no;
-    std::string line = raw;
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    line = trim(line);
+    std::string line = trim(strip_comment(raw));
     if (line.empty()) continue;
 
     if (line.front() == '[') {
@@ -282,6 +374,7 @@ FleetScenario parse_fleet_scenario(std::istream& in) {
     std::string value = trim(line.substr(eq + 1));
     if (key.empty()) fail(line_no, "empty key");
     if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+    value = unquote_value(line_no, value);
 
     if (key == "workers") {
       if (current != kBase) {
@@ -318,6 +411,107 @@ Scenario parse_scenario(std::istream& in) {
         "parse_fleet_scenario");
   }
   return fleet.base;
+}
+
+namespace {
+
+/// One scenario body in canonical key order: every scalar the parser
+/// accepts is written explicitly (no reliance on defaults drifting),
+/// list keys follow in spec order, optional paths only when set.
+void serialize_body(const Scenario& scenario, std::string& out) {
+  const ExperimentSpec& spec = scenario.spec;
+  auto kv = [&out](const char* key, const std::string& value) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  };
+  auto kvd = [&kv](const char* key, double value) {
+    kv(key, format_double_exact(value));
+  };
+  auto kvb = [&kv](const char* key, bool value) {
+    kv(key, value ? "true" : "false");
+  };
+  kv("sensitive", to_string(spec.sensitive));
+  kv("batch", to_string(spec.batch));
+  kv("policy", to_string(spec.policy));
+  kvd("duration_s", spec.duration_s);
+  kvd("period_s", spec.period_s);
+  kvd("tick_s", spec.tick_s);
+  kvd("batch_start_s", spec.batch_start_s);
+  kvd("sensitive_start_s", spec.sensitive_start_s);
+  kv("seed", std::to_string(spec.seed));
+  kv("workload", scenario.workload);
+  kvd("workload_cycles", scenario.workload_cycles);
+  kvd("dedup_epsilon", spec.stayaway.dedup_epsilon);
+  kv("prediction_samples", std::to_string(spec.stayaway.prediction_samples));
+  kvd("beta_initial", spec.stayaway.governor.beta_initial);
+  kvd("beta_increment", spec.stayaway.governor.beta_increment);
+  kvd("beta_max", spec.stayaway.governor.beta_max);
+  kvd("resume_grace_s", spec.stayaway.governor.resume_grace_s);
+  kvd("starvation_patience_s", spec.stayaway.governor.starvation_patience_s);
+  kvd("random_resume_probability",
+      spec.stayaway.governor.random_resume_probability);
+  kvb("actions_enabled", spec.stayaway.actions_enabled);
+  kvb("allow_sensitive_demotion", spec.stayaway.allow_sensitive_demotion);
+  kvb("aggregate_batch", spec.stayaway.sampler.aggregate_batch);
+  kvd("noise_fraction", spec.stayaway.sampler.noise_fraction);
+  std::vector<std::string> metric_names;
+  metric_names.reserve(spec.stayaway.sampler.metrics.size());
+  for (monitor::MetricKind m : spec.stayaway.sampler.metrics) {
+    metric_names.emplace_back(monitor::to_string(m));
+  }
+  kv("metrics", join(metric_names, ","));
+  for (const ExtraVmSpec& vm : spec.extra_batch) {
+    kv("vm", maybe_quote(vm.name + ":" + std::string(to_string(vm.kind)) +
+                         ":" + format_double_exact(vm.start_s)));
+  }
+  if (spec.faults.has_value() && !spec.faults->faults.empty()) {
+    kv("fault_seed", std::to_string(spec.faults->seed));
+    for (const sim::FaultSpec& f : spec.faults->faults) {
+      kv("fault", sim::to_spec_string(f));
+    }
+  }
+  if (scenario.compare) kvb("compare", true);
+  if (scenario.template_in.has_value()) {
+    kv("template_in", maybe_quote(*scenario.template_in));
+  }
+  if (scenario.template_out.has_value()) {
+    kv("template_out", maybe_quote(*scenario.template_out));
+  }
+  if (scenario.series_csv.has_value()) {
+    kv("series_csv", maybe_quote(*scenario.series_csv));
+  }
+}
+
+}  // namespace
+
+std::string serialize_scenario(const Scenario& scenario) {
+  std::string out;
+  serialize_body(scenario, out);
+  return out;
+}
+
+std::string serialize_fleet_scenario(const FleetScenario& fleet) {
+  if (!fleet.fleet_syntax) return serialize_scenario(fleet.base);
+  std::string out = "workers = " + std::to_string(fleet.workers) + "\n";
+  if (fleet.hosts.empty()) {
+    // Degenerate fleet syntax (workers key only): the base body is the
+    // single host.
+    serialize_body(fleet.base, out);
+    return out;
+  }
+  // Hosts are emitted fully expanded with no shared base body, so the
+  // overlay order of the original document cannot change what a section
+  // means when the canonical form is reparsed.
+  for (const auto& [name, scenario] : fleet.hosts) {
+    SA_REQUIRE(name.find('"') == std::string::npos &&
+                   name.find('\n') == std::string::npos,
+               "host names with quotes or newlines cannot be serialized");
+    out += "[host \"" + name + "\"]\n";
+    serialize_body(scenario, out);
+  }
+  return out;
 }
 
 }  // namespace stayaway::harness

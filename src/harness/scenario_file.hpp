@@ -51,6 +51,12 @@ PolicyKind policy_kind_from_string(const std::string& name);
 
 struct Scenario {
   ExperimentSpec spec;
+  /// Workload kind as written ("constant" or "diurnal"); spec.workload
+  /// holds the trace it materialized into. Retained so serialization
+  /// round-trips — same kind + cycles + seed + duration regenerates the
+  /// identical trace.
+  std::string workload = "constant";
+  double workload_cycles = 1.5;
   /// Also run the no-prevention and isolated references and report the
   /// gained utilization / violation comparison.
   bool compare = false;
@@ -79,9 +85,12 @@ struct FleetScenario {
 /// Parses a scenario document. Unknown keys, malformed lines, invalid
 /// values, duplicate VM names and unknown fault/metric kinds throw
 /// PreconditionError naming the offending line. Empty lines and '#'
-/// comments are ignored; keys may appear at most once, except the
-/// list-building `fault` and `vm` keys. Rejects fleet syntax — use
-/// parse_fleet_scenario for documents with [host] sections.
+/// comments are ignored ('#' inside a quoted value is literal); keys may
+/// appear at most once, except the list-building `fault` and `vm` keys.
+/// Values may be double-quoted ("a # b") with \\ \" \n \t \r escapes —
+/// required when a value contains '#', a quote, or significant leading/
+/// trailing whitespace. Rejects fleet syntax — use parse_fleet_scenario
+/// for documents with [host] sections.
 Scenario parse_scenario(std::istream& in);
 
 /// Parses a scenario document that may contain [host "name"] sections
@@ -90,5 +99,19 @@ Scenario parse_scenario(std::istream& in);
 /// parse_scenario's result. Section names must be unique and non-empty;
 /// per-section keys may override any base key once.
 FleetScenario parse_fleet_scenario(std::istream& in);
+
+/// Canonical scenario-document form of a parsed scenario: every spec
+/// scalar written explicitly with exact-round-trip numbers, values
+/// quoted when they need it. parse_scenario(serialize_scenario(s))
+/// reproduces s, and serialize ∘ parse is a fixed point (pinned in
+/// tests/test_scenario_file.cpp). The run-log recorder (DESIGN.md §14)
+/// embeds scenarios through this.
+std::string serialize_scenario(const Scenario& scenario);
+
+/// Fleet documents serialize with the workers key first and every host
+/// as a fully expanded [host "name"] section (no inherited base keys —
+/// overlay ordering cannot change what a section means). Plain
+/// documents serialize exactly like serialize_scenario.
+std::string serialize_fleet_scenario(const FleetScenario& fleet);
 
 }  // namespace stayaway::harness

@@ -1,0 +1,57 @@
+// Seeded scenario fuzzer (DESIGN.md §14): mutates workload / fault /
+// fleet plans within declared validity bounds, runs a budgeted batch of
+// recorded fleet runs hunting controller instabilities, and shrinks any
+// finding to a minimal replayable RunLog. Fully deterministic: every
+// draw flows through one seeded Rng, so a (seed, budget) pair always
+// reproduces the same findings (pinned by tests/test_replay.cpp and the
+// stayaway_lint deterministic-random rule, which covers src/replay/).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario_file.hpp"
+#include "replay/run_log.hpp"
+
+namespace stayaway::replay {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  /// Scenario mutations attempted (shrink re-runs ride the same budget).
+  std::size_t runs = 8;
+  /// Total host-periods simulated before the batch stops, shrinking
+  /// included (~60 s of wall clock at the default scenario sizes).
+  std::size_t max_periods = 12000;
+};
+
+/// One controller-instability detector verdict over a recorded run.
+/// Detector names are stable identifiers — regression-log filenames and
+/// CHANGES entries use them.
+struct FuzzFinding {
+  std::string detector;
+  /// Which mutation (0-based) of the batch produced it.
+  std::size_t run_index = 0;
+  /// Shrunk, replayable run-log with `detector` stamped into it.
+  RunLog log;
+};
+
+struct FuzzReport {
+  std::size_t runs_executed = 0;
+  std::size_t periods_executed = 0;
+  std::vector<FuzzFinding> findings;
+};
+
+/// Scans one host's record stream for instabilities: non-finite map
+/// coordinates, beta outside [beta_initial, beta_max], pause/resume
+/// thrash, Normal<->Degraded flapping, a stuck actuation ledger, and
+/// batch starvation. Returns the first detector that fires.
+std::optional<std::string> detect_instability(
+    const std::vector<core::PeriodRecord>& records,
+    const core::GovernorConfig& governor);
+
+/// Runs the budgeted fuzz batch: mutate, record, detect, shrink.
+FuzzReport fuzz_scenarios(const FuzzConfig& config);
+
+}  // namespace stayaway::replay

@@ -1,0 +1,275 @@
+#include "replay/run_log.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace stayaway::replay {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw PreconditionError("run-log line " + std::to_string(line) + ": " +
+                          message);
+}
+
+/// Fixed field order of a serialized PeriodRecord line. Order is part of
+/// the format: replay byte-diffs lines, so two encodings of one record
+/// must not exist.
+constexpr const char* kFieldOrder[] = {
+    "t",     "mode",  "x",      "y",    "rep",    "newrep", "vobs",
+    "vpred", "model", "act",    "paused", "stress", "beta",  "deg",
+    "qdims", "stale", "qosvis", "retries", "pending",
+};
+constexpr std::size_t kFieldCount = sizeof(kFieldOrder) / sizeof(*kFieldOrder);
+
+class FieldReader {
+ public:
+  explicit FieldReader(const std::string& line) : in_(line) {}
+
+  std::string next(std::size_t index) {
+    SA_DCHECK(index < kFieldCount, "field index out of range");
+    std::string token;
+    if (!(in_ >> token)) {
+      throw PreconditionError("period record truncated before field '" +
+                              std::string(kFieldOrder[index]) + "'");
+    }
+    std::string prefix = std::string(kFieldOrder[index]) + "=";
+    if (token.rfind(prefix, 0) != 0) {
+      throw PreconditionError("period record expected field '" +
+                              std::string(kFieldOrder[index]) + "', got '" +
+                              token + "'");
+    }
+    return token.substr(prefix.size());
+  }
+
+  void finish() {
+    std::string extra;
+    if (in_ >> extra) {
+      throw PreconditionError("trailing token in period record: '" + extra +
+                              "'");
+    }
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+double to_double(const std::string& value) {
+  // strtod accepts the full format_double_exact range including
+  // inf/-inf/nan (non-finite map coordinates are exactly what fuzz
+  // regression logs exist to capture).
+  std::size_t pos = 0;
+  double v = std::stod(value, &pos);
+  if (pos != value.size()) {
+    throw PreconditionError("trailing characters in number '" + value + "'");
+  }
+  return v;
+}
+
+std::uint64_t to_u64(const std::string& value) {
+  std::uint64_t v = 0;
+  if (!parse_u64(value, v)) {
+    throw PreconditionError("expected an unsigned integer, got '" + value +
+                            "'");
+  }
+  return v;
+}
+
+bool to_bool(const std::string& value) {
+  if (value == "1") return true;
+  if (value == "0") return false;
+  throw PreconditionError("expected 0/1, got '" + value + "'");
+}
+
+}  // namespace
+
+std::string serialize_period_record(const core::PeriodRecord& rec) {
+  std::string out;
+  auto field = [&out](const char* key, const std::string& value) {
+    if (!out.empty()) out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  auto num = [&field](const char* key, double v) {
+    field(key, format_double_exact(v));
+  };
+  auto count = [&field](const char* key, std::size_t v) {
+    field(key, std::to_string(v));
+  };
+  auto flag = [&field](const char* key, bool v) { field(key, v ? "1" : "0"); };
+  num("t", rec.time);
+  count("mode", static_cast<std::size_t>(rec.mode));
+  num("x", rec.state.x);
+  num("y", rec.state.y);
+  count("rep", rec.representative);
+  flag("newrep", rec.new_representative);
+  flag("vobs", rec.violation_observed);
+  flag("vpred", rec.violation_predicted);
+  flag("model", rec.model_ready);
+  count("act", static_cast<std::size_t>(rec.action));
+  flag("paused", rec.batch_paused_after);
+  num("stress", rec.stress);
+  num("beta", rec.beta);
+  count("deg", static_cast<std::size_t>(rec.degradation));
+  count("qdims", rec.quarantined_dims);
+  count("stale", rec.max_staleness);
+  flag("qosvis", rec.qos_visible);
+  count("retries", rec.actuation_retries);
+  flag("pending", rec.actuation_pending);
+  return out;
+}
+
+core::PeriodRecord parse_period_record(const std::string& line) {
+  FieldReader fields(line);
+  std::size_t i = 0;
+  core::PeriodRecord rec;
+  rec.time = to_double(fields.next(i++));
+  std::uint64_t mode = to_u64(fields.next(i++));
+  if (mode >= monitor::kExecutionModeCount) {
+    throw PreconditionError("execution mode out of range");
+  }
+  rec.mode = static_cast<monitor::ExecutionMode>(mode);
+  rec.state.x = to_double(fields.next(i++));
+  rec.state.y = to_double(fields.next(i++));
+  rec.representative = static_cast<std::size_t>(to_u64(fields.next(i++)));
+  rec.new_representative = to_bool(fields.next(i++));
+  rec.violation_observed = to_bool(fields.next(i++));
+  rec.violation_predicted = to_bool(fields.next(i++));
+  rec.model_ready = to_bool(fields.next(i++));
+  std::uint64_t act = to_u64(fields.next(i++));
+  if (act > 2) throw PreconditionError("throttle action out of range");
+  rec.action = static_cast<core::ThrottleAction>(act);
+  rec.batch_paused_after = to_bool(fields.next(i++));
+  rec.stress = to_double(fields.next(i++));
+  rec.beta = to_double(fields.next(i++));
+  std::uint64_t deg = to_u64(fields.next(i++));
+  if (deg > 2) throw PreconditionError("degradation state out of range");
+  rec.degradation = static_cast<core::DegradationState>(deg);
+  rec.quarantined_dims = static_cast<std::size_t>(to_u64(fields.next(i++)));
+  rec.max_staleness = static_cast<std::size_t>(to_u64(fields.next(i++)));
+  rec.qos_visible = to_bool(fields.next(i++));
+  rec.actuation_retries = static_cast<std::size_t>(to_u64(fields.next(i++)));
+  rec.actuation_pending = to_bool(fields.next(i++));
+  fields.finish();
+  return rec;
+}
+
+std::string serialize_run_log(const RunLog& log) {
+  std::string out = "stayaway-runlog v" + std::to_string(RunLog::kVersion) +
+                    "\n";
+  if (!log.detector.empty()) out += "detector = " + log.detector + "\n";
+  // The scenario block is framed by an exact line count, so its body
+  // needs no escaping and can never be confused with log keywords.
+  std::size_t scenario_lines = 0;
+  for (char c : log.scenario_text) {
+    if (c == '\n') ++scenario_lines;
+  }
+  std::string scenario = log.scenario_text;
+  if (!scenario.empty() && scenario.back() != '\n') {
+    scenario += '\n';
+    ++scenario_lines;
+  }
+  out += "scenario " + std::to_string(scenario_lines) + "\n";
+  out += scenario;
+  for (const HostStream& host : log.hosts) {
+    out += "records \"" + host.name + "\" " +
+           std::to_string(host.records.size()) + "\n";
+    for (const std::string& line : host.records) {
+      out += line;
+      out += '\n';
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+RunLog parse_run_log(std::istream& in) {
+  RunLog log;
+  std::string line;
+  std::size_t line_no = 0;
+  auto read_line = [&in, &line, &line_no](const char* what) {
+    if (!std::getline(in, line)) {
+      fail(line_no + 1, std::string("unexpected end of log (expected ") +
+                            what + ")");
+    }
+    ++line_no;
+  };
+
+  read_line("header");
+  if (line != "stayaway-runlog v" + std::to_string(RunLog::kVersion)) {
+    fail(line_no, "bad header '" + line + "' (expected stayaway-runlog v" +
+                      std::to_string(RunLog::kVersion) + ")");
+  }
+  read_line("detector or scenario");
+  if (line.rfind("detector = ", 0) == 0) {
+    log.detector = line.substr(11);
+    read_line("scenario");
+  }
+  if (line.rfind("scenario ", 0) != 0) {
+    fail(line_no, "expected 'scenario <line-count>', got '" + line + "'");
+  }
+  std::uint64_t scenario_lines = 0;
+  if (!parse_u64(line.substr(9), scenario_lines)) {
+    fail(line_no, "bad scenario line count '" + line.substr(9) + "'");
+  }
+  for (std::uint64_t i = 0; i < scenario_lines; ++i) {
+    read_line("scenario body");
+    log.scenario_text += line;
+    log.scenario_text += '\n';
+  }
+
+  read_line("records or end");
+  while (line != "end") {
+    if (line.rfind("records \"", 0) != 0) {
+      fail(line_no, "expected 'records \"<host>\" <count>', got '" + line +
+                        "'");
+    }
+    std::size_t close = line.find('"', 9);
+    if (close == std::string::npos || close + 2 > line.size() ||
+        line[close + 1] != ' ') {
+      fail(line_no, "malformed records header");
+    }
+    HostStream host;
+    host.name = line.substr(9, close - 9);
+    if (host.name.empty()) fail(line_no, "empty host name");
+    std::uint64_t count = 0;
+    if (!parse_u64(line.substr(close + 2), count)) {
+      fail(line_no, "bad record count '" + line.substr(close + 2) + "'");
+    }
+    host.records.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      read_line("record line");
+      host.records.push_back(line);
+    }
+    for (const HostStream& existing : log.hosts) {
+      if (existing.name == host.name) {
+        fail(line_no, "duplicate host stream '" + host.name + "'");
+      }
+    }
+    log.hosts.push_back(std::move(host));
+    read_line("records or end");
+  }
+  return log;
+}
+
+void save_run_log(const RunLog& log, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SA_REQUIRE(out.good(), "cannot open run-log for writing: " + path);
+  std::string text = serialize_run_log(log);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  SA_REQUIRE(out.good(), "failed writing run-log: " + path);
+}
+
+RunLog load_run_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SA_REQUIRE(in.good(), "cannot open run-log: " + path);
+  return parse_run_log(in);
+}
+
+}  // namespace stayaway::replay

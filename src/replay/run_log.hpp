@@ -1,0 +1,65 @@
+// Versioned run-log (DESIGN.md §14): everything needed to re-execute a
+// fleet run deterministically — the canonical serialized scenario
+// (effective config, fleet layout, per-host seeds, fault plan) plus the
+// PeriodRecord stream each host emitted, one serialized line per period.
+// Replay re-runs the embedded scenario and byte-diffs the fresh lines
+// against the recorded ones; because record lines round-trip exactly
+// (format_double_exact), a byte-equal stream is a field-equal stream.
+//
+// Format (text, line oriented):
+//
+//   stayaway-runlog v1
+//   detector = beta-out-of-band        # only on fuzzer regression logs
+//   scenario <line-count>
+//   ...canonical scenario document, exactly <line-count> lines...
+//   records "host0" <period-count>
+//   ...one serialized PeriodRecord per line...
+//   records "host1" <period-count>
+//   ...
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/period.hpp"
+
+namespace stayaway::replay {
+
+/// One host's recorded stream: the serialized PeriodRecord lines in
+/// emission order.
+struct HostStream {
+  std::string name;
+  std::vector<std::string> records;
+};
+
+struct RunLog {
+  static constexpr int kVersion = 1;
+  /// Fuzz-detector tag for regression logs ("" on plain recordings).
+  std::string detector;
+  /// Canonical scenario document (serialize_fleet_scenario output).
+  std::string scenario_text;
+  std::vector<HostStream> hosts;
+};
+
+/// Canonical single-line form of a PeriodRecord, with exact-round-trip
+/// doubles. parse_period_record inverts it field-for-field, so byte
+/// equality of lines is equivalent to PeriodRecord equality.
+std::string serialize_period_record(const core::PeriodRecord& rec);
+
+/// Inverse of serialize_period_record; throws PreconditionError on a
+/// malformed line (wrong field order, unknown key, bad number).
+core::PeriodRecord parse_period_record(const std::string& line);
+
+std::string serialize_run_log(const RunLog& log);
+
+/// Parses a run-log document; throws PreconditionError naming the
+/// offending line on version/framing errors.
+RunLog parse_run_log(std::istream& in);
+
+/// File convenience wrappers; throw PreconditionError on I/O failure.
+void save_run_log(const RunLog& log, const std::string& path);
+RunLog load_run_log(const std::string& path);
+
+}  // namespace stayaway::replay

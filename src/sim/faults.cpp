@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/strings.hpp"
 
 namespace stayaway::sim {
 
@@ -140,6 +141,18 @@ FaultSpec parse_fault_spec(const std::string& text, std::size_t line_no) {
   return spec;
 }
 
+std::string to_spec_string(const FaultSpec& spec) {
+  std::string out = to_string(spec.kind);
+  out += " start=" + format_double_exact(spec.start_s);
+  if (std::isfinite(spec.end_s)) {
+    out += " end=" + format_double_exact(spec.end_s);
+  }
+  out += " p=" + format_double_exact(spec.probability);
+  out += " mag=" + format_double_exact(spec.magnitude);
+  out += " dim=" + std::to_string(spec.dimension);
+  return out;
+}
+
 FaultPlan parse_fault_plan(std::istream& in) {
   FaultPlan plan;
   bool seed_seen = false;
@@ -163,7 +176,12 @@ FaultPlan parse_fault_plan(std::istream& in) {
     if (key == "seed") {
       if (seed_seen) fail(line_no, "duplicate key 'seed'");
       seed_seen = true;
-      plan.seed = static_cast<std::uint64_t>(parse_double(line_no, value));
+      // Plain decimal parses the full 64-bit range; going through a
+      // double truncates every seed above 2^53. The double fallback
+      // keeps historical forms like `seed = 1e6` working.
+      if (!parse_u64(value, plan.seed)) {
+        plan.seed = static_cast<std::uint64_t>(parse_double(line_no, value));
+      }
     } else if (key == "fault") {
       plan.faults.push_back(parse_fault_spec(value, line_no));
     } else {

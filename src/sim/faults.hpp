@@ -75,6 +75,12 @@ struct FaultPlan {
 /// p, mag, dim. Errors throw PreconditionError naming `line_no`.
 FaultSpec parse_fault_spec(const std::string& text, std::size_t line_no);
 
+/// Canonical single-line form of a spec, parseable by parse_fault_spec:
+/// `<kind> start=<s> [end=<s>] p=<p> mag=<m> dim=<d>` (end omitted for
+/// an unbounded window). parse_fault_spec(to_spec_string(s)) == s for
+/// every valid spec — the recorder serializes fault plans through this.
+std::string to_spec_string(const FaultSpec& spec);
+
 /// Parses the fault-plan text format consumed by `stayaway_sim --faults`:
 ///
 ///   # 20% sensor dropout while the batch job runs, then QoS blindness

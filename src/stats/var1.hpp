@@ -16,7 +16,11 @@ namespace stayaway::stats {
 class Var1Model {
  public:
   /// Fits on a time-ordered sequence of equal-length state vectors by
-  /// per-dimension ridge least squares. Requires at least dim+2 samples.
+  /// per-dimension ridge least squares. Requires at least dim+2 finite
+  /// samples. A near-singular design escalates the ridge until the
+  /// solve conditions, so fitted coefficients are always finite; predict
+  /// saturates at a huge-but-finite clamp, so forecasts of an unstable
+  /// model never reach inf/NaN (pinned in tests/test_stats.cpp).
   static Var1Model fit(const std::vector<std::vector<double>>& series,
                        double ridge = 1e-6);
 

@@ -9,14 +9,31 @@ namespace stayaway::stats {
 
 ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
   SA_REQUIRE(n > 0, "zipf needs a non-empty keyspace");
-  SA_REQUIRE(exponent >= 0.0, "zipf exponent must be non-negative");
+  SA_REQUIRE(std::isfinite(exponent) && exponent >= 0.0,
+             "zipf exponent must be finite and non-negative");
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    // Very large exponents make pow overflow to inf; its reciprocal is a
+    // clean 0 (the tail carries no mass), never a NaN. The k = 0 term is
+    // exactly 1, so acc >= 1 and the normalization below cannot divide
+    // by zero.
+    double weight = 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    acc += weight;
     cdf_[k] = acc;
   }
-  for (double& v : cdf_) v /= acc;
+  SA_CHECK(std::isfinite(acc) && acc >= 1.0,
+           "zipf normalizer must be finite and >= 1");
+  // Normalize and force exact monotonicity: around s ~= 1 the division
+  // can round adjacent entries out of order by one ulp, which would
+  // break upper_bound's precondition in sample() and make mass() return
+  // a tiny negative probability.
+  double prev = 0.0;
+  for (double& v : cdf_) {
+    v = std::min(v / acc, 1.0);
+    if (v < prev) v = prev;
+    prev = v;
+  }
   cdf_.back() = 1.0;
 }
 

@@ -1,6 +1,8 @@
 #include "util/strings.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace stayaway {
 
@@ -15,6 +17,32 @@ std::string format_double(double v, int precision) {
   }
   if (s == "-0") s = "0";
   return s;
+}
+
+std::string format_double_exact(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0.0 ? "inf" : "-inf";
+  char buf[64];
+  // 15 digits suffice for most values; some need 16 or 17 to survive the
+  // decimal round trip bit-exactly.
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t acc = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (acc > (UINT64_MAX - digit) / 10) return false;  // overflow
+    acc = acc * 10 + digit;
+  }
+  out = acc;
+  return true;
 }
 
 std::string pad_left(const std::string& s, std::size_t width) {

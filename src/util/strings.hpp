@@ -1,6 +1,7 @@
 // Small string/number formatting helpers shared across modules.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,17 @@ namespace stayaway {
 
 /// Formats v with fixed precision, trimming trailing zeros ("1.5", "0.001").
 std::string format_double(double v, int precision);
+
+/// Shortest %g form of v that strtod parses back to the identical value
+/// ("0.1", not "0.100000000000000006"); "inf"/"-inf"/"nan" for the
+/// non-finite values. The exact round-trip is what record/replay's
+/// byte-diff guarantee rests on (DESIGN.md §14).
+std::string format_double_exact(double v);
+
+/// Parses a full plain decimal u64 into out; false when text has signs,
+/// spaces, trailing characters or overflows. Seeds must go through this
+/// rather than a double parse — a 64-bit seed truncates above 2^53.
+bool parse_u64(const std::string& text, std::uint64_t& out);
 
 /// Left-pads s with spaces to the given width.
 std::string pad_left(const std::string& s, std::size_t width);

@@ -92,6 +92,67 @@ TEST(FleetHostSeed, SplitsAreDeterministicAndDecorrelated) {
   }
 }
 
+TEST(FleetHostSeed, NoAdditiveLatticeCollisions) {
+  // Regression: the original mixer finalized `base + gamma * (i + 1)`,
+  // so f(base + gamma, i) == f(base, i + 1) — two fleets whose base
+  // seeds differ by the golden-ratio constant shared shifted host
+  // streams. The current construction must not.
+  const std::uint64_t gamma = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t base : {1ULL, 99ULL, 424242ULL}) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_NE(core::fleet_host_seed(base + gamma, i),
+                core::fleet_host_seed(base, i + 1))
+          << "lattice collision at base " << base << " host " << i;
+      EXPECT_NE(core::fleet_host_seed(base - gamma, i + 1),
+                core::fleet_host_seed(base, i))
+          << "lattice collision at base " << base << " host " << i;
+    }
+  }
+}
+
+TEST(FleetHostSeed, SplitsAreStatisticallyIndependent) {
+  // Avalanche: flipping host index or one base bit should flip ~half of
+  // the 64 output bits. Averaged over many pairs, the per-bit flip rate
+  // must sit near 0.5 — the additive lattice construction fails this
+  // badly (adjacent indices differed by a constant before finalizing).
+  auto popcount = [](std::uint64_t v) {
+    int n = 0;
+    for (; v != 0; v &= v - 1) ++n;
+    return n;
+  };
+  double flips = 0.0;
+  int pairs = 0;
+  for (std::uint64_t base = 1; base <= 64; ++base) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      flips += popcount(core::fleet_host_seed(base, i) ^
+                        core::fleet_host_seed(base, i + 1));
+      flips += popcount(core::fleet_host_seed(base, i) ^
+                        core::fleet_host_seed(base ^ (1ULL << (i * 7)), i));
+      pairs += 2;
+    }
+  }
+  double mean_flips = flips / pairs;
+  EXPECT_GT(mean_flips, 28.0);
+  EXPECT_LT(mean_flips, 36.0);
+
+  // Bit balance: across many splits every output bit position should be
+  // set about half the time.
+  for (int bit = 0; bit < 64; ++bit) {
+    int set = 0;
+    int total = 0;
+    for (std::uint64_t base = 1; base <= 32; ++base) {
+      for (std::size_t i = 0; i < 16; ++i) {
+        set += static_cast<int>((core::fleet_host_seed(base * 11, i) >> bit) &
+                                1u);
+        ++total;
+      }
+    }
+    double frac = static_cast<double>(set) / total;
+    EXPECT_GT(frac, 0.3) << "bit " << bit << " stuck low";
+    EXPECT_LT(frac, 0.7) << "bit " << bit << " stuck high";
+  }
+}
+
 TEST(Fleet, SingleHostMatchesExperimentByteIdentical) {
   ExperimentSpec spec = short_spec(PolicyKind::StayAway);
   ExperimentResult solo = run_experiment(spec);

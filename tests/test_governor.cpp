@@ -1,8 +1,14 @@
 // Unit tests for the throttle governor (§3.3): pause triggers, beta-based
-// resume, failed-resume learning and anti-starvation.
+// resume, failed-resume learning, anti-starvation, and the actuator's
+// retry/backoff ledger edge cases (abandonment rollback, failsafe
+// re-latch) against a fake actuation port.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/governor.hpp"
+#include "core/stages/actuator.hpp"
 #include "util/check.hpp"
 
 namespace stayaway::core {
@@ -200,6 +206,194 @@ TEST(Governor, ActionNamesStable) {
   EXPECT_STREQ(to_string(ThrottleAction::None), "none");
   EXPECT_STREQ(to_string(ThrottleAction::Pause), "pause");
   EXPECT_STREQ(to_string(ThrottleAction::Resume), "resume");
+}
+
+TEST(Governor, AbandonPauseClearsTheLedger) {
+  // An abandoned pause must not leak its starvation clock into the next
+  // (externally observed) pause: patience is 20 s, so inheriting the
+  // t=0 clock at t=25 would instantly fire the lottery.
+  ThrottleGovernor gov(test_config(), Rng(1));  // probability 1.0
+  EXPECT_EQ(gov.decide(0.0, false, true, false, {0.0, 0.0}),
+            ThrottleAction::Pause);
+  gov.abandon_pause();
+  EXPECT_EQ(gov.decide(25.0, true, false, false, {0.0, 0.0}),
+            ThrottleAction::None);
+  EXPECT_EQ(gov.decide(26.0, true, false, false, {0.0, 0.0}),
+            ThrottleAction::None);
+  EXPECT_EQ(gov.random_resumes(), 0u);
+}
+
+/// Fake actuation port with switchable pause/resume delivery, tracking
+/// what is actually paused on the "host".
+class FakePort final : public ActuationPort {
+ public:
+  double time = 0.0;
+  bool pause_ok = true;
+  bool resume_ok = true;
+  std::vector<sim::VmId> batch = {1, 2};
+  std::vector<sim::VmId> paused;
+
+  double now() const override { return time; }
+  std::vector<VmFootprint> batch_footprints() const override {
+    std::vector<VmFootprint> out;
+    for (sim::VmId id : batch) out.push_back({id, 1.0});
+    return out;
+  }
+  std::vector<sim::VmId> present_batch() const override { return batch; }
+  std::vector<sim::VmId> all_batch() const override { return batch; }
+  std::vector<sim::VmId> demotion_candidates() const override { return {}; }
+  ResourceUtilization utilization() const override { return {}; }
+  bool pause(sim::VmId id) override {
+    if (!pause_ok) return false;
+    if (std::find(paused.begin(), paused.end(), id) == paused.end()) {
+      paused.push_back(id);
+    }
+    return true;
+  }
+  bool resume(sim::VmId id) override {
+    if (!resume_ok) return false;
+    paused.erase(std::remove(paused.begin(), paused.end(), id), paused.end());
+    return true;
+  }
+};
+
+StayAwayConfig actuator_config() {
+  StayAwayConfig cfg;
+  cfg.governor.random_resume_probability = 0.0;
+  cfg.degradation.actuation_max_retries = 2;
+  cfg.degradation.actuation_backoff_periods = 1;
+  return cfg;
+}
+
+PeriodRecord period_at(double t, bool observed = false,
+                       mds::Point2 state = {0.0, 0.0}) {
+  PeriodRecord rec;
+  rec.time = t;
+  rec.violation_observed = observed;
+  rec.state = state;
+  return rec;
+}
+
+TEST(ActuatorLedger, AbandonedPauseRollsBackTheBooks) {
+  GovernorActuator actuator(actuator_config());
+  FakePort port;
+  port.pause_ok = false;  // the channel drops every pause command
+
+  PeriodRecord rec = period_at(0.0, /*observed=*/true);
+  port.time = 0.0;
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  EXPECT_EQ(rec.action, ThrottleAction::Pause);
+  EXPECT_TRUE(rec.actuation_pending);
+  EXPECT_TRUE(rec.batch_paused_after);
+
+  // Retries at t=1 (attempt 2) and t=3 (attempt 3 > budget 2): abandon.
+  for (double t : {1.0, 2.0, 3.0}) {
+    rec = period_at(t);
+    port.time = t;
+    actuator.act(port, rec, DegradationState::Normal, nullptr);
+  }
+  // Nothing was ever paused on the host; the books must say so instead
+  // of leaving the governor reasoning in its paused branch over a
+  // running system.
+  EXPECT_FALSE(rec.actuation_pending);
+  EXPECT_FALSE(rec.batch_paused_after);
+  EXPECT_FALSE(actuator.batch_paused());
+  EXPECT_TRUE(actuator.throttled().empty());
+  EXPECT_TRUE(port.paused.empty());
+  EXPECT_EQ(actuator.actuation_abandoned(), 2u);
+
+  // A later violation pauses from the running branch, proving the
+  // governor's ledger was rolled back too.
+  port.pause_ok = true;
+  rec = period_at(10.0, /*observed=*/true);
+  port.time = 10.0;
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  EXPECT_EQ(rec.action, ThrottleAction::Pause);
+  EXPECT_EQ(port.paused.size(), 2u);
+}
+
+TEST(ActuatorLedger, AbandonedResumeKeepsPausedBooks) {
+  StayAwayConfig cfg = actuator_config();
+  cfg.degradation.actuation_max_retries = 1;
+  GovernorActuator actuator(cfg);
+  FakePort port;
+
+  // Deliver a pause, then break the resume channel.
+  port.time = 0.0;
+  PeriodRecord rec = period_at(0.0, /*observed=*/true);
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  ASSERT_EQ(port.paused.size(), 2u);
+
+  port.resume_ok = false;
+  port.time = 1.0;
+  rec = period_at(1.0);  // seeds the distance chain
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  port.time = 2.0;
+  rec = period_at(2.0, false, {1.0, 1.0});  // movement >> beta
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  EXPECT_EQ(rec.action, ThrottleAction::Resume);
+  EXPECT_TRUE(rec.actuation_pending);
+
+  // Retry at t=3 exhausts the budget of 1: the VMs are still paused on
+  // the host, so the books must return to paused instead of starving
+  // them forever behind a "running" flag.
+  port.time = 3.0;
+  rec = period_at(3.0, false, {1.0, 1.0});
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  EXPECT_FALSE(rec.actuation_pending);
+  EXPECT_TRUE(rec.batch_paused_after);
+  EXPECT_TRUE(actuator.batch_paused());
+  EXPECT_EQ(actuator.throttled().size(), 2u);
+  EXPECT_EQ(port.paused.size(), 2u);
+
+  // Once the channel heals, a beta-exceeded resume releases them.
+  port.resume_ok = true;
+  port.time = 4.0;
+  rec = period_at(4.0, false, {2.0, 2.0});
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  EXPECT_EQ(rec.action, ThrottleAction::Resume);
+  EXPECT_TRUE(port.paused.empty());
+  EXPECT_FALSE(actuator.batch_paused());
+}
+
+TEST(ActuatorLedger, AbandonedFailsafeReleaseRelatchesFailsafe) {
+  StayAwayConfig cfg = actuator_config();
+  cfg.degradation.actuation_max_retries = 1;
+  GovernorActuator actuator(cfg);
+  FakePort port;
+
+  // QoS-blind failsafe: every batch VM is paused.
+  port.time = 0.0;
+  PeriodRecord rec = period_at(0.0);
+  actuator.act(port, rec, DegradationState::Failsafe, nullptr);
+  EXPECT_EQ(rec.action, ThrottleAction::Pause);
+  ASSERT_EQ(port.paused.size(), 2u);
+
+  // Telemetry recovers but the resume channel is dead: the release is
+  // issued, retried once, and abandoned.
+  port.resume_ok = false;
+  port.time = 1.0;
+  rec = period_at(1.0);
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  EXPECT_EQ(rec.action, ThrottleAction::Resume);
+  EXPECT_TRUE(rec.actuation_pending);
+
+  // Abandonment must re-latch the failsafe (the VMs are still paused),
+  // so the very same period retries the release instead of dropping it.
+  port.time = 2.0;
+  rec = period_at(2.0);
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  EXPECT_EQ(rec.action, ThrottleAction::Resume);
+  EXPECT_TRUE(rec.batch_paused_after || rec.actuation_pending);
+
+  // Channel heals: the pending release is delivered by reconciliation.
+  port.resume_ok = true;
+  port.time = 3.0;
+  rec = period_at(3.0);
+  actuator.act(port, rec, DegradationState::Normal, nullptr);
+  EXPECT_TRUE(port.paused.empty());
+  EXPECT_FALSE(actuator.batch_paused());
+  EXPECT_FALSE(rec.actuation_pending);
 }
 
 }  // namespace

@@ -303,5 +303,131 @@ TEST(FleetScenarioFile, PlainParserRejectsFleetSyntax) {
   EXPECT_THROW(parse("[host \"a\"]\n"), PreconditionError);
 }
 
+TEST(ScenarioFile, QuotedValuesAndEscapes) {
+  Scenario s = parse(
+      "series_csv = \"runs/a b.csv\"\n"
+      "template_out = \"tab\\tnl\\nq\\\"bs\\\\.csv\"\n");
+  EXPECT_EQ(*s.series_csv, "runs/a b.csv");
+  EXPECT_EQ(*s.template_out, "tab\tnl\nq\"bs\\.csv");
+}
+
+TEST(ScenarioFile, HashInsideQuotesIsNotAComment) {
+  Scenario s = parse("series_csv = \"run#3.csv\"  # real comment\n");
+  EXPECT_EQ(*s.series_csv, "run#3.csv");
+}
+
+TEST(ScenarioFile, QuotingErrorsNameTheLine) {
+  for (const char* bad :
+       {"seed = 1\nseries_csv = \"open\n",
+        "seed = 1\nseries_csv = \"a\" trailing\n",
+        "seed = 1\nseries_csv = \"bad\\x\"\n",
+        "seed = 1\nseries_csv = \"dangling\\\n"}) {
+    try {
+      parse(bad);
+      FAIL() << "should have thrown: " << bad;
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ScenarioFile, SeedsParseAsFullUint64) {
+  // Doubles cannot hold this value exactly; a parse through strtod
+  // would silently round it.
+  Scenario s = parse("seed = 18446744073709551615\n"
+                     "fault_seed = 9007199254740993\n"
+                     "fault = qos-blind start=1 end=2\n");
+  EXPECT_EQ(s.spec.seed, 18446744073709551615ULL);
+  EXPECT_EQ(s.spec.faults->seed, 9007199254740993ULL);
+}
+
+TEST(ScenarioFile, GovernorKeysParse) {
+  Scenario s = parse(R"(
+    beta_increment = 0.01
+    beta_max = 0.5
+    resume_grace_s = 7
+    starvation_patience_s = 33
+    random_resume_probability = 0.25
+  )");
+  EXPECT_DOUBLE_EQ(s.spec.stayaway.governor.beta_increment, 0.01);
+  EXPECT_DOUBLE_EQ(s.spec.stayaway.governor.beta_max, 0.5);
+  EXPECT_DOUBLE_EQ(s.spec.stayaway.governor.resume_grace_s, 7.0);
+  EXPECT_DOUBLE_EQ(s.spec.stayaway.governor.starvation_patience_s, 33.0);
+  EXPECT_DOUBLE_EQ(s.spec.stayaway.governor.random_resume_probability, 0.25);
+}
+
+TEST(ScenarioFile, SerializeParseSerializeIsAFixedPoint) {
+  FleetScenario doc = parse_fleet(R"(
+    sensitive = webservice-mix
+    batch = soplex
+    policy = stay-away
+    duration_s = 45
+    seed = 18446744073709551615
+    workload = diurnal
+    workload_cycles = 2.5
+    beta_increment = 0.0125
+    metrics = cpu,mem
+    vm = extra one:membomb:12.5
+    fault_seed = 7
+    fault = sensor-dropout start=3 end=9 p=0.25 dim=1
+    fault = resume-fail start=12 p=0.5
+  )");
+  std::string once = serialize_fleet_scenario(doc);
+  FleetScenario back = parse_fleet(once);
+  std::string twice = serialize_fleet_scenario(back);
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(back.base.spec.seed, doc.base.spec.seed);
+  ASSERT_TRUE(back.base.spec.faults.has_value());
+  EXPECT_EQ(back.base.spec.faults->faults.size(), 2u);
+  ASSERT_EQ(back.base.spec.extra_batch.size(), 1u);
+  EXPECT_EQ(back.base.spec.extra_batch[0].name, "extra one");
+}
+
+TEST(FleetScenarioFile, FleetSerializeParseSerializeIsAFixedPoint) {
+  FleetScenario doc = parse_fleet(R"(
+    sensitive = vlc-stream
+    batch = twitter-analysis
+    duration_s = 30
+    workers = 3
+    [host "web a"]
+    seed = 5
+    fault = qos-blind start=4 end=8
+    [host "web-b"]
+    batch = cpubomb
+  )");
+  std::string once = serialize_fleet_scenario(doc);
+  FleetScenario back = parse_fleet(once);
+  std::string twice = serialize_fleet_scenario(back);
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(back.workers, 3u);
+  ASSERT_EQ(back.hosts.size(), 2u);
+  // Overlay ordering survives: host sections come back in declaration
+  // order with their overridden values materialized.
+  EXPECT_EQ(back.hosts[0].first, "web a");
+  EXPECT_EQ(back.hosts[0].second.spec.seed, 5u);
+  EXPECT_TRUE(back.hosts[0].second.spec.faults.has_value());
+  EXPECT_EQ(back.hosts[1].first, "web-b");
+  EXPECT_EQ(back.hosts[1].second.spec.batch, BatchKind::CpuBomb);
+  EXPECT_EQ(back.hosts[1].second.spec.sensitive, SensitiveKind::VlcStream);
+}
+
+TEST(FleetScenarioFile, SerializedDocumentRunsIdentically) {
+  FleetScenario doc = parse_fleet(R"(
+    sensitive = vlc-stream
+    batch = cpubomb
+    duration_s = 25
+    batch_start_s = 5
+    workload = diurnal
+    fault = sensor-dropout start=5 end=15 p=0.5
+  )");
+  std::istringstream round(serialize_fleet_scenario(doc));
+  FleetScenario back = parse_fleet_scenario(round);
+  ExperimentResult a = run_experiment(doc.base.spec);
+  ExperimentResult b = run_experiment(back.base.spec);
+  EXPECT_EQ(a.stayaway_records, b.stayaway_records);
+  EXPECT_EQ(a.qos, b.qos);
+}
+
 }  // namespace
 }  // namespace stayaway::harness

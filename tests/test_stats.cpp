@@ -485,5 +485,94 @@ TEST(Circular, VarianceNeverNegative) {
   }
 }
 
+// --- Hardening pins: near-singular VAR(1) fits and zipf s ~= 1 must
+// never emit non-finite values (DESIGN.md §14 fuzzing relies on this).
+
+TEST(Var1, ConstantSeriesFitsFinite) {
+  // A constant series makes the design matrix rank-deficient; the
+  // escalating ridge must still produce finite coefficients.
+  std::vector<std::vector<double>> series(12, {3.0, -1.5});
+  Var1Model model = Var1Model::fit(series, 0.0);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_TRUE(std::isfinite(model.intercept()[r]));
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_TRUE(std::isfinite(model.transition().at(r, c)));
+    }
+  }
+  std::vector<double> next = model.predict({3.0, -1.5});
+  for (double v : next) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Var1, CollinearDimensionsFitFinite) {
+  // Second dimension is an exact copy of the first: collinear design.
+  std::vector<std::vector<double>> series;
+  for (int t = 0; t < 15; ++t) {
+    double x = std::sin(0.3 * t);
+    series.push_back({x, x});
+  }
+  Var1Model model = Var1Model::fit(series);
+  std::vector<double> next = model.predict({0.5, 0.5});
+  for (double v : next) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Var1, UnstablePredictKSaturatesFinite) {
+  // x_{t+1} = 2 x_t has spectral radius 2: iterating 600 steps would
+  // overflow to inf without the forecast clamp.
+  std::vector<std::vector<double>> series;
+  double x = 1e-3;
+  for (int t = 0; t < 16; ++t) {
+    series.push_back({x});
+    x *= 2.0;
+  }
+  Var1Model model = Var1Model::fit(series);
+  std::vector<double> far = model.predict_k({1.0}, 600);
+  ASSERT_EQ(far.size(), 1u);
+  EXPECT_TRUE(std::isfinite(far[0]));
+}
+
+TEST(Var1, NonFiniteObservationsRejected) {
+  std::vector<std::vector<double>> series(8, {1.0});
+  series[3][0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Var1Model::fit(series), PreconditionError);
+}
+
+TEST(Zipf, ExponentNearOneStaysFiniteAndMonotone) {
+  for (double s : {1.0, 1.0 - 1e-12, 1.0 + 1e-12}) {
+    ZipfSampler zipf(1000, s);
+    double prev = 0.0;
+    double total = 0.0;
+    for (std::size_t k = 0; k < 1000; ++k) {
+      double m = zipf.mass(k);
+      EXPECT_TRUE(std::isfinite(m)) << "s=" << s << " k=" << k;
+      EXPECT_GE(m, 0.0) << "s=" << s << " k=" << k;
+      total += m;
+      prev = m;
+    }
+    (void)prev;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Zipf, HugeExponentConcentratesAllMassFinite) {
+  // pow overflows to inf for the tail weights; their reciprocal must be
+  // a clean zero, leaving all mass on rank 0.
+  ZipfSampler zipf(64, 5000.0);
+  EXPECT_NEAR(zipf.mass(0), 1.0, 1e-15);
+  for (std::size_t k = 1; k < 64; ++k) {
+    EXPECT_TRUE(std::isfinite(zipf.mass(k)));
+    EXPECT_GE(zipf.mass(k), 0.0);
+  }
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, NonFiniteExponentRejected) {
+  EXPECT_THROW(ZipfSampler(8, std::numeric_limits<double>::infinity()),
+               PreconditionError);
+  EXPECT_THROW(ZipfSampler(8, std::numeric_limits<double>::quiet_NaN()),
+               PreconditionError);
+  EXPECT_THROW(ZipfSampler(8, -0.5), PreconditionError);
+}
+
 }  // namespace
 }  // namespace stayaway::stats

@@ -1,0 +1,140 @@
+// stayaway_fuzz — seeded scenario fuzzer hunting controller
+// instabilities (DESIGN.md §14).
+//
+//   stayaway_fuzz [--seed S[,S...]] [--runs N] [--budget PERIODS]
+//                 [--out DIR] [--expect-findings]
+//
+// For each seed it mutates workload/fault/fleet plans within declared
+// bounds, records every run, scans the PeriodRecord streams with the
+// instability detectors (non-finite map coordinates, beta out of band,
+// pause/resume thrash, Normal<->Degraded flapping, stuck actuation
+// ledger, batch starvation), and shrinks each finding to a minimal
+// replayable run-log saved as DIR/<detector>-s<seed>-<i>.runlog.
+// Fully deterministic: the same seed list always produces the same
+// findings byte-for-byte. --expect-findings makes an empty batch exit
+// nonzero (used by `ci.sh --fuzz` to pin the committed regressions).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "replay/fuzz.hpp"
+#include "replay/run_log.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: stayaway_fuzz [--seed S[,S...]] [--runs N] [--budget PERIODS]\n"
+    "                     [--out DIR] [--expect-findings]\n";
+
+bool parse_positive(const std::string& text, std::size_t& out) {
+  char* end = nullptr;
+  long n = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || n < 1) return false;
+  out = static_cast<std::size_t>(n);
+  return true;
+}
+
+bool parse_seed_list(const std::string& text,
+                     std::vector<std::uint64_t>& out) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    std::string piece = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(piece.c_str(), &end, 10);
+    if (piece.empty() || end == nullptr || *end != '\0') return false;
+    out.push_back(static_cast<std::uint64_t>(v));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t runs = 8;
+  std::size_t budget = 12000;
+  std::string out_dir = ".";
+  bool expect_findings = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--expect-findings") {
+      expect_findings = true;
+      continue;
+    }
+    if (arg == "--seed" || arg == "--runs" || arg == "--budget" ||
+        arg == "--out") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs an argument\n" << kUsage;
+        return 2;
+      }
+      std::string value = argv[++i];
+      bool ok = true;
+      if (arg == "--seed") {
+        ok = parse_seed_list(value, seeds);
+      } else if (arg == "--runs") {
+        ok = parse_positive(value, runs);
+      } else if (arg == "--budget") {
+        ok = parse_positive(value, budget);
+      } else {
+        out_dir = value;
+      }
+      if (!ok) {
+        std::cerr << "error: bad value for " << arg << ": " << value << "\n"
+                  << kUsage;
+        return 2;
+      }
+      continue;
+    }
+    std::cerr << "error: unknown argument " << arg << "\n" << kUsage;
+    return 2;
+  }
+  if (seeds.empty()) seeds.push_back(1);
+
+  std::size_t total_findings = 0;
+  try {
+    for (std::uint64_t seed : seeds) {
+      stayaway::replay::FuzzConfig config;
+      config.seed = seed;
+      config.runs = runs;
+      config.max_periods = budget;
+      stayaway::replay::FuzzReport report =
+          stayaway::replay::fuzz_scenarios(config);
+      std::cout << "seed " << seed << ": " << report.runs_executed
+                << " runs, " << report.periods_executed << " host-periods, "
+                << report.findings.size() << " finding"
+                << (report.findings.size() == 1 ? "" : "s") << "\n";
+      for (std::size_t i = 0; i < report.findings.size(); ++i) {
+        const stayaway::replay::FuzzFinding& finding = report.findings[i];
+        std::string path = out_dir + "/" + finding.detector + "-s" +
+                           std::to_string(seed) + "-" + std::to_string(i) +
+                           ".runlog";
+        stayaway::replay::save_run_log(finding.log, path);
+        std::size_t periods = 0;
+        for (const auto& host : finding.log.hosts) {
+          periods += host.records.size();
+        }
+        std::cout << "  " << finding.detector << " (run "
+                  << finding.run_index << ", shrunk to "
+                  << finding.log.hosts.size() << " host"
+                  << (finding.log.hosts.size() == 1 ? "" : "s") << " x "
+                  << periods << " periods) -> " << path << "\n";
+        ++total_findings;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (expect_findings && total_findings == 0) {
+    std::cerr << "error: no findings (expected at least one)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -178,9 +178,13 @@ bool is_header(const std::string& path) { return path.ends_with(".hpp"); }
 
 /// The deterministic domain: modules whose outputs must be reproducible
 /// from an explicit seed. src/sim is in the domain so fault schedules
-/// (sim/faults) can never draw from wall clocks or unseeded generators.
+/// (sim/faults) can never draw from wall clocks or unseeded generators;
+/// src/replay is in it so run-logs replay byte-identically (a wall-clock
+/// or unseeded draw anywhere in record/replay/fuzz breaks the
+/// same-seed-same-findings contract of DESIGN.md §14).
 bool deterministic_domain(const std::string& path) {
-  for (const char* dir : {"core/", "stats/", "linalg/", "mds/", "sim/"}) {
+  for (const char* dir :
+       {"core/", "stats/", "linalg/", "mds/", "sim/", "replay/"}) {
     if (path.find(dir) != std::string::npos) return true;
   }
   return false;
@@ -339,6 +343,15 @@ std::vector<Fixture> self_test_fixtures() {
                {"deterministic-random"}});
   f.push_back({"seeded-rng-in-fault-schedule", "src/sim/faults_ok.cpp",
                "Rng rng_(plan_.seed);\n",
+               {}});
+  f.push_back({"wall-clock-in-replay", "src/replay/fuzz_bad.cpp",
+               "auto t0 = std::chrono::system_clock::now();\n",
+               {"deterministic-random"}});
+  f.push_back({"random-device-in-replay", "src/replay/fuzz_bad2.cpp",
+               "std::random_device rd;\n",
+               {"deterministic-random"}});
+  f.push_back({"seeded-rng-in-replay", "src/replay/fuzz_ok.cpp",
+               "util::Rng rng(config.seed);\n",
                {}});
   f.push_back({"rand-outside-domain", "src/apps/ok.cpp",
                "int draw() { return rand(); }\n",

@@ -24,6 +24,15 @@
 //   --workers N          drive fleet hosts on N concurrent workers
 //                        (overrides the scenario's `workers` key)
 //
+// Record/replay (DESIGN.md §14):
+//   --record FILE        run the scenario (plus --hosts/--workers) with a
+//                        recorder attached and save the versioned run-log
+//                        (canonical scenario + per-host PeriodRecord
+//                        streams) to FILE
+//   --replay FILE        re-execute a saved run-log and byte-diff every
+//                        PeriodRecord against the recording; exits 1 on
+//                        any divergence (no scenario argument)
+//
 // The scenario format is documented in src/harness/scenario_file.hpp.
 // Prints the QoS/utilization summary (and the full comparison when
 // `compare = true`), optionally saving the per-period series as CSV and
@@ -43,6 +52,8 @@
 #include "harness/scenario_file.hpp"
 #include "obs/events.hpp"
 #include "obs/observer.hpp"
+#include "replay/replay.hpp"
+#include "replay/run_log.hpp"
 #include "sim/faults.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
@@ -75,13 +86,16 @@ compare      = true              # also run no-prevention + isolated references
 constexpr const char* kUsage =
     "usage: stayaway_sim [--events-out FILE] [--metrics-out FILE]\n"
     "                    [--faults FILE] [--hosts N] [--workers N]\n"
-    "                    <scenario-file | - | --example>\n";
+    "                    [--record FILE] <scenario-file | - | --example>\n"
+    "       stayaway_sim --replay FILE\n";
 
 struct Options {
   std::string scenario;
   std::optional<std::string> events_out;
   std::optional<std::string> metrics_out;
   std::optional<std::string> faults;
+  std::optional<std::string> record;
+  std::optional<std::string> replay;
   std::size_t hosts = 0;    // 0 = no replication requested
   std::size_t workers = 0;  // 0 = take the scenario's `workers` key
 };
@@ -312,10 +326,78 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
   return 0;
 }
 
+int run_record_mode(const stayaway::harness::FleetScenario& doc,
+                    const Options& opts) {
+  using namespace stayaway;
+  using namespace stayaway::harness;
+
+  SA_REQUIRE(!opts.faults.has_value(),
+             "--record captures the scenario's own `fault =` lines; "
+             "--faults is unsupported");
+  SA_REQUIRE(!opts.events_out.has_value() && !opts.metrics_out.has_value(),
+             "--record runs unobserved; drop --events-out/--metrics-out");
+  SA_REQUIRE(opts.hosts == 0 || doc.hosts.empty(),
+             "--hosts replicates a plain scenario; this file already "
+             "defines [host] sections");
+  require_fleet_compatible(doc.base, "base scenario");
+  for (const auto& [name, scenario] : doc.hosts) {
+    require_fleet_compatible(scenario, "[host \"" + name + "\"]");
+  }
+
+  FleetScenario canonical = doc;
+  if (opts.workers != 0) canonical.workers = opts.workers;
+  canonical = replay::canonical_fleet(canonical, opts.hosts);
+
+  replay::RecordedRun run = replay::record_run(canonical);
+  replay::save_run_log(run.log, *opts.record);
+
+  std::size_t periods = 0;
+  for (const auto& host : run.log.hosts) periods += host.records.size();
+  std::cout << "recorded: " << *opts.record << " (" << run.log.hosts.size()
+            << " host" << (run.log.hosts.size() == 1 ? "" : "s") << ", "
+            << periods << " periods)\n\n";
+  print_summary_header(std::cout);
+  for (const FleetHostResult& host : run.result.hosts) {
+    print_summary_row(std::cout, host.name, host.result);
+  }
+  return 0;
+}
+
+int run_replay_mode(const Options& opts) {
+  using namespace stayaway;
+
+  replay::RunLog log = replay::load_run_log(*opts.replay);
+  replay::ReplayReport report = replay::replay_run_log(log);
+  if (!report.error.empty()) {
+    std::cerr << "replay error: " << report.error << "\n";
+    return 1;
+  }
+  if (report.ok) {
+    std::cout << "replay ok: " << *opts.replay << " ("
+              << report.periods_checked << " periods byte-identical across "
+              << log.hosts.size() << " host"
+              << (log.hosts.size() == 1 ? "" : "s") << ")\n";
+    return 0;
+  }
+  std::cerr << "replay DIVERGED: " << *opts.replay << " ("
+            << report.mismatches.size() << " mismatch"
+            << (report.mismatches.size() == 1 ? "" : "es") << " shown, "
+            << report.periods_checked << " periods checked)\n";
+  for (const replay::ReplayMismatch& m : report.mismatches) {
+    std::cerr << "  [" << m.host << " period " << m.period << "]\n"
+              << "    recorded: "
+              << (m.recorded.empty() ? "<missing>" : m.recorded) << "\n"
+              << "    replayed: "
+              << (m.replayed.empty() ? "<missing>" : m.replayed) << "\n";
+  }
+  return 1;
+}
+
 int run(std::istream& in, const Options& opts) {
   using namespace stayaway::harness;
 
   FleetScenario doc = parse_fleet_scenario(in);
+  if (opts.record.has_value()) return run_record_mode(doc, opts);
   // Plain documents without --hosts keep the historical single-host path
   // (and its exact output) — fleet mode is strictly opt-in.
   if (doc.hosts.empty() && opts.hosts == 0) {
@@ -338,7 +420,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--events-out" || arg == "--metrics-out" || arg == "--faults" ||
-        arg == "--hosts" || arg == "--workers") {
+        arg == "--record" || arg == "--replay" || arg == "--hosts" ||
+        arg == "--workers") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " needs an argument\n" << kUsage;
         return 2;
@@ -350,6 +433,10 @@ int main(int argc, char** argv) {
         opts.metrics_out = argv[i];
       } else if (arg == "--faults") {
         opts.faults = argv[i];
+      } else if (arg == "--record") {
+        opts.record = argv[i];
+      } else if (arg == "--replay") {
+        opts.replay = argv[i];
       } else {
         char* end = nullptr;
         long n = std::strtol(argv[i], &end, 10);
@@ -373,6 +460,21 @@ int main(int argc, char** argv) {
     }
     opts.scenario = arg;
     have_scenario = true;
+  }
+  if (opts.replay.has_value()) {
+    if (have_scenario || opts.record.has_value() || opts.faults.has_value() ||
+        opts.events_out.has_value() || opts.metrics_out.has_value() ||
+        opts.hosts != 0 || opts.workers != 0) {
+      std::cerr << "error: --replay takes no scenario and no other flags\n"
+                << kUsage;
+      return 2;
+    }
+    try {
+      return run_replay_mode(opts);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
   if (!have_scenario) {
     std::cerr << kUsage;
