@@ -23,6 +23,12 @@
 #                                byte-identically, then a budgeted
 #                                stayaway_fuzz batch over the pinned seed
 #                                set (must keep reproducing findings)
+#   ./ci.sh --ingest             streaming-ingestion gate (DESIGN.md §15):
+#                                the ingest test suite plus the bench_ingest
+#                                bounds (--smoke) in the tier-1 tree, then
+#                                the producer/consumer surfaces — 8 ring-fed
+#                                pipelines on a 4-worker pool — under
+#                                ThreadSanitizer
 #   ./ci.sh --all                every leg above
 #
 # Each leg builds in its own tree (build, build-asan, build-tsan,
@@ -47,9 +53,10 @@ for arg in "$@"; do
     --faults) LEGS+=(faults) ;;
     --fleet) LEGS+=(fleet) ;;
     --fuzz) LEGS+=(fuzz) ;;
-    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz) ;;
+    --ingest) LEGS+=(ingest) ;;
+    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz ingest) ;;
     *)
-      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--all]" >&2
+      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--ingest] [--all]" >&2
       exit 2
       ;;
   esac
@@ -172,6 +179,26 @@ EOF
       fi
       rm -rf "$tmpdir"
       return $rc
+      ;;
+    ingest)
+      # Streaming-ingestion gate (DESIGN.md §15): the ingest suite and the
+      # bench_ingest acceptance bounds (>=5x ring throughput, flat
+      # landmark-incremental embed cost) in the tier-1 tree, then the
+      # producer/consumer protocol — one producer thread per host, 8
+      # ring-fed pipelines on a 4-worker fleet pool — under TSan.
+      cmake -B build -S . >/dev/null &&
+        cmake --build build -j"$JOBS" --target test_ingest bench_ingest ||
+        return 1
+      ./build/tests/test_ingest || return 1
+      ./build/bench/bench_ingest --smoke || return 1
+      cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+        >/dev/null &&
+        cmake --build build-tsan -j"$JOBS" --target test_concurrency ||
+        return 1
+      ./build-tsan/tests/test_concurrency \
+        --gtest_filter='IngestConcurrency.*'
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then

@@ -42,11 +42,15 @@ bool all_finite(const mds::Embedding& points) {
 }  // namespace
 
 MapEmbedder::MapEmbedder(EmbedMethod method, std::size_t landmark_count,
-                         double warm_skip_stress)
+                         double warm_skip_stress,
+                         double landmark_refresh_factor)
     : method_(method),
       landmark_count_(std::max<std::size_t>(landmark_count, 3)),
-      warm_skip_stress_(warm_skip_stress) {
+      warm_skip_stress_(warm_skip_stress),
+      landmark_refresh_factor_(landmark_refresh_factor) {
   SA_REQUIRE(warm_skip_stress >= 0.0, "stress bound must be non-negative");
+  SA_REQUIRE(landmark_refresh_factor >= 1.0,
+             "landmark refresh factor must be at least 1");
 }
 
 const mds::Embedding& MapEmbedder::update(
@@ -58,6 +62,10 @@ const mds::Embedding& MapEmbedder::update(
     // points that no longer exist: drop them and re-embed from scratch.
     positions_.clear();
     delta_ = linalg::Matrix();
+    landmark_model_.reset();
+    landmark_vectors_.clear();
+    landmark_align_ = mds::ProcrustesTransform{};
+    last_fit_size_ = 0;
     ++rebuilds_;
   }
   embed(reps);
@@ -90,6 +98,12 @@ void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
     return;
   }
 
+  if (method_ == EmbedMethod::LandmarkIncremental && n > landmark_count_) {
+    // Streaming regime: never touch the O(n^2) dissimilarity matrix.
+    embed_landmark_incremental(vectors);
+    return;
+  }
+
   const linalg::Matrix& delta = refresh_delta(vectors);
 
   switch (method_) {
@@ -117,11 +131,18 @@ void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
       // Too few points for landmarks: fall through to full SMACOF.
       [[fallthrough]];
     }
+    // Below the landmark count the incremental mode embeds exactly like
+    // SmacofWarm — a handful of points is cheap to solve exactly, and the
+    // warm seed keeps the map stable until the streaming regime takes
+    // over.
+    case EmbedMethod::LandmarkIncremental:
     case EmbedMethod::SmacofCold:
     case EmbedMethod::SmacofWarm: {
+      const bool warm = method_ == EmbedMethod::SmacofWarm ||
+                        method_ == EmbedMethod::LandmarkIncremental;
       mds::Embedding prev = positions_;
       mds::SmacofResult res;
-      if (method_ == EmbedMethod::SmacofWarm && !prev.empty()) {
+      if (warm && !prev.empty()) {
         // Warm seed: old points keep their spot; each new one is placed
         // against everything already positioned. Warm starts converge in
         // a couple of iterations but can inherit a local minimum, so
@@ -156,7 +177,7 @@ void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
       }
       positions_ = std::move(res.points);
       stress_ = res.stress;
-      if (method_ == EmbedMethod::SmacofWarm && prev.size() >= 2) {
+      if (warm && prev.size() >= 2) {
         // Whichever solution won, rotate/flip it back onto the previous
         // layout so directions in the map stay meaningful across periods.
         mds::Embedding head(positions_.begin(),
@@ -170,6 +191,70 @@ void MapEmbedder::embed(const monitor::RepresentativeSet& reps) {
       return;
     }
   }
+}
+
+mds::Point2 MapEmbedder::place_against_landmarks(
+    const std::vector<double>& v) const {
+  std::vector<double> d(landmark_vectors_.size(), 0.0);
+  for (std::size_t j = 0; j < landmark_vectors_.size(); ++j) {
+    d[j] = linalg::euclidean_distance(landmark_vectors_[j], v);
+  }
+  return landmark_align_.apply(landmark_model_->place(d));
+}
+
+void MapEmbedder::embed_landmark_incremental(
+    const std::vector<std::vector<double>>& vectors) {
+  const std::size_t n = vectors.size();
+  const bool refit =
+      !landmark_model_.has_value() ||
+      static_cast<double>(n) >=
+          landmark_refresh_factor_ * static_cast<double>(last_fit_size_);
+  if (!refit) {
+    // O(new * k): triangulate only the points that arrived since the last
+    // update. Existing positions (and the stress estimate) are untouched
+    // — the contract the trajectory model and the flatness bench rely on.
+    for (std::size_t i = positions_.size(); i < n; ++i) {
+      positions_.push_back(place_against_landmarks(vectors[i]));
+    }
+    return;
+  }
+  // Refit: new maxmin landmark selection and exact classical-MDS solve
+  // over k points, then every point re-placed. Triggered geometrically
+  // (n >= factor * last fit size), so total refit work is O(n) amortized.
+  mds::Embedding prev = positions_;
+  landmark_model_ = mds::fit_landmark_mds(vectors, landmark_count_);
+  landmark_vectors_.clear();
+  landmark_vectors_.reserve(landmark_model_->landmark_indices.size());
+  for (std::size_t idx : landmark_model_->landmark_indices) {
+    landmark_vectors_.push_back(vectors[idx]);
+  }
+  landmark_align_ = mds::ProcrustesTransform{};
+  positions_.clear();
+  positions_.reserve(n);
+  for (const auto& v : vectors) {
+    positions_.push_back(place_against_landmarks(v));
+  }
+  if (prev.size() >= 2) {
+    mds::Embedding head(
+        positions_.begin(),
+        positions_.begin() + static_cast<std::ptrdiff_t>(prev.size()));
+    auto align = mds::procrustes_align(
+        head, prev, {.allow_reflection = true, .allow_scaling = false});
+    landmark_align_ = align.transform;
+    positions_ = align.transform.apply(positions_);
+  }
+  if (last_fit_size_ > 0) ++rebuilds_;
+  last_fit_size_ = n;
+  // Stress audited over the landmark subset only — O(k^2), the full
+  // matrix never exists in this regime.
+  mds::Embedding landmark_positions;
+  landmark_positions.reserve(landmark_model_->landmark_indices.size());
+  for (std::size_t idx : landmark_model_->landmark_indices) {
+    landmark_positions.push_back(positions_[idx]);
+  }
+  stress_ = mds::normalized_stress(mds::distance_matrix(landmark_vectors_),
+                                   landmark_positions);
+  delta_ = linalg::Matrix();  // drop any small-regime matrix for good
 }
 
 }  // namespace stayaway::core

@@ -15,11 +15,22 @@
 // run is skipped entirely. A shrinking representative set (template reuse
 // loading a smaller map, compaction) drops all incremental state and
 // re-embeds from scratch instead of failing.
+//
+// LandmarkIncremental is the streaming-ingestion regime (DESIGN.md §15):
+// past landmark_count points, each update only *places* the new points
+// against a frozen landmark model — O(new * k), no O(n^2) matrix at all —
+// and the model is refit (with Procrustes re-alignment) only when the set
+// has grown by landmark_refresh_factor since the last fit, so refit cost
+// amortizes to O(1) per point.
 #pragma once
+
+#include <optional>
 
 #include "core/config.hpp"
 #include "linalg/matrix.hpp"
+#include "mds/landmark.hpp"
 #include "mds/point.hpp"
+#include "mds/procrustes.hpp"
 #include "monitor/representative.hpp"
 
 namespace stayaway::core {
@@ -29,8 +40,11 @@ class MapEmbedder {
   /// warm_skip_stress: normalized stress-1 below which a warm-started
   /// SMACOF solution is accepted without the verifying cold run. 0 keeps
   /// the historical behaviour (always run both, keep the better).
+  /// landmark_refresh_factor (LandmarkIncremental only): geometric refit
+  /// trigger — refit when n >= factor * size-at-last-fit.
   explicit MapEmbedder(EmbedMethod method, std::size_t landmark_count = 24,
-                       double warm_skip_stress = 0.0);
+                       double warm_skip_stress = 0.0,
+                       double landmark_refresh_factor = 2.0);
 
   /// Brings the embedding in sync with the representative set and returns
   /// it. Positions are stable (not recomputed) while the set is unchanged.
@@ -54,21 +68,42 @@ class MapEmbedder {
 
   EmbedMethod method() const { return method_; }
 
+  /// Representative-set size at the most recent landmark-model fit
+  /// (LandmarkIncremental only; 0 before the first fit).
+  std::size_t landmark_fit_size() const { return last_fit_size_; }
+
  private:
   void embed(const monitor::RepresentativeSet& reps);
   /// Grows (or builds) the cached dissimilarity matrix to cover `vectors`.
   const linalg::Matrix& refresh_delta(
       const std::vector<std::vector<double>>& vectors);
+  /// LandmarkIncremental large-n path: place new points only, refit the
+  /// landmark model geometrically.
+  void embed_landmark_incremental(
+      const std::vector<std::vector<double>>& vectors);
+  /// Triangulates one high-dimensional vector against the fitted model.
+  mds::Point2 place_against_landmarks(const std::vector<double>& v) const;
 
   EmbedMethod method_;
   std::size_t landmark_count_;
   double warm_skip_stress_;
+  double landmark_refresh_factor_;
   mds::Embedding positions_;
   linalg::Matrix delta_;  // dissimilarities over the embedded vectors
   double stress_ = 0.0;
   std::size_t total_iterations_ = 0;
   std::size_t cold_runs_skipped_ = 0;
   std::size_t rebuilds_ = 0;
+  // --- LandmarkIncremental state (DESIGN.md §15). -----------------------
+  std::optional<mds::LandmarkModel> landmark_model_;
+  /// The landmarks' high-dimensional vectors, in model order (new points
+  /// measure their distances against these).
+  std::vector<std::vector<double>> landmark_vectors_;
+  /// Rigid transform from the current model's frame onto the map frame
+  /// (identity until the first re-alignment): place() results live in the
+  /// model frame, the map must not rotate or flip across refits.
+  mds::ProcrustesTransform landmark_align_;
+  std::size_t last_fit_size_ = 0;
 };
 
 }  // namespace stayaway::core

@@ -64,6 +64,21 @@ struct PeriodRecord {
   bool qos_visible = true;           // the probe reported this period
   std::size_t actuation_retries = 0;  // commands re-issued this period
   bool actuation_pending = false;     // ledger still diverged afterwards
+  // --- Streaming-ingestion telemetry (DESIGN.md §15). Filled only by a
+  // streaming SampleSource; the synchronous path leaves all four at 0,
+  // so its serialized records stay byte-identical to the historical
+  // format (the run-log emits this block only when any field is set). --
+  std::size_t samples_ingested = 0;   // samples drained this period
+  std::size_t late_samples = 0;       // out-of-order arrivals admitted
+  std::size_t duplicate_samples = 0;  // repeat deliveries dropped
+  std::size_t overflow_drops = 0;     // ring overflow since last period
+
+  /// Any streaming-ingestion field set this period?
+  bool ingest_any() const {
+    return samples_ingested + late_samples + duplicate_samples +
+               overflow_drops >
+           0;
+  }
 
   bool operator==(const PeriodRecord& o) const = default;
 };

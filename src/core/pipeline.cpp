@@ -1,18 +1,60 @@
 #include "core/pipeline.hpp"
 
+#include "trace/diurnal.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace stayaway::core {
 
+namespace {
+
+/// Builds the configured SampleSource (DESIGN.md §15). The synchronous
+/// source is the default and keeps the record stream byte-identical to
+/// the historical loop; the ring source replays a diurnal trace through
+/// an async producer at config.ingest.rate_hz.
+std::unique_ptr<monitor::SampleSource> make_sample_source(
+    sim::SimHost& host, const StayAwayConfig& config,
+    const monitor::CapacityNormalizer& normalizer) {
+  monitor::HostSampler sampler(host, config.sampler);
+  if (!config.ingest.streaming()) {
+    return std::make_unique<monitor::SynchronousSampleSource>(
+        std::move(sampler));
+  }
+  const monitor::MetricLayout& layout = sampler.layout();
+  // Full-scale raw value per flat dimension: the host capacity of the
+  // dimension's metric kind (same basis the normalizer divides by).
+  std::vector<double> scale(layout.dimension(), 0.0);
+  for (std::size_t e = 0; e < layout.entities.size(); ++e) {
+    for (std::size_t k = 0; k < layout.metrics.size(); ++k) {
+      scale[layout.index_of(e, k)] = normalizer.capacity_of(layout.metrics[k]);
+    }
+  }
+  trace::DiurnalSpec spec;
+  spec.seed = config.sampler.seed;
+  monitor::RingStreamOptions options;
+  options.rate_hz = config.ingest.rate_hz;
+  options.lookahead_s = config.ingest.lookahead_s;
+  options.ring_capacity = config.ingest.ring_capacity;
+  options.burst_rate_hz = config.ingest.burst_rate_hz;
+  options.burst_start_s = config.ingest.burst_start_s;
+  options.burst_end_s = config.ingest.burst_end_s;
+  options.noise_fraction = config.sampler.noise_fraction;
+  options.seed = config.sampler.seed;
+  return std::make_unique<monitor::RingSampleSource>(
+      layout, std::move(scale), trace::generate_diurnal(spec), options);
+}
+
+}  // namespace
+
 HostPipeline::HostPipeline(sim::SimHost& host, const sim::QosProbe& probe,
                            StayAwayConfig config)
     : host_(&host), probe_(&probe), config_(std::move(config)) {
   StageSet stages;
-  monitor::HostSampler sampler(host, config_.sampler);
-  monitor::CapacityNormalizer normalizer(host.spec(), sampler.layout());
+  monitor::CapacityNormalizer normalizer(
+      host.spec(), monitor::HostSampler(host, config_.sampler).layout());
   auto mapper = std::make_unique<StayAwayMapper>(
-      std::move(sampler), std::move(normalizer), config_);
+      make_sample_source(host, config_, normalizer), std::move(normalizer),
+      config_);
   stages.forecaster = std::make_unique<TrajectoryForecaster>(
       config_, mapper->layout().dimension());
   stages.actuator = std::make_unique<GovernorActuator>(config_);
@@ -238,7 +280,7 @@ void HostPipeline::publish(const PeriodRecord& rec,
     metrics_.space_rebuilds.set(
         static_cast<double>(sa_mapper_->space().cache_rebuilds()));
     metrics_.sampler_samples.set(
-        static_cast<double>(sa_mapper_->sampler().samples_taken()));
+        static_cast<double>(sa_mapper_->source().samples_taken()));
   }
   if (sa_forecaster_ != nullptr) {
     metrics_.tally_accuracy.set(sa_forecaster_->tally().accuracy());

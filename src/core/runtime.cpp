@@ -8,16 +8,4 @@ StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
                                  StayAwayConfig config)
     : pipeline_(host, probe, std::move(config)) {}
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-StayAwayRuntime::StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
-                                 StayAwayConfig config,
-                                 monitor::SamplerConfig sampler_config)
-    : StayAwayRuntime(host, probe, [&] {
-        // Deprecated shim: the positional config wins over config.sampler.
-        config.sampler = std::move(sampler_config);
-        return std::move(config);
-      }()) {}
-#pragma GCC diagnostic pop
-
 }  // namespace stayaway::core

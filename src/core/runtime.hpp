@@ -32,13 +32,6 @@ class StayAwayRuntime {
   StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
                   StayAwayConfig config);
 
-  /// Positional shim from before the config unification: prefer setting
-  /// config.sampler and using the three-argument constructor.
-  /// `sampler_config` overrides config.sampler wholesale.
-  [[deprecated("set config.sampler and use the 3-argument constructor")]]
-  StayAwayRuntime(sim::SimHost& host, const sim::QosProbe& probe,
-                  StayAwayConfig config, monitor::SamplerConfig sampler_config);
-
   /// Attaches (or detaches, with nullptr) a passive observability
   /// observer: phase span timers, loop metrics and period/action events.
   /// The observer must outlive the runtime or be detached first; it never

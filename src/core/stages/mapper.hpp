@@ -1,10 +1,19 @@
 // StayAwayMapper: the paper's Mapping stage (§3.1) as a pipeline stage.
-// Owns the whole sample -> quarantine -> normalize -> dedup -> embed
+// Owns the whole ingest -> quarantine -> normalize -> dedup -> embed
 // chain plus the labelled state space the downstream stages read. The
-// sampler and normalizer are built by the pipeline (which is allowed to
-// see the host) and moved in, so this stage never touches the host.
+// sample source and normalizer are built by the pipeline (which is
+// allowed to see the host) and moved in, so this stage never touches the
+// host.
+//
+// Ingestion is a SampleSource drain (DESIGN.md §15): the synchronous
+// source yields exactly one sample per period — byte-identical to the
+// historical loop — while a streaming source may deliver many (or none).
+// Every drained sample flows through the quarantine's admission gate
+// (late/duplicate classification) and value validation, then dedup; the
+// map is re-embedded once per period.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,15 +26,15 @@
 #include "monitor/health.hpp"
 #include "monitor/normalizer.hpp"
 #include "monitor/representative.hpp"
-#include "monitor/sampler.hpp"
+#include "monitor/sample_source.hpp"
 
 namespace stayaway::core {
 
 class StayAwayMapper final : public Mapper {
  public:
-  /// `sampler` and `normalizer` must describe the same layout (the
+  /// `source` and `normalizer` must describe the same layout (the
   /// pipeline builds both from the host).
-  StayAwayMapper(monitor::HostSampler sampler,
+  StayAwayMapper(std::unique_ptr<monitor::SampleSource> source,
                  monitor::CapacityNormalizer normalizer,
                  const StayAwayConfig& config);
 
@@ -34,9 +43,11 @@ class StayAwayMapper final : public Mapper {
   void observe_qos(std::size_t representative, bool violated) override;
   const StateSpace& space() const override { return space_; }
 
-  /// Sensor faults from the plan apply to every sample; nullptr detaches.
+  /// Sensor faults from the plan apply to every sample (and a streaming
+  /// source additionally schedules the plan's ingest anomalies); nullptr
+  /// detaches.
   void set_fault_injector(sim::FaultInjector* injector) {
-    sampler_.set_fault_injector(injector);
+    source_->set_fault_injector(injector);
   }
 
   /// Pre-loads the labelled states of a previous run (§6). Must be called
@@ -47,21 +58,31 @@ class StayAwayMapper final : public Mapper {
 
   const MapEmbedder& embedder() const { return embedder_; }
   const monitor::RepresentativeSet& representatives() const { return reps_; }
-  const monitor::MetricLayout& layout() const { return sampler_.layout(); }
-  const monitor::HostSampler& sampler() const { return sampler_; }
+  const monitor::MetricLayout& layout() const { return source_->layout(); }
+  const monitor::SampleSource& source() const { return *source_; }
   /// Readings quarantined before they could reach the map (lifetime).
   std::size_t readings_quarantined() const {
     return quarantine_.total_quarantined();
   }
+  /// Late/out-of-order samples admitted (lifetime, streaming only).
+  std::size_t late_samples() const { return quarantine_.total_late(); }
+  /// Duplicate deliveries dropped (lifetime, streaming only).
+  std::size_t duplicate_samples() const {
+    return quarantine_.total_duplicates();
+  }
   bool mapped_any_period() const { return mapped_any_period_; }
 
  private:
-  monitor::HostSampler sampler_;
+  std::unique_ptr<monitor::SampleSource> source_;
   monitor::CapacityNormalizer normalizer_;
   monitor::SampleQuarantine quarantine_;
   monitor::RepresentativeSet reps_;
   StateSpace space_;
   MapEmbedder embedder_;
+  std::vector<monitor::TimedSample> drain_buffer_;
+  /// Representative of the most recent assigned sample, carried across
+  /// periods whose drain delivered nothing.
+  std::size_t last_representative_ = 0;
   bool mapped_any_period_ = false;
 };
 

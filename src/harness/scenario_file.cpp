@@ -249,6 +249,29 @@ void ParserState::consume(std::size_t line_no, const std::string& key,
         }
         if (metrics.empty()) fail(line_no, "metric list must not be empty");
         spec.stayaway.sampler.metrics = std::move(metrics);
+      } else if (key == "ingest_source") {
+        // Streaming ingestion (DESIGN.md §15): sync is the default
+        // one-sample-per-period path, ring drains an async producer.
+        if (value == "sync") {
+          spec.stayaway.ingest.source = core::IngestSource::Synchronous;
+        } else if (value == "ring") {
+          spec.stayaway.ingest.source = core::IngestSource::Ring;
+        } else {
+          fail(line_no, "ingest_source must be 'sync' or 'ring'");
+        }
+      } else if (key == "ingest_rate_hz") {
+        spec.stayaway.ingest.rate_hz = parse_double(line_no, value);
+      } else if (key == "ingest_ring_capacity") {
+        spec.stayaway.ingest.ring_capacity =
+            static_cast<std::size_t>(parse_double(line_no, value));
+      } else if (key == "ingest_lookahead_s") {
+        spec.stayaway.ingest.lookahead_s = parse_double(line_no, value);
+      } else if (key == "ingest_burst_rate_hz") {
+        spec.stayaway.ingest.burst_rate_hz = parse_double(line_no, value);
+      } else if (key == "ingest_burst_start_s") {
+        spec.stayaway.ingest.burst_start_s = parse_double(line_no, value);
+      } else if (key == "ingest_burst_end_s") {
+        spec.stayaway.ingest.burst_end_s = parse_double(line_no, value);
       } else if (key == "vm") {
         // `vm = name:kind[:start_s]` — an extra named batch VM.
         auto c1 = value.find(':');
@@ -462,6 +485,21 @@ void serialize_body(const Scenario& scenario, std::string& out) {
     metric_names.emplace_back(monitor::to_string(m));
   }
   kv("metrics", join(metric_names, ","));
+  if (spec.stayaway.ingest != core::IngestConfig{}) {
+    // The ingest block is emitted only when it differs from the default:
+    // historical scenarios (and the scenario text embedded in committed
+    // run-logs) keep their exact canonical bytes.
+    kv("ingest_source", spec.stayaway.ingest.source == core::IngestSource::Ring
+                            ? "ring"
+                            : "sync");
+    kvd("ingest_rate_hz", spec.stayaway.ingest.rate_hz);
+    kv("ingest_ring_capacity",
+       std::to_string(spec.stayaway.ingest.ring_capacity));
+    kvd("ingest_lookahead_s", spec.stayaway.ingest.lookahead_s);
+    kvd("ingest_burst_rate_hz", spec.stayaway.ingest.burst_rate_hz);
+    kvd("ingest_burst_start_s", spec.stayaway.ingest.burst_start_s);
+    kvd("ingest_burst_end_s", spec.stayaway.ingest.burst_end_s);
+  }
   for (const ExtraVmSpec& vm : spec.extra_batch) {
     kv("vm", maybe_quote(vm.name + ":" + std::string(to_string(vm.kind)) +
                          ":" + format_double_exact(vm.start_s)));

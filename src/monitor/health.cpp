@@ -19,6 +19,21 @@ SampleQuarantine::SampleQuarantine(std::vector<double> upper_bounds)
   }
 }
 
+SampleQuarantine::Admit SampleQuarantine::admit(double time,
+                                                std::uint64_t sequence) {
+  if (!seen_sequences_.insert(sequence).second) {
+    ++total_duplicates_;
+    return Admit::Duplicate;
+  }
+  if (any_admitted_ && time < newest_time_) {
+    ++total_late_;
+    return Admit::Late;
+  }
+  newest_time_ = time;
+  any_admitted_ = true;
+  return Admit::Ok;
+}
+
 SampleHealth SampleQuarantine::validate(std::vector<double>& values) {
   SA_REQUIRE(values.size() == bounds_.size(),
              "measurement does not match the quarantine layout");

@@ -14,9 +14,15 @@
 // On healthy input the stage is a pure pass-through: it never alters a
 // finite in-range reading, so the fault-free control loop is byte-
 // identical with or without it (golden test in tests/test_runtime.cpp).
+// Under streaming ingestion (DESIGN.md §15) the quarantine is also the
+// admission gate: every drained sample passes admit() first, which
+// classifies late/out-of-order arrivals (admitted but counted — their
+// values still carry information) and duplicate deliveries (rejected).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 namespace stayaway::monitor {
@@ -46,14 +52,37 @@ class SampleQuarantine {
   /// the dimension's last good value (0 until one exists) and counted.
   SampleHealth validate(std::vector<double>& values);
 
+  /// Admission verdict for one streamed sample (checked before validate).
+  enum class Admit {
+    Ok,         // in order, first delivery
+    Late,       // timestamp older than the newest seen; admitted, counted
+    Duplicate,  // sequence already delivered; reject the sample
+  };
+
+  /// Admission gate for streamed samples: classifies a (timestamp,
+  /// sequence) pair. Duplicates must be dropped by the caller; late
+  /// samples are admitted (their values are real readings) but counted.
+  /// The synchronous path's strictly increasing clock always returns Ok,
+  /// so this is a no-op on the historical feed.
+  Admit admit(double time, std::uint64_t sequence);
+
   /// Readings quarantined across the stage's lifetime (observability).
   std::size_t total_quarantined() const { return total_quarantined_; }
+  /// Late/out-of-order samples admitted across the lifetime.
+  std::size_t total_late() const { return total_late_; }
+  /// Duplicate deliveries rejected across the lifetime.
+  std::size_t total_duplicates() const { return total_duplicates_; }
 
  private:
   std::vector<double> bounds_;
   std::vector<double> last_good_;
   std::vector<std::size_t> staleness_;
   std::size_t total_quarantined_ = 0;
+  std::size_t total_late_ = 0;
+  std::size_t total_duplicates_ = 0;
+  double newest_time_ = 0.0;
+  bool any_admitted_ = false;
+  std::unordered_set<std::uint64_t> seen_sequences_;
 };
 
 }  // namespace stayaway::monitor

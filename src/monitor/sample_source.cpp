@@ -1,0 +1,226 @@
+#include "monitor/sample_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace stayaway::monitor {
+
+namespace {
+
+/// Delayed samples a producer holds back at once. Bounded so a saturated
+/// ingest-delay window degrades into plain lateness instead of growing
+/// an unbounded producer-side queue.
+constexpr std::size_t kMaxHeld = 4;
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  // Golden-ratio xor-mix, same family as fleet_host_seed: decorrelates
+  // the ingest-anomaly stream from the value-noise stream.
+  return (a ^ 0x9e3779b97f4a7c15ULL) + (b << 1);
+}
+
+}  // namespace
+
+DrainReport SynchronousSampleSource::drain(double now,
+                                           std::vector<TimedSample>& out) {
+  (void)now;  // the sampler stamps the host clock itself
+  TimedSample s;
+  s.sequence = next_sequence_++;
+  s.measurement = sampler_.sample();
+  out.push_back(std::move(s));
+  DrainReport report;
+  report.delivered = 1;
+  return report;
+}
+
+RingSampleSource::RingSampleSource(MetricLayout layout,
+                                   std::vector<double> scale,
+                                   trace::Trace trace,
+                                   RingStreamOptions options)
+    : layout_(std::move(layout)),
+      scale_(std::move(scale)),
+      trace_(std::move(trace)),
+      options_(options),
+      ring_(options.ring_capacity),
+      value_rng_(options.seed) {
+  SA_REQUIRE(layout_.dimension() > 0, "ring source needs a non-empty layout");
+  SA_REQUIRE(scale_.size() == layout_.dimension(),
+             "scale vector must match the layout dimension");
+  SA_REQUIRE(options_.rate_hz > 0.0, "ingest rate must be positive");
+  SA_REQUIRE(options_.lookahead_s >= 0.0, "lookahead must be non-negative");
+  SA_REQUIRE(options_.noise_fraction >= 0.0,
+             "noise fraction must be non-negative");
+  SA_REQUIRE(options_.time_scale > 0.0, "time scale must be positive");
+  SA_REQUIRE(options_.burst_rate_hz >= 0.0,
+             "burst rate must be non-negative");
+  if (options_.burst_rate_hz > 0.0) {
+    SA_REQUIRE(options_.burst_end_s > options_.burst_start_s,
+               "burst window must satisfy end > start");
+  }
+  // Per-dimension demand mix: each metric tracks the shared trace with
+  // its own seed-derived weight, so dimensions are correlated (one
+  // latent intensity) without being identical — the same premise the
+  // host sampler's allocations follow.
+  mix_.resize(layout_.dimension());
+  for (double& w : mix_) w = 0.35 + 0.6 * value_rng_.uniform();
+  // The producer starts parked: the gate opens at the first drain(), so
+  // install_faults (required before the first period) always precedes
+  // the first generated sample.
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+RingSampleSource::~RingSampleSource() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  producer_cv_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+void RingSampleSource::set_fault_injector(sim::FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SA_REQUIRE(gate_ == -std::numeric_limits<double>::infinity(),
+             "the fault injector must be attached before the first drain");
+  injector_ = injector;
+  ingest_specs_.clear();
+  ingest_seed_ = 0;
+  if (injector == nullptr) return;
+  ingest_seed_ = injector->plan().seed;
+  for (const sim::FaultSpec& f : injector->plan().faults) {
+    if (f.kind == sim::FaultKind::IngestDelay ||
+        f.kind == sim::FaultKind::IngestDuplicate) {
+      ingest_specs_.push_back(f);
+    }
+  }
+}
+
+double RingSampleSource::interval_at(double t) const {
+  double rate = options_.rate_hz;
+  if (options_.burst_rate_hz > 0.0 && t >= options_.burst_start_s &&
+      t < options_.burst_end_s) {
+    rate = options_.burst_rate_hz;
+  }
+  return 1.0 / rate;
+}
+
+Measurement RingSampleSource::synthesize(double t) {
+  Measurement m;
+  m.time = t;
+  const double span = trace_.duration();
+  const double tt =
+      span > 0.0 ? std::fmod(t * options_.time_scale, span) : 0.0;
+  const double intensity = trace_.normalized_at(tt);
+  m.values.resize(layout_.dimension());
+  for (std::size_t d = 0; d < m.values.size(); ++d) {
+    double v = scale_[d] * mix_[d] * intensity;
+    v *= 1.0 + value_rng_.normal(0.0, options_.noise_fraction);
+    m.values[d] = std::max(0.0, v);
+  }
+  return m;
+}
+
+void RingSampleSource::emit(TimedSample sample) {
+  // A full ring counts the drop (ring_.dropped()); the producer never
+  // blocks on backpressure — the consumer surfaces it instead.
+  ring_.try_push(std::move(sample));
+}
+
+void RingSampleSource::producer_loop() {
+  std::vector<TimedSample> held;
+  std::optional<Rng> ingest_rng;
+  double t = 0.0;
+  std::uint64_t seq = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (t > gate_ + options_.lookahead_s) {
+      // Caught up with the consumer's clock: flush any held-back samples
+      // (they now arrive behind newer ones — the late/out-of-order
+      // anomaly), publish how far the stream is settled, and park until
+      // the gate advances.
+      for (TimedSample& h : held) emit(std::move(h));
+      held.clear();
+      watermark_ = t;
+      consumer_cv_.notify_all();
+      producer_cv_.wait(lock, [&] {
+        return stop_ || t <= gate_ + options_.lookahead_s;
+      });
+    }
+    if (stop_) break;
+    if (!ingest_rng.has_value()) {
+      // First generation strictly follows install_faults (the gate only
+      // opens at the first drain), so the plan-derived schedule is final.
+      ingest_rng.emplace(mix_seed(ingest_seed_, options_.seed));
+    }
+    TimedSample s;
+    s.sequence = seq++;
+    s.measurement = synthesize(t);
+    bool delayed = false;
+    bool duplicated = false;
+    for (const sim::FaultSpec& f : ingest_specs_) {
+      if (!f.active(t)) continue;
+      if (f.kind == sim::FaultKind::IngestDelay &&
+          ingest_rng->chance(f.probability)) {
+        delayed = true;
+      } else if (f.kind == sim::FaultKind::IngestDuplicate &&
+                 ingest_rng->chance(f.probability)) {
+        duplicated = true;
+      }
+    }
+    if (delayed && held.size() < kMaxHeld) {
+      held.push_back(std::move(s));
+    } else {
+      TimedSample copy;
+      if (duplicated) copy = s;  // same sequence: the quarantine drops it
+      emit(std::move(s));
+      if (duplicated) emit(std::move(copy));
+      for (TimedSample& h : held) emit(std::move(h));
+      held.clear();
+    }
+    t += interval_at(t);
+  }
+}
+
+DrainReport RingSampleSource::drain(double now,
+                                    std::vector<TimedSample>& out) {
+  DrainReport report;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    gate_ = now;
+    producer_cv_.notify_all();
+    consumer_cv_.wait(lock, [&] { return stop_ || watermark_ > now; });
+  }
+  // The producer is parked waiting for the gate to pass its next sample
+  // time: every sample due by `now` is settled in the ring, nothing else
+  // pops it, and the occupancy any push saw was fixed by previous drains
+  // — the whole stream (overflow included) is schedule-independent.
+  auto deliver = [&](TimedSample s) {
+    if (injector_ != nullptr) {
+      injector_->corrupt_sample(s.measurement.time, s.measurement.values);
+    }
+    out.push_back(std::move(s));
+    ++report.delivered;
+    ++delivered_total_;
+  };
+  if (pending_.has_value() && pending_->measurement.time <= now) {
+    deliver(std::move(*pending_));
+    pending_.reset();
+  }
+  if (!pending_.has_value()) {
+    while (std::optional<TimedSample> s = ring_.try_pop()) {
+      if (s->measurement.time > now) {
+        pending_ = std::move(*s);
+        break;
+      }
+      deliver(std::move(*s));
+    }
+  }
+  const std::uint64_t dropped = ring_.dropped();
+  report.overflow = static_cast<std::size_t>(dropped - overflow_reported_);
+  overflow_reported_ = dropped;
+  return report;
+}
+
+}  // namespace stayaway::monitor

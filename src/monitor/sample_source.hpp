@@ -1,0 +1,202 @@
+// SampleSource: the ingestion seam of the mapping stage (DESIGN.md §15).
+//
+// The control loop historically made one synchronous Sampler::sample()
+// call per period, which caps ingestion at one sample per control
+// decision. SampleSource abstracts where samples come from so the
+// pipeline can drain *streams*:
+//
+//   SynchronousSampleSource  wraps HostSampler; drain() takes exactly
+//                            one sample — byte-identical to the
+//                            historical loop (golden tests).
+//   RingSampleSource         a producer thread replays a trace into a
+//                            lock-free SPSC ring (util/spsc_ring.hpp)
+//                            at a configured rate; drain() pops every
+//                            sample due by `now`. Overflow (full ring)
+//                            is counted, never blocking; late/
+//                            out-of-order/duplicate anomalies are
+//                            injected by the producer from the fault
+//                            plan's ingest-delay / ingest-dup cases and
+//                            classified downstream by SampleQuarantine.
+//
+// Determinism contract (what record/replay rests on): the producer only
+// emits samples with time <= gate + lookahead, where the gate is the
+// consumer's drain clock, and drain() waits until the producer's
+// watermark passes `now` before popping. Pushes therefore always run
+// against a ring occupancy fixed by previous drains, so the sample
+// stream — including every overflow drop — is a pure function of the
+// seed and the config, never of thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "monitor/measurement.hpp"
+#include "monitor/sampler.hpp"
+#include "sim/faults.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace stayaway::monitor {
+
+/// One streamed measurement. `sequence` is the producer's emission
+/// index; a duplicated delivery reuses its original's sequence, which is
+/// how the quarantine recognizes it.
+struct TimedSample {
+  std::uint64_t sequence = 0;
+  Measurement measurement;
+};
+
+/// What one drain() delivered and dropped.
+struct DrainReport {
+  /// Samples appended to the caller's buffer.
+  std::size_t delivered = 0;
+  /// Producer pushes rejected by a full ring since the previous drain.
+  std::size_t overflow = 0;
+};
+
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  virtual const MetricLayout& layout() const = 0;
+
+  /// True for asynchronous implementations. The mapper only fills the
+  /// PeriodRecord's ingest telemetry for streaming sources, so the
+  /// synchronous record stream stays byte-identical to the historical
+  /// format.
+  virtual bool streaming() const = 0;
+
+  /// Appends every sample due by `now` to `out` in arrival order.
+  virtual DrainReport drain(double now, std::vector<TimedSample>& out) = 0;
+
+  /// Attaches (or detaches, with nullptr) the pipeline's fault injector.
+  /// Sensor faults apply to every delivered sample; a streaming source
+  /// additionally reads the plan's ingest-delay / ingest-dup specs.
+  /// Must be called before the first drain().
+  virtual void set_fault_injector(sim::FaultInjector* injector) = 0;
+
+  /// Samples delivered across the source's lifetime (observability).
+  virtual std::uint64_t samples_taken() const = 0;
+};
+
+/// The historical path: one HostSampler reading per drain. Exists so
+/// every caller speaks SampleSource while the default configuration
+/// stays byte-identical to the pre-streaming loop.
+class SynchronousSampleSource final : public SampleSource {
+ public:
+  explicit SynchronousSampleSource(HostSampler sampler)
+      : sampler_(std::move(sampler)) {}
+
+  const MetricLayout& layout() const override { return sampler_.layout(); }
+  bool streaming() const override { return false; }
+
+  DrainReport drain(double now, std::vector<TimedSample>& out) override;
+
+  void set_fault_injector(sim::FaultInjector* injector) override {
+    sampler_.set_fault_injector(injector);
+  }
+
+  std::uint64_t samples_taken() const override {
+    return sampler_.samples_taken();
+  }
+
+  const HostSampler& sampler() const { return sampler_; }
+
+ private:
+  HostSampler sampler_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+/// Stream shape of a RingSampleSource, derived from core::IngestConfig
+/// plus the per-host seed (monitor cannot see core's config types).
+struct RingStreamOptions {
+  /// Emission rate in samples per simulated second.
+  double rate_hz = 4.0;
+  /// Producer may run this far past the consumer's gate.
+  double lookahead_s = 0.25;
+  /// Ring capacity in samples (rounded up to a power of two).
+  std::size_t ring_capacity = 1024;
+  /// Optional burst window at burst_rate_hz; 0 disables.
+  double burst_rate_hz = 0.0;
+  double burst_start_s = 0.0;
+  double burst_end_s = 0.0;
+  /// Multiplicative gaussian measurement noise per reading.
+  double noise_fraction = 0.01;
+  /// Sim-seconds -> trace-seconds: how fast the replayed trace advances
+  /// relative to the control clock. The default sweeps one diurnal day
+  /// (86400 trace-seconds) in 300 simulated seconds.
+  double time_scale = 288.0;
+  /// Seeds the producer's value noise and per-dimension demand mix.
+  std::uint64_t seed = 17;
+};
+
+class RingSampleSource final : public SampleSource {
+ public:
+  /// `scale[d]` is the full-scale raw value of flat dimension d (the
+  /// host capacity of its metric kind); the producer emits
+  /// scale * mix * trace intensity plus noise. The trace replays on a
+  /// loop via RingStreamOptions::time_scale.
+  RingSampleSource(MetricLayout layout, std::vector<double> scale,
+                   trace::Trace trace, RingStreamOptions options);
+  ~RingSampleSource() override;
+
+  RingSampleSource(const RingSampleSource&) = delete;
+  RingSampleSource& operator=(const RingSampleSource&) = delete;
+
+  const MetricLayout& layout() const override { return layout_; }
+  bool streaming() const override { return true; }
+
+  DrainReport drain(double now, std::vector<TimedSample>& out) override;
+
+  void set_fault_injector(sim::FaultInjector* injector) override;
+
+  std::uint64_t samples_taken() const override { return delivered_total_; }
+
+  /// Producer pushes dropped by a full ring so far (observability).
+  std::uint64_t overflow_total() const { return ring_.dropped(); }
+
+  const RingStreamOptions& options() const { return options_; }
+
+ private:
+  void producer_loop();
+  /// Emission interval at simulated time t (burst window aware).
+  double interval_at(double t) const;
+  Measurement synthesize(double t);
+  /// Pushes one sample; a full ring counts the drop inside the ring.
+  void emit(TimedSample sample);
+
+  MetricLayout layout_;
+  std::vector<double> scale_;
+  std::vector<double> mix_;  // per-dimension demand weight, seed-derived
+  trace::Trace trace_;
+  RingStreamOptions options_;
+
+  util::SpscRing<TimedSample> ring_;
+  Rng value_rng_;
+
+  // --- Producer <-> consumer gate protocol (see file comment). ---------
+  std::mutex mutex_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  double gate_ = -std::numeric_limits<double>::infinity();
+  double watermark_ = -std::numeric_limits<double>::infinity();
+  bool stop_ = false;
+  std::vector<sim::FaultSpec> ingest_specs_;
+  std::uint64_t ingest_seed_ = 0;
+
+  // --- Consumer-side state (control thread only). -----------------------
+  sim::FaultInjector* injector_ = nullptr;
+  std::optional<TimedSample> pending_;  // popped but not yet due
+  std::uint64_t delivered_total_ = 0;
+  std::uint64_t overflow_reported_ = 0;
+
+  std::thread producer_;  // last member: starts after everything above
+};
+
+}  // namespace stayaway::monitor

@@ -27,10 +27,6 @@ struct SamplerConfig {
   std::uint64_t seed = 17;
 };
 
-/// Pre-rename spelling; new code should say SamplerConfig.
-using SamplerOptions [[deprecated("use monitor::SamplerConfig")]] =
-    SamplerConfig;
-
 class HostSampler {
  public:
   /// The host must outlive the sampler. The layout is fixed at

@@ -41,8 +41,10 @@ std::uint64_t draw_u64(Rng& rng) { return rng.engine()(); }
 
 /// One random scenario within the declared mutation bounds. Every bound
 /// keeps the document valid (parse-clean), so a mutation can only expose
-/// controller bugs, never parser rejections.
-harness::FleetScenario mutate(Rng& rng) {
+/// controller bugs, never parser rejections. Ingest draws (when enabled)
+/// come strictly after every historical draw, so disabling them restores
+/// the historical draw stream exactly (pinned-seed byte identity).
+harness::FleetScenario mutate(Rng& rng, const FuzzConfig& config) {
   harness::Scenario base;
   harness::ExperimentSpec& spec = base.spec;
   spec.policy = harness::PolicyKind::StayAway;
@@ -90,6 +92,33 @@ harness::FleetScenario mutate(Rng& rng) {
     vm.kind = pick(rng, kBatchKinds);
     vm.start_s = std::floor(rng.uniform(0.0, spec.duration_s / 2.0));
     spec.extra_batch.push_back(std::move(vm));
+  }
+
+  if (config.ingest) {
+    // Streaming ingestion mutations (DESIGN.md §15): ring source at a
+    // randomized base rate, a small ring so burst windows can overflow
+    // it, and optionally a burst window plus producer-side ingest
+    // anomalies (late/out-of-order and duplicate deliveries).
+    core::IngestConfig& ing = spec.stayaway.ingest;
+    ing.source = core::IngestSource::Ring;
+    ing.rate_hz = std::floor(rng.uniform(8.0, 64.0));
+    ing.ring_capacity = std::size_t{64} << rng.index(4);  // 64..512
+    if (rng.chance(0.5)) {
+      ing.burst_rate_hz = std::floor(rng.uniform(128.0, 1024.0));
+      ing.burst_start_s = std::floor(rng.uniform(0.0, spec.duration_s * 0.5));
+      ing.burst_end_s = ing.burst_start_s + std::floor(rng.uniform(3.0, 15.0));
+    }
+    if (rng.chance(0.5)) {
+      sim::FaultSpec fault;
+      fault.kind = rng.chance(0.5) ? sim::FaultKind::IngestDelay
+                                   : sim::FaultKind::IngestDuplicate;
+      fault.start_s = std::floor(rng.uniform(0.0, spec.duration_s * 0.6));
+      fault.end_s = fault.start_s + std::floor(rng.uniform(3.0, 30.0));
+      fault.probability = rng.uniform(0.2, 1.0);
+      fault.magnitude = 1.0;  // unused by ingest anomalies
+      fault.dimension = -1;
+      spec.faults->faults.push_back(fault);
+    }
   }
 
   harness::FleetScenario doc;
@@ -190,6 +219,47 @@ harness::FleetScenario shrink(harness::FleetScenario fleet,
       }
       if (try_candidate(candidate, &fleet)) improved = true;
     }
+    // Minimize ingestion-rate windows, not just what fault/VM lines are
+    // present: drop the burst window outright, then narrow it, then
+    // halve the base rate (floor 8 Hz) — each step only if the finding
+    // survives, so an overflow finding shrinks to the slowest stream
+    // that still overflows.
+    // (Snapshot by value before each step: an accepted candidate
+    // reassigns `fleet`, invalidating references into it.)
+    core::IngestConfig ing = fleet.hosts.front().second.spec.stayaway.ingest;
+    if (ing.streaming()) {
+      if (ing.burst_rate_hz > 0.0) {
+        harness::FleetScenario candidate = fleet;
+        for (auto& [name, scenario] : candidate.hosts) {
+          core::IngestConfig& c = scenario.spec.stayaway.ingest;
+          c.burst_rate_hz = 0.0;
+          c.burst_start_s = 0.0;
+          c.burst_end_s = 0.0;
+        }
+        if (try_candidate(candidate, &fleet)) improved = true;
+      }
+      ing = fleet.hosts.front().second.spec.stayaway.ingest;
+      if (ing.burst_rate_hz > 0.0 &&
+          ing.burst_end_s - ing.burst_start_s > 2.0) {
+        harness::FleetScenario candidate = fleet;
+        double narrowed = std::max(
+            1.0, std::floor((ing.burst_end_s - ing.burst_start_s) / 2.0));
+        for (auto& [name, scenario] : candidate.hosts) {
+          core::IngestConfig& c = scenario.spec.stayaway.ingest;
+          c.burst_end_s = c.burst_start_s + narrowed;
+        }
+        if (try_candidate(candidate, &fleet)) improved = true;
+      }
+      ing = fleet.hosts.front().second.spec.stayaway.ingest;
+      if (ing.rate_hz > 8.0) {
+        harness::FleetScenario candidate = fleet;
+        double halved_rate = std::max(8.0, std::floor(ing.rate_hz / 2.0));
+        for (auto& [name, scenario] : candidate.hosts) {
+          scenario.spec.stayaway.ingest.rate_hz = halved_rate;
+        }
+        if (try_candidate(candidate, &fleet)) improved = true;
+      }
+    }
   }
   return fleet;
 }
@@ -256,6 +326,14 @@ std::optional<std::string> detect_instability(
     starve_streak = starving ? starve_streak + 1 : 0;
     if (starve_streak >= starve_limit) return "batch-starvation";
   }
+  // Queue overflow / backpressure (DESIGN.md §15): a ring-fed run whose
+  // producer outpaces the drain sheds this many samples. Checked after
+  // the scan so the historical detectors keep their priority (pinned
+  // seeds must keep reproducing their committed findings).
+  constexpr std::size_t kOverflowDrops = 64;
+  std::size_t overflow = 0;
+  for (const core::PeriodRecord& rec : records) overflow += rec.overflow_drops;
+  if (overflow >= kOverflowDrops) return "ingest-overflow";
   return std::nullopt;
 }
 
@@ -266,7 +344,7 @@ FuzzReport fuzz_scenarios(const FuzzConfig& config) {
   for (std::size_t run_index = 0;
        run_index < config.runs && report.periods_executed < config.max_periods;
        ++run_index) {
-    harness::FleetScenario fleet = mutate(rng);
+    harness::FleetScenario fleet = mutate(rng, config);
     report.periods_executed += run_cost(fleet);
     ++report.runs_executed;
     std::optional<std::string> fired = run_and_detect(fleet, nullptr);

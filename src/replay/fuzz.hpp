@@ -24,6 +24,11 @@ struct FuzzConfig {
   /// Total host-periods simulated before the batch stops, shrinking
   /// included (~60 s of wall clock at the default scenario sizes).
   std::size_t max_periods = 12000;
+  /// Also mutate streaming ingestion (ring source, rates, bursts, ingest
+  /// anomalies — DESIGN.md §15). Off by default: the extra draws are
+  /// appended after the historical ones, so pinned seeds reproduce their
+  /// committed findings byte-identically only with this flag off.
+  bool ingest = false;
 };
 
 /// One controller-instability detector verdict over a recorded run.

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -18,11 +19,14 @@ namespace {
 
 /// Fixed field order of a serialized PeriodRecord line. Order is part of
 /// the format: replay byte-diffs lines, so two encodings of one record
-/// must not exist.
+/// must not exist. The trailing ingest block (ing..ovf, DESIGN.md §15) is
+/// all-or-nothing: emitted only when any ingest field is non-zero, so a
+/// synchronous-source record keeps its historical byte encoding.
 constexpr const char* kFieldOrder[] = {
     "t",     "mode",  "x",      "y",    "rep",    "newrep", "vobs",
     "vpred", "model", "act",    "paused", "stress", "beta",  "deg",
     "qdims", "stale", "qosvis", "retries", "pending",
+    "ing",   "late",  "dup",    "ovf",
 };
 constexpr std::size_t kFieldCount = sizeof(kFieldOrder) / sizeof(*kFieldOrder);
 
@@ -37,6 +41,21 @@ class FieldReader {
       throw PreconditionError("period record truncated before field '" +
                               std::string(kFieldOrder[index]) + "'");
     }
+    std::string prefix = std::string(kFieldOrder[index]) + "=";
+    if (token.rfind(prefix, 0) != 0) {
+      throw PreconditionError("period record expected field '" +
+                              std::string(kFieldOrder[index]) + "', got '" +
+                              token + "'");
+    }
+    return token.substr(prefix.size());
+  }
+
+  /// Like next(), but an exhausted line yields nullopt instead of
+  /// throwing — how the optional trailing ingest block is detected.
+  std::optional<std::string> next_optional(std::size_t index) {
+    SA_DCHECK(index < kFieldCount, "field index out of range");
+    std::string token;
+    if (!(in_ >> token)) return std::nullopt;
     std::string prefix = std::string(kFieldOrder[index]) + "=";
     if (token.rfind(prefix, 0) != 0) {
       throw PreconditionError("period record expected field '" +
@@ -121,6 +140,12 @@ std::string serialize_period_record(const core::PeriodRecord& rec) {
   flag("qosvis", rec.qos_visible);
   count("retries", rec.actuation_retries);
   flag("pending", rec.actuation_pending);
+  if (rec.ingest_any()) {
+    count("ing", rec.samples_ingested);
+    count("late", rec.late_samples);
+    count("dup", rec.duplicate_samples);
+    count("ovf", rec.overflow_drops);
+  }
   return out;
 }
 
@@ -155,6 +180,14 @@ core::PeriodRecord parse_period_record(const std::string& line) {
   rec.qos_visible = to_bool(fields.next(i++));
   rec.actuation_retries = static_cast<std::size_t>(to_u64(fields.next(i++)));
   rec.actuation_pending = to_bool(fields.next(i++));
+  // Optional ingest block: absent on synchronous-source records, all four
+  // fields present on streaming ones.
+  if (std::optional<std::string> ing = fields.next_optional(i++)) {
+    rec.samples_ingested = static_cast<std::size_t>(to_u64(*ing));
+    rec.late_samples = static_cast<std::size_t>(to_u64(fields.next(i++)));
+    rec.duplicate_samples = static_cast<std::size_t>(to_u64(fields.next(i++)));
+    rec.overflow_drops = static_cast<std::size_t>(to_u64(fields.next(i++)));
+  }
   fields.finish();
   return rec;
 }

@@ -13,9 +13,10 @@ namespace stayaway::sim {
 namespace {
 
 constexpr FaultKind kAllKinds[] = {
-    FaultKind::SensorDropout, FaultKind::StuckAt,    FaultKind::Spike,
+    FaultKind::SensorDropout, FaultKind::StuckAt,     FaultKind::Spike,
     FaultKind::NonFinite,     FaultKind::StaleSample, FaultKind::QosBlind,
-    FaultKind::PauseFail,     FaultKind::ResumeFail,
+    FaultKind::PauseFail,     FaultKind::ResumeFail,  FaultKind::IngestDelay,
+    FaultKind::IngestDuplicate,
 };
 
 bool is_sensor_fault(FaultKind kind) {
@@ -29,6 +30,8 @@ bool is_sensor_fault(FaultKind kind) {
     case FaultKind::QosBlind:
     case FaultKind::PauseFail:
     case FaultKind::ResumeFail:
+    case FaultKind::IngestDelay:
+    case FaultKind::IngestDuplicate:
       return false;
   }
   return false;
@@ -90,6 +93,10 @@ const char* to_string(FaultKind kind) {
       return "pause-fail";
     case FaultKind::ResumeFail:
       return "resume-fail";
+    case FaultKind::IngestDelay:
+      return "ingest-delay";
+    case FaultKind::IngestDuplicate:
+      return "ingest-dup";
   }
   return "unknown";
 }

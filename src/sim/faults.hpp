@@ -39,9 +39,13 @@ enum class FaultKind {
   Spike,          // reading multiplied by `magnitude`
   NonFinite,      // reading replaced by +Inf (corrupted counter)
   StaleSample,    // the whole previous sample replayed verbatim
-  QosBlind,       // the QoS probe reports nothing
-  PauseFail,      // a pause command is silently dropped
-  ResumeFail,     // a resume command is silently dropped
+  QosBlind,        // the QoS probe reports nothing
+  PauseFail,       // a pause command is silently dropped
+  ResumeFail,      // a resume command is silently dropped
+  IngestDelay,     // streaming: a sample is withheld and arrives late /
+                   // out of order (applied by the ring producer)
+  IngestDuplicate, // streaming: a sample is delivered twice (the
+                   // quarantine drops the duplicate)
 };
 
 const char* to_string(FaultKind kind);

@@ -1,0 +1,97 @@
+// Lock-free single-producer/single-consumer ring buffer (DESIGN.md §15).
+//
+// The streaming-ingestion transport: one producer thread pushes timed
+// samples, one consumer (the host pipeline's control thread) pops them
+// each period. Capacity is rounded up to a power of two so index
+// wrapping is a mask. A full ring never blocks the producer — try_push
+// fails and the drop is counted, which is exactly the backpressure
+// signal the ingest telemetry (and the fuzzer's ingest-overflow
+// detector) surfaces instead of silently stalling the feed.
+//
+// Thread-safety contract: try_push/dropped-increment from exactly one
+// thread, try_pop from exactly one (possibly different) thread. size
+// accessors are approximate snapshots, safe from either side.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stayaway::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : buffer_(round_up_pow2(capacity)), mask_(buffer_.size() - 1) {
+    SA_REQUIRE(capacity > 0, "ring capacity must be positive");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False (and one counted drop) when the ring is full.
+  bool try_push(T value) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head >= buffer_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buffer_[static_cast<std::size_t>(tail) & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the ring has nothing pending.
+  std::optional<T> try_pop() {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail) return std::nullopt;
+    std::optional<T> out(std::move(buffer_[static_cast<std::size_t>(head) &
+                                           mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Power-of-two slot count actually allocated.
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// Approximate occupancy (exact from either endpoint's own thread).
+  std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  std::uint64_t pushed() const {
+    return tail_.load(std::memory_order_acquire);
+  }
+  std::uint64_t popped() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Pushes rejected because the ring was full (overflow backpressure).
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};  // consumer index
+  std::atomic<std::uint64_t> tail_{0};  // producer index
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace stayaway::util

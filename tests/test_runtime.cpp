@@ -46,12 +46,6 @@ StayAwayConfig test_config() {
   return cfg;
 }
 
-monitor::SamplerConfig quiet_sampler() {
-  monitor::SamplerConfig opts;
-  opts.noise_fraction = 0.005;
-  return opts;
-}
-
 void run_periods(Rig& rig, StayAwayRuntime& rt, std::size_t periods) {
   for (std::size_t p = 0; p < periods; ++p) {
     rig.host.run(10);  // 10 ticks of 0.1 s = one 1 s period
@@ -201,30 +195,28 @@ TEST(Runtime, InvalidPeriodRejected) {
                PreconditionError);
 }
 
-TEST(Runtime, DeprecatedSamplerShimMatchesUnifiedConfig) {
-  // The one surviving piece of the pre-unification surface: the positional
-  // (config, sampler) constructor and the monitor::SamplerOptions alias
-  // must keep compiling (with a deprecation warning) and behave exactly
-  // like config.sampler carrying the same options.
-  StayAwayConfig base;
-  base.period_s = 1.0;
-  base.seed = 42;
+TEST(Runtime, UnifiedSamplerConfigDrivesTheLoop) {
+  // config.sampler is the single entry point for sampling options (the
+  // positional shim and the SamplerOptions alias are gone): two runtimes
+  // built from equal configs replay identically, and changing only
+  // config.sampler demonstrably changes the loop.
+  Rig rig_a(3.0);
+  StayAwayRuntime rt_a(rig_a.host, *rig_a.probe, test_config());
+  run_periods(rig_a, rt_a, 25);
 
-  Rig rig_shim(3.0);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  monitor::SamplerOptions legacy = quiet_sampler();
-  StayAwayRuntime rt_shim(rig_shim.host, *rig_shim.probe, base, legacy);
-#pragma GCC diagnostic pop
-  run_periods(rig_shim, rt_shim, 25);
+  Rig rig_b(3.0);
+  StayAwayRuntime rt_b(rig_b.host, *rig_b.probe, test_config());
+  run_periods(rig_b, rt_b, 25);
 
-  Rig rig_unified(3.0);
-  StayAwayRuntime rt_unified(rig_unified.host, *rig_unified.probe,
-                             test_config());
-  run_periods(rig_unified, rt_unified, 25);
+  ASSERT_EQ(rt_a.records().size(), rt_b.records().size());
+  EXPECT_EQ(rt_a.records(), rt_b.records());
 
-  ASSERT_EQ(rt_shim.records().size(), rt_unified.records().size());
-  EXPECT_EQ(rt_shim.records(), rt_unified.records());
+  StayAwayConfig noisy = test_config();
+  noisy.sampler.noise_fraction = 0.2;
+  Rig rig_c(3.0);
+  StayAwayRuntime rt_c(rig_c.host, *rig_c.probe, noisy);
+  run_periods(rig_c, rt_c, 25);
+  EXPECT_NE(rt_a.records(), rt_c.records());
 }
 
 TEST(Runtime, AccuracyIsZeroBeforeAnyPrediction) {

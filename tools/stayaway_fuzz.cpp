@@ -2,7 +2,7 @@
 // instabilities (DESIGN.md §14).
 //
 //   stayaway_fuzz [--seed S[,S...]] [--runs N] [--budget PERIODS]
-//                 [--out DIR] [--expect-findings]
+//                 [--out DIR] [--expect-findings] [--ingest]
 //
 // For each seed it mutates workload/fault/fleet plans within declared
 // bounds, records every run, scans the PeriodRecord streams with the
@@ -25,7 +25,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: stayaway_fuzz [--seed S[,S...]] [--runs N] [--budget PERIODS]\n"
-    "                     [--out DIR] [--expect-findings]\n";
+    "                     [--out DIR] [--expect-findings] [--ingest]\n";
 
 bool parse_positive(const std::string& text, std::size_t& out) {
   char* end = nullptr;
@@ -60,11 +60,19 @@ int main(int argc, char** argv) {
   std::size_t budget = 12000;
   std::string out_dir = ".";
   bool expect_findings = false;
+  bool ingest = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--expect-findings") {
       expect_findings = true;
+      continue;
+    }
+    if (arg == "--ingest") {
+      // Streaming-ingestion mutations (ring source, bursts, ingest
+      // anomalies). Changes the draw stream, so pinned seeds from the
+      // default mode do not reproduce under this flag.
+      ingest = true;
       continue;
     }
     if (arg == "--seed" || arg == "--runs" || arg == "--budget" ||
@@ -103,6 +111,7 @@ int main(int argc, char** argv) {
       config.seed = seed;
       config.runs = runs;
       config.max_periods = budget;
+      config.ingest = ingest;
       stayaway::replay::FuzzReport report =
           stayaway::replay::fuzz_scenarios(config);
       std::cout << "seed " << seed << ": " << report.runs_executed

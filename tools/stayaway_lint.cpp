@@ -224,6 +224,27 @@ void check_line_rules(const std::string& path, std::size_t lineno,
       }
     }
   }
+  // Ingestion seam (DESIGN.md §15): samples reach the mapping stage only
+  // through a monitor::SampleSource drain; the synchronous source is the
+  // one place allowed to call HostSampler::sample() directly. Receivers
+  // named exactly `sampler`/`sampler_` are matched (the repo's HostSampler
+  // naming); stats samplers like `step_sampler.sample(rng)` stay legal.
+  if (path.find("monitor/sample_source") == std::string::npos) {
+    for (std::string_view call :
+         {"sampler.sample(", "sampler_.sample(", "sampler->sample(",
+          "sampler_->sample("}) {
+      std::size_t p = line.find(call);
+      while (p != std::string::npos) {
+        if (p == 0 || !ident_char(line[p - 1])) {
+          out.push_back({path, lineno, "direct-sample-call",
+                         "direct HostSampler::sample() calls are banned "
+                         "outside the synchronous SampleSource; drain a "
+                         "monitor::SampleSource instead"});
+        }
+        p = line.find(call, p + 1);
+      }
+    }
+  }
   for (std::string_view stream : {"cout", "cerr", "clog"}) {
     std::size_t pos = find_word(line, stream);
     if (pos != std::string::npos && pos >= 5 &&
@@ -403,6 +424,18 @@ std::vector<Fixture> self_test_fixtures() {
                {}});
   f.push_back({"simhost-in-stage-comment", "src/core/stages/ok3.cpp",
                "// the SimHost lives behind the port\nint x = 0;\n",
+               {}});
+  f.push_back({"direct-sample-call-in-stage", "src/core/stages/bad2.cpp",
+               "monitor::Measurement m = sampler_.sample();\n",
+               {"direct-sample-call"}});
+  f.push_back({"direct-sample-call-arrow", "src/harness/bad.cpp",
+               "auto m = sampler->sample();\n",
+               {"direct-sample-call"}});
+  f.push_back({"sample-in-sample-source", "src/monitor/sample_source.cpp",
+               "s.measurement = sampler_.sample();\n",
+               {}});
+  f.push_back({"stats-sampler-ok", "src/core/trajectory_ok.cpp",
+               "double d = step_sampler.sample(rng);\n",
                {}});
   return f;
 }

@@ -86,7 +86,8 @@ compare      = true              # also run no-prevention + isolated references
 constexpr const char* kUsage =
     "usage: stayaway_sim [--events-out FILE] [--metrics-out FILE]\n"
     "                    [--faults FILE] [--hosts N] [--workers N]\n"
-    "                    [--record FILE] <scenario-file | - | --example>\n"
+    "                    [--ingest-rate HZ] [--record FILE]\n"
+    "                    <scenario-file | - | --example>\n"
     "       stayaway_sim --replay FILE\n";
 
 struct Options {
@@ -98,6 +99,9 @@ struct Options {
   std::optional<std::string> replay;
   std::size_t hosts = 0;    // 0 = no replication requested
   std::size_t workers = 0;  // 0 = take the scenario's `workers` key
+  /// Set: override every host to ring ingestion at this rate (DESIGN.md
+  /// §15) — equivalent to `ingest_source = ring` + `ingest_rate_hz`.
+  std::optional<double> ingest_rate;
 };
 
 int run_single(stayaway::harness::Scenario scenario, const Options& opts) {
@@ -397,6 +401,17 @@ int run(std::istream& in, const Options& opts) {
   using namespace stayaway::harness;
 
   FleetScenario doc = parse_fleet_scenario(in);
+  if (opts.ingest_rate.has_value()) {
+    auto to_ring = [&opts](Scenario& s) {
+      s.spec.stayaway.ingest.source = stayaway::core::IngestSource::Ring;
+      s.spec.stayaway.ingest.rate_hz = *opts.ingest_rate;
+    };
+    to_ring(doc.base);
+    for (auto& [name, scenario] : doc.hosts) {
+      (void)name;
+      to_ring(scenario);
+    }
+  }
   if (opts.record.has_value()) return run_record_mode(doc, opts);
   // Plain documents without --hosts keep the historical single-host path
   // (and its exact output) — fleet mode is strictly opt-in.
@@ -421,7 +436,7 @@ int main(int argc, char** argv) {
     }
     if (arg == "--events-out" || arg == "--metrics-out" || arg == "--faults" ||
         arg == "--record" || arg == "--replay" || arg == "--hosts" ||
-        arg == "--workers") {
+        arg == "--workers" || arg == "--ingest-rate") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " needs an argument\n" << kUsage;
         return 2;
@@ -437,6 +452,15 @@ int main(int argc, char** argv) {
         opts.record = argv[i];
       } else if (arg == "--replay") {
         opts.replay = argv[i];
+      } else if (arg == "--ingest-rate") {
+        char* end = nullptr;
+        double hz = std::strtod(argv[i], &end);
+        if (end == nullptr || *end != '\0' || !(hz > 0.0)) {
+          std::cerr << "error: --ingest-rate needs a positive rate in Hz\n"
+                    << kUsage;
+          return 2;
+        }
+        opts.ingest_rate = hz;
       } else {
         char* end = nullptr;
         long n = std::strtol(argv[i], &end, 10);
@@ -464,7 +488,8 @@ int main(int argc, char** argv) {
   if (opts.replay.has_value()) {
     if (have_scenario || opts.record.has_value() || opts.faults.has_value() ||
         opts.events_out.has_value() || opts.metrics_out.has_value() ||
-        opts.hosts != 0 || opts.workers != 0) {
+        opts.hosts != 0 || opts.workers != 0 ||
+        opts.ingest_rate.has_value()) {
       std::cerr << "error: --replay takes no scenario and no other flags\n"
                 << kUsage;
       return 2;
