@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_mds_vs_pca"
+  "../bench/bench_abl_mds_vs_pca.pdb"
+  "CMakeFiles/bench_abl_mds_vs_pca.dir/bench_abl_mds_vs_pca.cpp.o"
+  "CMakeFiles/bench_abl_mds_vs_pca.dir/bench_abl_mds_vs_pca.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_mds_vs_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

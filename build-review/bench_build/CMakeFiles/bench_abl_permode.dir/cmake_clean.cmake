@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_permode"
+  "../bench/bench_abl_permode.pdb"
+  "CMakeFiles/bench_abl_permode.dir/bench_abl_permode.cpp.o"
+  "CMakeFiles/bench_abl_permode.dir/bench_abl_permode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_permode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_policies"
+  "../bench/bench_abl_policies.pdb"
+  "CMakeFiles/bench_abl_policies.dir/bench_abl_policies.cpp.o"
+  "CMakeFiles/bench_abl_policies.dir/bench_abl_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

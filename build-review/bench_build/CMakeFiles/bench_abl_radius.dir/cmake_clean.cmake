@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_radius"
+  "../bench/bench_abl_radius.pdb"
+  "CMakeFiles/bench_abl_radius.dir/bench_abl_radius.cpp.o"
+  "CMakeFiles/bench_abl_radius.dir/bench_abl_radius.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

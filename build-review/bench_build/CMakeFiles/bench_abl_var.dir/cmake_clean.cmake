@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_var"
+  "../bench/bench_abl_var.pdb"
+  "CMakeFiles/bench_abl_var.dir/bench_abl_var.cpp.o"
+  "CMakeFiles/bench_abl_var.dir/bench_abl_var.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

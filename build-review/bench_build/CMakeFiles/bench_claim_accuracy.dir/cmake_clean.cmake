@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_claim_accuracy"
+  "../bench/bench_claim_accuracy.pdb"
+  "CMakeFiles/bench_claim_accuracy.dir/bench_claim_accuracy.cpp.o"
+  "CMakeFiles/bench_claim_accuracy.dir/bench_claim_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_claim_util_summary"
+  "../bench/bench_claim_util_summary.pdb"
+  "CMakeFiles/bench_claim_util_summary.dir/bench_claim_util_summary.cpp.o"
+  "CMakeFiles/bench_claim_util_summary.dir/bench_claim_util_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_util_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_violation_range"
+  "../bench/bench_fig04_violation_range.pdb"
+  "CMakeFiles/bench_fig04_violation_range.dir/bench_fig04_violation_range.cpp.o"
+  "CMakeFiles/bench_fig04_violation_range.dir/bench_fig04_violation_range.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_violation_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_instantaneous"
+  "../bench/bench_fig06_instantaneous.pdb"
+  "CMakeFiles/bench_fig06_instantaneous.dir/bench_fig06_instantaneous.cpp.o"
+  "CMakeFiles/bench_fig06_instantaneous.dir/bench_fig06_instantaneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_instantaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_gradual"
+  "../bench/bench_fig07_gradual.pdb"
+  "CMakeFiles/bench_fig07_gradual.dir/bench_fig07_gradual.cpp.o"
+  "CMakeFiles/bench_fig07_gradual.dir/bench_fig07_gradual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_gradual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_vlc_cpubomb"
+  "../bench/bench_fig08_vlc_cpubomb.pdb"
+  "CMakeFiles/bench_fig08_vlc_cpubomb.dir/bench_fig08_vlc_cpubomb.cpp.o"
+  "CMakeFiles/bench_fig08_vlc_cpubomb.dir/bench_fig08_vlc_cpubomb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_vlc_cpubomb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_vlc_twitter"
+  "../bench/bench_fig09_vlc_twitter.pdb"
+  "CMakeFiles/bench_fig09_vlc_twitter.dir/bench_fig09_vlc_twitter.cpp.o"
+  "CMakeFiles/bench_fig09_vlc_twitter.dir/bench_fig09_vlc_twitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_vlc_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_util_webservice"
+  "../bench/bench_fig12_util_webservice.pdb"
+  "CMakeFiles/bench_fig12_util_webservice.dir/bench_fig12_util_webservice.cpp.o"
+  "CMakeFiles/bench_fig12_util_webservice.dir/bench_fig12_util_webservice.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_util_webservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_ws_mix"
+  "../bench/bench_fig14_ws_mix.pdb"
+  "CMakeFiles/bench_fig14_ws_mix.dir/bench_fig14_ws_mix.cpp.o"
+  "CMakeFiles/bench_fig14_ws_mix.dir/bench_fig14_ws_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ws_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_ws_cpu"
+  "../bench/bench_fig15_ws_cpu.pdb"
+  "CMakeFiles/bench_fig15_ws_cpu.dir/bench_fig15_ws_cpu.cpp.o"
+  "CMakeFiles/bench_fig15_ws_cpu.dir/bench_fig15_ws_cpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ws_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_ws_mem"
+  "../bench/bench_fig16_ws_mem.pdb"
+  "CMakeFiles/bench_fig16_ws_mem.dir/bench_fig16_ws_mem.cpp.o"
+  "CMakeFiles/bench_fig16_ws_mem.dir/bench_fig16_ws_mem.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ws_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

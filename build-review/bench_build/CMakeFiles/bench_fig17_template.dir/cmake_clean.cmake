@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_template"
+  "../bench/bench_fig17_template.pdb"
+  "CMakeFiles/bench_fig17_template.dir/bench_fig17_template.cpp.o"
+  "CMakeFiles/bench_fig17_template.dir/bench_fig17_template.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

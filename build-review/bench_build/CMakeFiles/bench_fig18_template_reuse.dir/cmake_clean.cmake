@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_template_reuse"
+  "../bench/bench_fig18_template_reuse.pdb"
+  "CMakeFiles/bench_fig18_template_reuse.dir/bench_fig18_template_reuse.cpp.o"
+  "CMakeFiles/bench_fig18_template_reuse.dir/bench_fig18_template_reuse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_template_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

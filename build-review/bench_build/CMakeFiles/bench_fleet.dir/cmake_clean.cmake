@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fleet"
+  "../bench/bench_fleet.pdb"
+  "CMakeFiles/bench_fleet.dir/bench_fleet.cpp.o"
+  "CMakeFiles/bench_fleet.dir/bench_fleet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hotpath"
+  "../bench/bench_hotpath.pdb"
+  "CMakeFiles/bench_hotpath.dir/bench_hotpath.cpp.o"
+  "CMakeFiles/bench_hotpath.dir/bench_hotpath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec21_priorities"
+  "../bench/bench_sec21_priorities.pdb"
+  "CMakeFiles/bench_sec21_priorities.dir/bench_sec21_priorities.cpp.o"
+  "CMakeFiles/bench_sec21_priorities.dir/bench_sec21_priorities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec21_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

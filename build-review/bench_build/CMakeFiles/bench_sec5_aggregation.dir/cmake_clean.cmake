@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec5_aggregation"
+  "../bench/bench_sec5_aggregation.pdb"
+  "CMakeFiles/bench_sec5_aggregation.dir/bench_sec5_aggregation.cpp.o"
+  "CMakeFiles/bench_sec5_aggregation.dir/bench_sec5_aggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

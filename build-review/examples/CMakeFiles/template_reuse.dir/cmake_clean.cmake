@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_reuse.dir/template_reuse.cpp.o"
+  "CMakeFiles/template_reuse.dir/template_reuse.cpp.o.d"
+  "template_reuse"
+  "template_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

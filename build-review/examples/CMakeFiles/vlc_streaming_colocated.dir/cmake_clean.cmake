@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlc_streaming_colocated.dir/vlc_streaming_colocated.cpp.o"
+  "CMakeFiles/vlc_streaming_colocated.dir/vlc_streaming_colocated.cpp.o.d"
+  "vlc_streaming_colocated"
+  "vlc_streaming_colocated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlc_streaming_colocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vlc_streaming_colocated.
+# This may be replaced when dependencies are built.

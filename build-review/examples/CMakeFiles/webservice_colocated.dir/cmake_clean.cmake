@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webservice_colocated.dir/webservice_colocated.cpp.o"
+  "CMakeFiles/webservice_colocated.dir/webservice_colocated.cpp.o.d"
+  "webservice_colocated"
+  "webservice_colocated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webservice_colocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

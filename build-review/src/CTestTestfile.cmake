@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("linalg")
+subdirs("stats")
+subdirs("mds")
+subdirs("sim")
+subdirs("trace")
+subdirs("apps")
+subdirs("monitor")
+subdirs("core")
+subdirs("baseline")
+subdirs("harness")
+subdirs("replay")

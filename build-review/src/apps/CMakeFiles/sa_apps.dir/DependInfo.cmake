@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cpubomb.cpp" "src/apps/CMakeFiles/sa_apps.dir/cpubomb.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/cpubomb.cpp.o.d"
+  "/root/repo/src/apps/lru_cache.cpp" "src/apps/CMakeFiles/sa_apps.dir/lru_cache.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/apps/membomb.cpp" "src/apps/CMakeFiles/sa_apps.dir/membomb.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/membomb.cpp.o.d"
+  "/root/repo/src/apps/phase.cpp" "src/apps/CMakeFiles/sa_apps.dir/phase.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/phase.cpp.o.d"
+  "/root/repo/src/apps/soplex.cpp" "src/apps/CMakeFiles/sa_apps.dir/soplex.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/soplex.cpp.o.d"
+  "/root/repo/src/apps/twitter_analysis.cpp" "src/apps/CMakeFiles/sa_apps.dir/twitter_analysis.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/twitter_analysis.cpp.o.d"
+  "/root/repo/src/apps/vlc_stream.cpp" "src/apps/CMakeFiles/sa_apps.dir/vlc_stream.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/vlc_stream.cpp.o.d"
+  "/root/repo/src/apps/vlc_transcode.cpp" "src/apps/CMakeFiles/sa_apps.dir/vlc_transcode.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/vlc_transcode.cpp.o.d"
+  "/root/repo/src/apps/webservice.cpp" "src/apps/CMakeFiles/sa_apps.dir/webservice.cpp.o" "gcc" "src/apps/CMakeFiles/sa_apps.dir/webservice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/sa_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/sa_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/sa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_apps.dir/cpubomb.cpp.o"
+  "CMakeFiles/sa_apps.dir/cpubomb.cpp.o.d"
+  "CMakeFiles/sa_apps.dir/lru_cache.cpp.o"
+  "CMakeFiles/sa_apps.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/sa_apps.dir/membomb.cpp.o"
+  "CMakeFiles/sa_apps.dir/membomb.cpp.o.d"
+  "CMakeFiles/sa_apps.dir/phase.cpp.o"
+  "CMakeFiles/sa_apps.dir/phase.cpp.o.d"
+  "CMakeFiles/sa_apps.dir/soplex.cpp.o"
+  "CMakeFiles/sa_apps.dir/soplex.cpp.o.d"
+  "CMakeFiles/sa_apps.dir/twitter_analysis.cpp.o"
+  "CMakeFiles/sa_apps.dir/twitter_analysis.cpp.o.d"
+  "CMakeFiles/sa_apps.dir/vlc_stream.cpp.o"
+  "CMakeFiles/sa_apps.dir/vlc_stream.cpp.o.d"
+  "CMakeFiles/sa_apps.dir/vlc_transcode.cpp.o"
+  "CMakeFiles/sa_apps.dir/vlc_transcode.cpp.o.d"
+  "CMakeFiles/sa_apps.dir/webservice.cpp.o"
+  "CMakeFiles/sa_apps.dir/webservice.cpp.o.d"
+  "libsa_apps.a"
+  "libsa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_baseline.dir/policy.cpp.o"
+  "CMakeFiles/sa_baseline.dir/policy.cpp.o.d"
+  "CMakeFiles/sa_baseline.dir/reactive.cpp.o"
+  "CMakeFiles/sa_baseline.dir/reactive.cpp.o.d"
+  "CMakeFiles/sa_baseline.dir/stages/reactive_actuator.cpp.o"
+  "CMakeFiles/sa_baseline.dir/stages/reactive_actuator.cpp.o.d"
+  "CMakeFiles/sa_baseline.dir/stages/static_actuator.cpp.o"
+  "CMakeFiles/sa_baseline.dir/stages/static_actuator.cpp.o.d"
+  "CMakeFiles/sa_baseline.dir/static_threshold.cpp.o"
+  "CMakeFiles/sa_baseline.dir/static_threshold.cpp.o.d"
+  "libsa_baseline.a"
+  "libsa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/embedder.cpp" "src/core/CMakeFiles/sa_core.dir/embedder.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/embedder.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/core/CMakeFiles/sa_core.dir/fleet.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/fleet.cpp.o.d"
+  "/root/repo/src/core/governor.cpp" "src/core/CMakeFiles/sa_core.dir/governor.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/governor.cpp.o.d"
+  "/root/repo/src/core/host_port.cpp" "src/core/CMakeFiles/sa_core.dir/host_port.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/host_port.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/sa_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/sa_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/sa_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/stages/actuator.cpp" "src/core/CMakeFiles/sa_core.dir/stages/actuator.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/stages/actuator.cpp.o.d"
+  "/root/repo/src/core/stages/forecaster.cpp" "src/core/CMakeFiles/sa_core.dir/stages/forecaster.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/stages/forecaster.cpp.o.d"
+  "/root/repo/src/core/stages/mapper.cpp" "src/core/CMakeFiles/sa_core.dir/stages/mapper.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/stages/mapper.cpp.o.d"
+  "/root/repo/src/core/statespace.cpp" "src/core/CMakeFiles/sa_core.dir/statespace.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/statespace.cpp.o.d"
+  "/root/repo/src/core/template_store.cpp" "src/core/CMakeFiles/sa_core.dir/template_store.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/template_store.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/core/CMakeFiles/sa_core.dir/trajectory.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/monitor/CMakeFiles/sa_monitor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mds/CMakeFiles/sa_mds.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/sa_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/sa_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/sa_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/sa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_core.dir/embedder.cpp.o"
+  "CMakeFiles/sa_core.dir/embedder.cpp.o.d"
+  "CMakeFiles/sa_core.dir/fleet.cpp.o"
+  "CMakeFiles/sa_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/sa_core.dir/governor.cpp.o"
+  "CMakeFiles/sa_core.dir/governor.cpp.o.d"
+  "CMakeFiles/sa_core.dir/host_port.cpp.o"
+  "CMakeFiles/sa_core.dir/host_port.cpp.o.d"
+  "CMakeFiles/sa_core.dir/pipeline.cpp.o"
+  "CMakeFiles/sa_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sa_core.dir/predictor.cpp.o"
+  "CMakeFiles/sa_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/sa_core.dir/runtime.cpp.o"
+  "CMakeFiles/sa_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/sa_core.dir/stages/actuator.cpp.o"
+  "CMakeFiles/sa_core.dir/stages/actuator.cpp.o.d"
+  "CMakeFiles/sa_core.dir/stages/forecaster.cpp.o"
+  "CMakeFiles/sa_core.dir/stages/forecaster.cpp.o.d"
+  "CMakeFiles/sa_core.dir/stages/mapper.cpp.o"
+  "CMakeFiles/sa_core.dir/stages/mapper.cpp.o.d"
+  "CMakeFiles/sa_core.dir/statespace.cpp.o"
+  "CMakeFiles/sa_core.dir/statespace.cpp.o.d"
+  "CMakeFiles/sa_core.dir/template_store.cpp.o"
+  "CMakeFiles/sa_core.dir/template_store.cpp.o.d"
+  "CMakeFiles/sa_core.dir/trajectory.cpp.o"
+  "CMakeFiles/sa_core.dir/trajectory.cpp.o.d"
+  "libsa_core.a"
+  "libsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_harness.dir/experiment.cpp.o"
+  "CMakeFiles/sa_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/sa_harness.dir/fleet.cpp.o"
+  "CMakeFiles/sa_harness.dir/fleet.cpp.o.d"
+  "CMakeFiles/sa_harness.dir/report.cpp.o"
+  "CMakeFiles/sa_harness.dir/report.cpp.o.d"
+  "CMakeFiles/sa_harness.dir/rig.cpp.o"
+  "CMakeFiles/sa_harness.dir/rig.cpp.o.d"
+  "CMakeFiles/sa_harness.dir/scenario_file.cpp.o"
+  "CMakeFiles/sa_harness.dir/scenario_file.cpp.o.d"
+  "CMakeFiles/sa_harness.dir/scenarios.cpp.o"
+  "CMakeFiles/sa_harness.dir/scenarios.cpp.o.d"
+  "CMakeFiles/sa_harness.dir/stayaway_policy.cpp.o"
+  "CMakeFiles/sa_harness.dir/stayaway_policy.cpp.o.d"
+  "libsa_harness.a"
+  "libsa_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

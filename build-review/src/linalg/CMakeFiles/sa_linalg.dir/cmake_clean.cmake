@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/sa_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/sa_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/sa_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/sa_linalg.dir/solve.cpp.o"
+  "CMakeFiles/sa_linalg.dir/solve.cpp.o.d"
+  "libsa_linalg.a"
+  "libsa_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

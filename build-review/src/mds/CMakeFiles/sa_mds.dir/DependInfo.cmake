@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mds/classical.cpp" "src/mds/CMakeFiles/sa_mds.dir/classical.cpp.o" "gcc" "src/mds/CMakeFiles/sa_mds.dir/classical.cpp.o.d"
+  "/root/repo/src/mds/distance.cpp" "src/mds/CMakeFiles/sa_mds.dir/distance.cpp.o" "gcc" "src/mds/CMakeFiles/sa_mds.dir/distance.cpp.o.d"
+  "/root/repo/src/mds/incremental.cpp" "src/mds/CMakeFiles/sa_mds.dir/incremental.cpp.o" "gcc" "src/mds/CMakeFiles/sa_mds.dir/incremental.cpp.o.d"
+  "/root/repo/src/mds/landmark.cpp" "src/mds/CMakeFiles/sa_mds.dir/landmark.cpp.o" "gcc" "src/mds/CMakeFiles/sa_mds.dir/landmark.cpp.o.d"
+  "/root/repo/src/mds/pca.cpp" "src/mds/CMakeFiles/sa_mds.dir/pca.cpp.o" "gcc" "src/mds/CMakeFiles/sa_mds.dir/pca.cpp.o.d"
+  "/root/repo/src/mds/point.cpp" "src/mds/CMakeFiles/sa_mds.dir/point.cpp.o" "gcc" "src/mds/CMakeFiles/sa_mds.dir/point.cpp.o.d"
+  "/root/repo/src/mds/procrustes.cpp" "src/mds/CMakeFiles/sa_mds.dir/procrustes.cpp.o" "gcc" "src/mds/CMakeFiles/sa_mds.dir/procrustes.cpp.o.d"
+  "/root/repo/src/mds/smacof.cpp" "src/mds/CMakeFiles/sa_mds.dir/smacof.cpp.o" "gcc" "src/mds/CMakeFiles/sa_mds.dir/smacof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/sa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/sa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

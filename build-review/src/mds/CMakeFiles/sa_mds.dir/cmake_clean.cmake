@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_mds.dir/classical.cpp.o"
+  "CMakeFiles/sa_mds.dir/classical.cpp.o.d"
+  "CMakeFiles/sa_mds.dir/distance.cpp.o"
+  "CMakeFiles/sa_mds.dir/distance.cpp.o.d"
+  "CMakeFiles/sa_mds.dir/incremental.cpp.o"
+  "CMakeFiles/sa_mds.dir/incremental.cpp.o.d"
+  "CMakeFiles/sa_mds.dir/landmark.cpp.o"
+  "CMakeFiles/sa_mds.dir/landmark.cpp.o.d"
+  "CMakeFiles/sa_mds.dir/pca.cpp.o"
+  "CMakeFiles/sa_mds.dir/pca.cpp.o.d"
+  "CMakeFiles/sa_mds.dir/point.cpp.o"
+  "CMakeFiles/sa_mds.dir/point.cpp.o.d"
+  "CMakeFiles/sa_mds.dir/procrustes.cpp.o"
+  "CMakeFiles/sa_mds.dir/procrustes.cpp.o.d"
+  "CMakeFiles/sa_mds.dir/smacof.cpp.o"
+  "CMakeFiles/sa_mds.dir/smacof.cpp.o.d"
+  "libsa_mds.a"
+  "libsa_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/health.cpp" "src/monitor/CMakeFiles/sa_monitor.dir/health.cpp.o" "gcc" "src/monitor/CMakeFiles/sa_monitor.dir/health.cpp.o.d"
+  "/root/repo/src/monitor/measurement.cpp" "src/monitor/CMakeFiles/sa_monitor.dir/measurement.cpp.o" "gcc" "src/monitor/CMakeFiles/sa_monitor.dir/measurement.cpp.o.d"
+  "/root/repo/src/monitor/mode.cpp" "src/monitor/CMakeFiles/sa_monitor.dir/mode.cpp.o" "gcc" "src/monitor/CMakeFiles/sa_monitor.dir/mode.cpp.o.d"
+  "/root/repo/src/monitor/normalizer.cpp" "src/monitor/CMakeFiles/sa_monitor.dir/normalizer.cpp.o" "gcc" "src/monitor/CMakeFiles/sa_monitor.dir/normalizer.cpp.o.d"
+  "/root/repo/src/monitor/representative.cpp" "src/monitor/CMakeFiles/sa_monitor.dir/representative.cpp.o" "gcc" "src/monitor/CMakeFiles/sa_monitor.dir/representative.cpp.o.d"
+  "/root/repo/src/monitor/sample_source.cpp" "src/monitor/CMakeFiles/sa_monitor.dir/sample_source.cpp.o" "gcc" "src/monitor/CMakeFiles/sa_monitor.dir/sample_source.cpp.o.d"
+  "/root/repo/src/monitor/sampler.cpp" "src/monitor/CMakeFiles/sa_monitor.dir/sampler.cpp.o" "gcc" "src/monitor/CMakeFiles/sa_monitor.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/sa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/sa_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_monitor.dir/health.cpp.o"
+  "CMakeFiles/sa_monitor.dir/health.cpp.o.d"
+  "CMakeFiles/sa_monitor.dir/measurement.cpp.o"
+  "CMakeFiles/sa_monitor.dir/measurement.cpp.o.d"
+  "CMakeFiles/sa_monitor.dir/mode.cpp.o"
+  "CMakeFiles/sa_monitor.dir/mode.cpp.o.d"
+  "CMakeFiles/sa_monitor.dir/normalizer.cpp.o"
+  "CMakeFiles/sa_monitor.dir/normalizer.cpp.o.d"
+  "CMakeFiles/sa_monitor.dir/representative.cpp.o"
+  "CMakeFiles/sa_monitor.dir/representative.cpp.o.d"
+  "CMakeFiles/sa_monitor.dir/sample_source.cpp.o"
+  "CMakeFiles/sa_monitor.dir/sample_source.cpp.o.d"
+  "CMakeFiles/sa_monitor.dir/sampler.cpp.o"
+  "CMakeFiles/sa_monitor.dir/sampler.cpp.o.d"
+  "libsa_monitor.a"
+  "libsa_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_obs.dir/events.cpp.o"
+  "CMakeFiles/sa_obs.dir/events.cpp.o.d"
+  "CMakeFiles/sa_obs.dir/json.cpp.o"
+  "CMakeFiles/sa_obs.dir/json.cpp.o.d"
+  "CMakeFiles/sa_obs.dir/metrics.cpp.o"
+  "CMakeFiles/sa_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/sa_obs.dir/observer.cpp.o"
+  "CMakeFiles/sa_obs.dir/observer.cpp.o.d"
+  "libsa_obs.a"
+  "libsa_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

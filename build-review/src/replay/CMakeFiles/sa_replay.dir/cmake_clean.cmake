@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_replay.dir/fuzz.cpp.o"
+  "CMakeFiles/sa_replay.dir/fuzz.cpp.o.d"
+  "CMakeFiles/sa_replay.dir/recorder.cpp.o"
+  "CMakeFiles/sa_replay.dir/recorder.cpp.o.d"
+  "CMakeFiles/sa_replay.dir/replay.cpp.o"
+  "CMakeFiles/sa_replay.dir/replay.cpp.o.d"
+  "CMakeFiles/sa_replay.dir/run_log.cpp.o"
+  "CMakeFiles/sa_replay.dir/run_log.cpp.o.d"
+  "libsa_replay.a"
+  "libsa_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/contention.cpp" "src/sim/CMakeFiles/sa_sim.dir/contention.cpp.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/contention.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/sa_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/sa_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/vm.cpp" "src/sim/CMakeFiles/sa_sim.dir/vm.cpp.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_sim.dir/contention.cpp.o"
+  "CMakeFiles/sa_sim.dir/contention.cpp.o.d"
+  "CMakeFiles/sa_sim.dir/faults.cpp.o"
+  "CMakeFiles/sa_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/sa_sim.dir/host.cpp.o"
+  "CMakeFiles/sa_sim.dir/host.cpp.o.d"
+  "CMakeFiles/sa_sim.dir/vm.cpp.o"
+  "CMakeFiles/sa_sim.dir/vm.cpp.o.d"
+  "libsa_sim.a"
+  "libsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

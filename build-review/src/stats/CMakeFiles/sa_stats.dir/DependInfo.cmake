@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/circular.cpp" "src/stats/CMakeFiles/sa_stats.dir/circular.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/circular.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/sa_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/sa_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/sa_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/kde.cpp" "src/stats/CMakeFiles/sa_stats.dir/kde.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/kde.cpp.o.d"
+  "/root/repo/src/stats/online.cpp" "src/stats/CMakeFiles/sa_stats.dir/online.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/online.cpp.o.d"
+  "/root/repo/src/stats/rayleigh.cpp" "src/stats/CMakeFiles/sa_stats.dir/rayleigh.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/rayleigh.cpp.o.d"
+  "/root/repo/src/stats/sampler.cpp" "src/stats/CMakeFiles/sa_stats.dir/sampler.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/sampler.cpp.o.d"
+  "/root/repo/src/stats/var1.cpp" "src/stats/CMakeFiles/sa_stats.dir/var1.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/var1.cpp.o.d"
+  "/root/repo/src/stats/zipf.cpp" "src/stats/CMakeFiles/sa_stats.dir/zipf.cpp.o" "gcc" "src/stats/CMakeFiles/sa_stats.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/sa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

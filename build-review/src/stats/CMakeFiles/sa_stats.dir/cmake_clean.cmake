@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_stats.dir/circular.cpp.o"
+  "CMakeFiles/sa_stats.dir/circular.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/sa_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/sa_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/histogram.cpp.o"
+  "CMakeFiles/sa_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/kde.cpp.o"
+  "CMakeFiles/sa_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/online.cpp.o"
+  "CMakeFiles/sa_stats.dir/online.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/rayleigh.cpp.o"
+  "CMakeFiles/sa_stats.dir/rayleigh.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/sampler.cpp.o"
+  "CMakeFiles/sa_stats.dir/sampler.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/var1.cpp.o"
+  "CMakeFiles/sa_stats.dir/var1.cpp.o.d"
+  "CMakeFiles/sa_stats.dir/zipf.cpp.o"
+  "CMakeFiles/sa_stats.dir/zipf.cpp.o.d"
+  "libsa_stats.a"
+  "libsa_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

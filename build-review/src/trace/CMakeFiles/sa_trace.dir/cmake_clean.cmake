@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_trace.dir/diurnal.cpp.o"
+  "CMakeFiles/sa_trace.dir/diurnal.cpp.o.d"
+  "CMakeFiles/sa_trace.dir/trace.cpp.o"
+  "CMakeFiles/sa_trace.dir/trace.cpp.o.d"
+  "libsa_trace.a"
+  "libsa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/sa_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/sa_util.dir/check.cpp.o"
+  "CMakeFiles/sa_util.dir/check.cpp.o.d"
+  "CMakeFiles/sa_util.dir/csv.cpp.o"
+  "CMakeFiles/sa_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sa_util.dir/rng.cpp.o"
+  "CMakeFiles/sa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sa_util.dir/strings.cpp.o"
+  "CMakeFiles/sa_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sa_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sa_util.dir/thread_pool.cpp.o.d"
+  "libsa_util.a"
+  "libsa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

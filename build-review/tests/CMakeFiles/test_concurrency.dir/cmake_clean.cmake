@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency.dir/test_concurrency.cpp.o"
+  "CMakeFiles/test_concurrency.dir/test_concurrency.cpp.o.d"
+  "test_concurrency"
+  "test_concurrency.pdb"
+  "test_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embedder.dir/test_embedder.cpp.o"
+  "CMakeFiles/test_embedder.dir/test_embedder.cpp.o.d"
+  "test_embedder"
+  "test_embedder.pdb"
+  "test_embedder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embedder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

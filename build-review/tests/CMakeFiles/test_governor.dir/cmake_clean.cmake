@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governor.dir/test_governor.cpp.o"
+  "CMakeFiles/test_governor.dir/test_governor.cpp.o.d"
+  "test_governor"
+  "test_governor.pdb"
+  "test_governor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

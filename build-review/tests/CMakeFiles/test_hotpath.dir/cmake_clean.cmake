@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hotpath.dir/test_hotpath.cpp.o"
+  "CMakeFiles/test_hotpath.dir/test_hotpath.cpp.o.d"
+  "test_hotpath"
+  "test_hotpath.pdb"
+  "test_hotpath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ingest.dir/test_ingest.cpp.o"
+  "CMakeFiles/test_ingest.dir/test_ingest.cpp.o.d"
+  "test_ingest"
+  "test_ingest.pdb"
+  "test_ingest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/harness/CMakeFiles/sa_harness.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baseline/CMakeFiles/sa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/sa_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/monitor/CMakeFiles/sa_monitor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mds/CMakeFiles/sa_mds.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/sa_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/apps/CMakeFiles/sa_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/sa_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/sa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/sa_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

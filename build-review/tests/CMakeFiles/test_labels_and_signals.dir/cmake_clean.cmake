@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labels_and_signals.dir/test_labels_and_signals.cpp.o"
+  "CMakeFiles/test_labels_and_signals.dir/test_labels_and_signals.cpp.o.d"
+  "test_labels_and_signals"
+  "test_labels_and_signals.pdb"
+  "test_labels_and_signals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labels_and_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_labels_and_signals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_labels_and_signals.
+# This may be replaced when dependencies are built.

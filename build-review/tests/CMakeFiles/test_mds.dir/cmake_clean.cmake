@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mds.dir/test_mds.cpp.o"
+  "CMakeFiles/test_mds.dir/test_mds.cpp.o.d"
+  "test_mds"
+  "test_mds.pdb"
+  "test_mds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

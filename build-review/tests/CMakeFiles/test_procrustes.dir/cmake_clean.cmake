@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procrustes.dir/test_procrustes.cpp.o"
+  "CMakeFiles/test_procrustes.dir/test_procrustes.cpp.o.d"
+  "test_procrustes"
+  "test_procrustes.pdb"
+  "test_procrustes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procrustes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

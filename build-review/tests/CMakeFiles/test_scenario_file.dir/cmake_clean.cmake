@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_file.dir/test_scenario_file.cpp.o"
+  "CMakeFiles/test_scenario_file.dir/test_scenario_file.cpp.o.d"
+  "test_scenario_file"
+  "test_scenario_file.pdb"
+  "test_scenario_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

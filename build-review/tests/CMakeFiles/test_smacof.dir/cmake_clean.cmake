@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smacof.dir/test_smacof.cpp.o"
+  "CMakeFiles/test_smacof.dir/test_smacof.cpp.o.d"
+  "test_smacof"
+  "test_smacof.pdb"
+  "test_smacof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smacof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

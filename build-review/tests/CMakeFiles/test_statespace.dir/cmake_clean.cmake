@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statespace.dir/test_statespace.cpp.o"
+  "CMakeFiles/test_statespace.dir/test_statespace.cpp.o.d"
+  "test_statespace"
+  "test_statespace.pdb"
+  "test_statespace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_template.dir/test_template.cpp.o"
+  "CMakeFiles/test_template.dir/test_template.cpp.o.d"
+  "test_template"
+  "test_template.pdb"
+  "test_template[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

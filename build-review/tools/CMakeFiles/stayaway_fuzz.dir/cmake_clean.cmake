@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stayaway_fuzz.dir/stayaway_fuzz.cpp.o"
+  "CMakeFiles/stayaway_fuzz.dir/stayaway_fuzz.cpp.o.d"
+  "stayaway_fuzz"
+  "stayaway_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stayaway_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stayaway_lint.dir/stayaway_lint.cpp.o"
+  "CMakeFiles/stayaway_lint.dir/stayaway_lint.cpp.o.d"
+  "stayaway_lint"
+  "stayaway_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stayaway_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stayaway_sim.dir/stayaway_sim.cpp.o"
+  "CMakeFiles/stayaway_sim.dir/stayaway_sim.cpp.o.d"
+  "stayaway_sim"
+  "stayaway_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stayaway_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
