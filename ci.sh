@@ -29,6 +29,15 @@
 #                                the producer/consumer surfaces — 8 ring-fed
 #                                pipelines on a 4-worker pool — under
 #                                ThreadSanitizer
+#   ./ci.sh --analyze            static-analysis gate (DESIGN.md §16):
+#                                stayaway_analyze self-test, then the
+#                                include-graph / lock-discipline /
+#                                determinism / style passes over src,
+#                                tools and tests; when clang++ is on
+#                                PATH, additionally a
+#                                -DSTAYAWAY_ANALYZE=ON build so Clang's
+#                                -Wthread-safety checks the SA_*
+#                                annotations (skipped otherwise)
 #   ./ci.sh --all                every leg above
 #
 # Each leg builds in its own tree (build, build-asan, build-tsan,
@@ -54,9 +63,10 @@ for arg in "$@"; do
     --fleet) LEGS+=(fleet) ;;
     --fuzz) LEGS+=(fuzz) ;;
     --ingest) LEGS+=(ingest) ;;
-    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz ingest) ;;
+    --analyze) LEGS+=(analyze) ;;
+    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz ingest analyze) ;;
     *)
-      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--ingest] [--all]" >&2
+      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--ingest] [--analyze] [--all]" >&2
       exit 2
       ;;
   esac
@@ -199,6 +209,26 @@ EOF
         return 1
       ./build-tsan/tests/test_concurrency \
         --gtest_filter='IngestConcurrency.*'
+      ;;
+    analyze)
+      # Static-analysis gate (DESIGN.md §16). The textual passes always
+      # run; the Clang thread-safety build is best-effort because the
+      # SA_* annotations are no-ops under GCC.
+      cmake -B build -S . >/dev/null &&
+        cmake --build build -j"$JOBS" --target stayaway_analyze || return 1
+      ./build/tools/stayaway_analyze --self-test || return 1
+      ./build/tools/stayaway_analyze src tools tests || return 1
+      if command -v clang++ >/dev/null 2>&1; then
+        cmake -B build-analyze -S . \
+          -DCMAKE_CXX_COMPILER=clang++ \
+          -DSTAYAWAY_ANALYZE=ON \
+          >/dev/null &&
+          cmake --build build-analyze -j"$JOBS" || return 1
+        echo "clang -Wthread-safety: clean"
+      else
+        echo "clang++ not installed; -Wthread-safety build skipped" \
+             "(the stayaway_analyze lock-discipline pass still ran)"
+      fi
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then

@@ -83,6 +83,13 @@ class FleetController {
  private:
   void drive(Member& member) const;
 
+  // Lock-free by partitioning, not by accident (DESIGN.md §16): run()
+  // hands each worker a disjoint slice of members_, every per-host
+  // mutable thing (host, pipeline, hooks) hangs off the Member, and the
+  // controller itself is immutable while workers run. Cross-host
+  // aggregation goes through recorder_, which owns its own lock
+  // (replay::RunRecorder). Adding controller-level mutable state shared
+  // across workers would need a util::Mutex plus SA_GUARDED_BY here.
   FleetConfig config_;
   std::vector<Member> members_;
   PeriodSink* recorder_ = nullptr;

@@ -73,7 +73,7 @@ RingSampleSource::RingSampleSource(MetricLayout layout,
 
 RingSampleSource::~RingSampleSource() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   producer_cv_.notify_all();
@@ -81,7 +81,7 @@ RingSampleSource::~RingSampleSource() {
 }
 
 void RingSampleSource::set_fault_injector(sim::FaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   SA_REQUIRE(gate_ == -std::numeric_limits<double>::infinity(),
              "the fault injector must be attached before the first drain");
   injector_ = injector;
@@ -133,7 +133,7 @@ void RingSampleSource::producer_loop() {
   std::optional<Rng> ingest_rng;
   double t = 0.0;
   std::uint64_t seq = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     if (t > gate_ + options_.lookahead_s) {
       // Caught up with the consumer's clock: flush any held-back samples
@@ -144,7 +144,8 @@ void RingSampleSource::producer_loop() {
       held.clear();
       watermark_ = t;
       consumer_cv_.notify_all();
-      producer_cv_.wait(lock, [&] {
+      producer_cv_.wait(mutex_, [&] {
+        mutex_.assert_held();
         return stop_ || t <= gate_ + options_.lookahead_s;
       });
     }
@@ -187,10 +188,13 @@ DrainReport RingSampleSource::drain(double now,
                                     std::vector<TimedSample>& out) {
   DrainReport report;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     gate_ = now;
     producer_cv_.notify_all();
-    consumer_cv_.wait(lock, [&] { return stop_ || watermark_ > now; });
+    consumer_cv_.wait(mutex_, [&] {
+      mutex_.assert_held();
+      return stop_ || watermark_ > now;
+    });
   }
   // The producer is parked waiting for the gate to pass its next sample
   // time: every sample due by `now` is settled in the ring, nothing else

@@ -27,10 +27,8 @@
 // seed and the config, never of thread scheduling.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -41,6 +39,7 @@
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "util/spsc_ring.hpp"
+#include "util/sync.hpp"
 
 namespace stayaway::monitor {
 
@@ -171,31 +170,46 @@ class RingSampleSource final : public SampleSource {
   /// Pushes one sample; a full ring counts the drop inside the ring.
   void emit(TimedSample sample);
 
+  // --- Immutable after construction (read by both threads). ------------
+  // sa-lint: unguarded(immutable after construction)
   MetricLayout layout_;
+  // sa-lint: unguarded(immutable after construction)
   std::vector<double> scale_;
+  // sa-lint: unguarded(immutable after construction; seeded in the ctor)
   std::vector<double> mix_;  // per-dimension demand weight, seed-derived
+  // sa-lint: unguarded(immutable after construction)
   trace::Trace trace_;
+  // sa-lint: unguarded(immutable after construction)
   RingStreamOptions options_;
 
+  // sa-lint: unguarded(internally synchronized lock-free SPSC ring)
   util::SpscRing<TimedSample> ring_;
+  // sa-lint: unguarded(producer thread only after the ctor's mix draw)
   Rng value_rng_;
 
   // --- Producer <-> consumer gate protocol (see file comment). ---------
-  std::mutex mutex_;
-  std::condition_variable producer_cv_;
-  std::condition_variable consumer_cv_;
-  double gate_ = -std::numeric_limits<double>::infinity();
-  double watermark_ = -std::numeric_limits<double>::infinity();
-  bool stop_ = false;
-  std::vector<sim::FaultSpec> ingest_specs_;
-  std::uint64_t ingest_seed_ = 0;
+  util::Mutex mutex_;
+  util::CondVar producer_cv_;
+  util::CondVar consumer_cv_;
+  double gate_ SA_GUARDED_BY(mutex_) =
+      -std::numeric_limits<double>::infinity();
+  double watermark_ SA_GUARDED_BY(mutex_) =
+      -std::numeric_limits<double>::infinity();
+  bool stop_ SA_GUARDED_BY(mutex_) = false;
+  std::vector<sim::FaultSpec> ingest_specs_ SA_GUARDED_BY(mutex_);
+  std::uint64_t ingest_seed_ SA_GUARDED_BY(mutex_) = 0;
 
   // --- Consumer-side state (control thread only). -----------------------
+  // sa-lint: unguarded(consumer thread only)
   sim::FaultInjector* injector_ = nullptr;
+  // sa-lint: unguarded(consumer thread only)
   std::optional<TimedSample> pending_;  // popped but not yet due
+  // sa-lint: unguarded(consumer thread only)
   std::uint64_t delivered_total_ = 0;
+  // sa-lint: unguarded(consumer thread only)
   std::uint64_t overflow_reported_ = 0;
 
+  // sa-lint: unguarded(started last in the ctor, joined in the dtor)
   std::thread producer_;  // last member: starts after everything above
 };
 

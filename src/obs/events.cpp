@@ -49,18 +49,18 @@ void JsonlSink::emit(const Event& e) {
   std::ostringstream line;
   e.to_json().dump(line);
   line << "\n";
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   *out_ << line.str();
   ++emitted_;
 }
 
 void JsonlSink::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   out_->flush();
 }
 
 std::size_t JsonlSink::emitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return emitted_;
 }
 
@@ -86,33 +86,42 @@ void TextSink::emit(const Event& e) {
     }
   }
   line << "\n";
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   *out_ << line.str();
 }
 
 void TextSink::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   out_->flush();
 }
 
 CsvSummarySink::~CsvSummarySink() {
   // Best-effort final flush; an explicit flush() beforehand is cleaner.
-  if (!events_.empty() || !flushed_) flush();
+  // The buffered/flushed state is inspected under the same lock
+  // acquisition that writes the table: the historical unlocked
+  // events_.empty() peek here was the one read of guarded state outside
+  // mu_ that the thread-safety annotations flagged.
+  util::MutexLock lock(mu_);
+  if (!events_.empty() || !flushed_) flush_locked();
 }
 
 void CsvSummarySink::emit(const Event& e) {
   if (e.type != type_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   events_.push_back(e);
 }
 
 std::size_t CsvSummarySink::buffered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_.size();
 }
 
 void CsvSummarySink::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
+  flush_locked();
+}
+
+void CsvSummarySink::flush_locked() {
   flushed_ = true;
   std::vector<std::string> columns{"t"};
   for (const auto& e : events_) {

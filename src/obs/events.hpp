@@ -12,13 +12,13 @@
 #pragma once
 
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/sync.hpp"
 
 namespace stayaway::obs {
 
@@ -61,9 +61,9 @@ class JsonlSink final : public EventSink {
   std::size_t emitted() const;
 
  private:
-  std::ostream* out_;
-  std::size_t emitted_ = 0;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
+  std::ostream* out_ SA_PT_GUARDED_BY(mu_);
+  std::size_t emitted_ SA_GUARDED_BY(mu_) = 0;
 };
 
 /// Parses a JSONL document back into events (round-trip testing and
@@ -78,8 +78,8 @@ class TextSink final : public EventSink {
   void flush() override;
 
  private:
-  std::ostream* out_;
-  std::mutex mu_;
+  mutable util::Mutex mu_;
+  std::ostream* out_ SA_PT_GUARDED_BY(mu_);
 };
 
 /// Collects every event of one type and writes them as a CSV table on
@@ -95,11 +95,15 @@ class CsvSummarySink final : public EventSink {
   std::size_t buffered() const;
 
  private:
-  std::ostream* out_;
-  std::string type_;
-  std::vector<Event> events_;
-  bool flushed_ = false;
-  mutable std::mutex mu_;
+  void flush_locked() SA_REQUIRES(mu_);
+
+  mutable util::Mutex mu_;
+  std::ostream* out_ SA_PT_GUARDED_BY(mu_);
+  // sa-lint: unguarded(immutable after construction; emit's type filter
+  // reads it without the lock by design)
+  const std::string type_;
+  std::vector<Event> events_ SA_GUARDED_BY(mu_);
+  bool flushed_ SA_GUARDED_BY(mu_) = false;
 };
 
 /// Fans one event out to several sinks (non-owning).

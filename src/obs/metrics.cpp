@@ -48,7 +48,7 @@ std::vector<double> exponential_bounds(double lo, double hi, std::size_t n) {
 }
 
 Counter MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& c : counters_) {
     if (c.name == name) return Counter(&c.cell);
   }
@@ -58,7 +58,7 @@ Counter MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& g : gauges_) {
     if (g.name == name) return Gauge(&g.cell);
   }
@@ -72,7 +72,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
   SA_REQUIRE(!bounds.empty(), "histogram needs at least one bucket bound");
   SA_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
              "histogram bounds must be ascending");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& h : histograms_) {
     if (h.name == name) {
       SA_REQUIRE(h.cell.bounds == bounds,
@@ -94,7 +94,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& c : counters_) {
       snap.counters.emplace_back(c.name,
                                  c.cell.load(std::memory_order_relaxed));

@@ -14,10 +14,11 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace stayaway::obs {
 
@@ -127,10 +128,12 @@ class MetricsRegistry {
     T cell;
   };
 
-  mutable std::mutex mu_;
-  std::deque<Named<std::atomic<std::uint64_t>>> counters_;
-  std::deque<Named<std::atomic<double>>> gauges_;
-  std::deque<Named<Histogram::Cell>> histograms_;
+  // The deque *structure* (registration) is guarded; the atomic cells
+  // inside are updated lock-free through the handed-out handles.
+  mutable util::Mutex mu_;
+  std::deque<Named<std::atomic<std::uint64_t>>> counters_ SA_GUARDED_BY(mu_);
+  std::deque<Named<std::atomic<double>>> gauges_ SA_GUARDED_BY(mu_);
+  std::deque<Named<Histogram::Cell>> histograms_ SA_GUARDED_BY(mu_);
 };
 
 /// Writes a BENCH_<name>.json perf record of the registry into the

@@ -24,13 +24,22 @@ void Span::close() {
 Histogram& Observer::span_histogram(const char* name) {
   // References into the map stay valid across rehashes, so the returned
   // handle may be used after the lock is dropped.
-  std::lock_guard<std::mutex> lock(span_mu_);
-  auto it = span_hist_.find(name);
-  if (it != span_hist_.end()) return it->second;
+  {
+    util::MutexLock lock(span_mu_);
+    auto it = span_hist_.find(name);
+    if (it != span_hist_.end()) return it->second;
+  }
+  // Cache miss: create the handle with span_mu_ *released*. The registry
+  // takes its own mutex inside histogram(); holding span_mu_ across that
+  // call stacked the observer's two locks on every first-use path (the
+  // double-lock the thread-safety annotations flagged). Racing first
+  // uses of one name are benign: histogram() is get-or-create on the
+  // same cell, and emplace keeps whichever entry landed first.
   // 1 us .. 10 s, 24 exponential buckets: covers sub-period phases up to
   // pathological full re-embeddings.
   Histogram h = metrics_.histogram(std::string("span.") + name + ".us",
                                    exponential_bounds(1.0, 1e7, 24));
+  util::MutexLock lock(span_mu_);
   return span_hist_.emplace(name, h).first->second;
 }
 

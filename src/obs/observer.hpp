@@ -9,12 +9,12 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace stayaway::obs {
 
@@ -85,18 +85,26 @@ class Observer {
  private:
   friend class Span;
   void record_span(const char* name, double sim_time, double us);
-  Histogram& span_histogram(const char* name);
+  Histogram& span_histogram(const char* name) SA_EXCLUDES(span_mu_);
 
+  // sa-lint: unguarded(internally synchronized: the registry serializes
+  // registration on its own mutex and the handles update atomic cells)
   MetricsRegistry metrics_;
+  // sa-lint: unguarded(wiring-time configuration: set before any
+  // concurrent phase runs; sinks serialize emit/flush themselves)
   EventSink* sink_ = nullptr;
+  // sa-lint: unguarded(wiring-time configuration, read-only once running)
   bool span_events_ = true;
   /// Handle cache so per-period spans take one short lock instead of the
   /// registry's name lookup. Guarded by span_mu_: an observer may be
   /// shared by the concurrent host pipelines of a fleet, whose phase
   /// spans share names — the histograms then aggregate wall-clock phase
   /// timings fleet-wide (the handles' atomic updates make that safe).
-  std::unordered_map<std::string, Histogram> span_hist_;
-  std::mutex span_mu_;
+  /// span_mu_ is never held across the registry's own lock (see
+  /// span_histogram), so the observer's two locks cannot nest.
+  util::Mutex span_mu_;
+  std::unordered_map<std::string, Histogram> span_hist_
+      SA_GUARDED_BY(span_mu_);
 };
 
 }  // namespace stayaway::obs

@@ -23,7 +23,7 @@ void RunRecorder::record_period(const std::string& host,
   // ordering is the controller's: one worker drives one member, so a
   // host's periods arrive in emission order.
   std::string line = serialize_period_record(rec);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (HostStream& stream : streams_) {
     if (stream.name == host) {
       stream.records.push_back(std::move(line));
@@ -34,7 +34,7 @@ void RunRecorder::record_period(const std::string& host,
 }
 
 std::vector<HostStream> RunRecorder::streams() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return streams_;
 }
 

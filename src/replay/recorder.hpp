@@ -4,12 +4,12 @@
 // (pinned by tests/test_replay.cpp).
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/fleet.hpp"
 #include "replay/run_log.hpp"
+#include "util/sync.hpp"
 
 namespace stayaway::replay {
 
@@ -27,8 +27,8 @@ class RunRecorder final : public core::PeriodSink {
   std::vector<HostStream> streams() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<HostStream> streams_;
+  mutable util::Mutex mutex_;
+  std::vector<HostStream> streams_ SA_GUARDED_BY(mutex_);
 };
 
 }  // namespace stayaway::replay

@@ -1,0 +1,71 @@
+// Clang thread-safety annotation macros (DESIGN.md §16).
+//
+// Every mutex-owning type in the tree declares its locking contract with
+// these macros: which mutex guards which field (SA_GUARDED_BY), which
+// methods must or must not hold it (SA_REQUIRES / SA_EXCLUDES), and
+// which calls acquire or release it (SA_ACQUIRE / SA_RELEASE). Under
+// Clang the contracts are machine-checked at compile time by
+// -Wthread-safety (wired up as `cmake -DSTAYAWAY_ANALYZE=ON`, driven by
+// `ci.sh --analyze`); under every other compiler the macros expand to
+// nothing, so the annotations cost nothing and gate nothing.
+//
+// The companion textual check lives in tools/stayaway_analyze.cpp: its
+// lock-discipline pass requires every mutable field of a mutex-owning
+// class to carry SA_GUARDED_BY / SA_PT_GUARDED_BY or an explicit
+//   // sa-lint: unguarded(<reason>)
+// waiver, so the discipline holds even on builds without Clang.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SA_THREAD_ANNOTATION
+#define SA_THREAD_ANNOTATION(x)  // no-op: analysis needs Clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper).
+#define SA_CAPABILITY(x) SA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SA_SCOPED_CAPABILITY SA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define SA_GUARDED_BY(x) SA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x` (the pointer itself
+/// is immutable after construction).
+#define SA_PT_GUARDED_BY(x) SA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the named capabilities held on entry (and keeps
+/// them held on exit).
+#define SA_REQUIRES(...) SA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the named capabilities.
+#define SA_ACQUIRE(...) SA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SA_RELEASE(...) SA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `result`.
+#define SA_TRY_ACQUIRE(...) \
+  SA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the named capabilities held
+/// (deadlock / double-lock prevention).
+#define SA_EXCLUDES(...) SA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (to the analysis only) that the capability is held; used
+/// inside lambdas the analysis cannot see through, e.g. condition
+/// variable predicates that run under the caller's lock.
+#define SA_ASSERT_CAPABILITY(x) SA_THREAD_ANNOTATION(assert_capability(x))
+
+/// Declared lock-acquisition ordering between two capabilities.
+#define SA_ACQUIRED_BEFORE(...) \
+  SA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SA_ACQUIRED_AFTER(...) \
+  SA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: function body is exempt from the analysis. Use only for
+/// internals that manipulate the underlying std primitives directly.
+#define SA_NO_THREAD_SAFETY_ANALYSIS \
+  SA_THREAD_ANNOTATION(no_thread_safety_analysis)

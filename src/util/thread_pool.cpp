@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -33,7 +33,7 @@ void ThreadPool::for_ranges(std::size_t n, const RangeFn& fn) {
   SA_CHECK(!in_parallel_.exchange(true, std::memory_order_acquire),
            "for_ranges is not reentrant: fn called back into the same pool");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     n_ = n;
     remaining_ = workers_.size();
@@ -43,9 +43,14 @@ void ThreadPool::for_ranges(std::size_t n, const RangeFn& fn) {
   // The caller owns chunk 0 so a k-thread call never idles the hot loop's
   // own core.
   fn(chunk_begin(0, n, parts), chunk_begin(1, n, parts));
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  fn_ = nullptr;
+  {
+    MutexLock lock(mu_);
+    done_cv_.wait(mu_, [this] {
+      mu_.assert_held();
+      return remaining_ == 0;
+    });
+    fn_ = nullptr;
+  }
   in_parallel_.store(false, std::memory_order_release);
 }
 
@@ -55,8 +60,11 @@ void ThreadPool::worker_loop(std::size_t slot) {
     const RangeFn* fn = nullptr;
     std::size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      work_cv_.wait(mu_, [&] {
+        mu_.assert_held();
+        return stop_ || generation_ != seen;
+      });
       if (stop_) return;
       seen = generation_;
       fn = fn_;
@@ -68,7 +76,7 @@ void ThreadPool::worker_loop(std::size_t slot) {
     std::size_t end = chunk_begin(chunk + 1, n, parts);
     if (begin < end) (*fn)(begin, end);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--remaining_ == 0) done_cv_.notify_one();
     }
   }

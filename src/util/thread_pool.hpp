@@ -16,13 +16,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace stayaway::util {
 
@@ -60,15 +60,18 @@ class ThreadPool {
     return chunk * n / parts;
   }
 
+  // sa-lint: unguarded(filled in the constructor before any dispatch and
+  // joined in the destructor; workers read its size only after a
+  // generation handshake through mu_ established happens-before)
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  std::size_t remaining_ = 0;
-  const RangeFn* fn_ = nullptr;
-  std::size_t n_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::uint64_t generation_ SA_GUARDED_BY(mu_) = 0;
+  std::size_t remaining_ SA_GUARDED_BY(mu_) = 0;
+  const RangeFn* fn_ SA_GUARDED_BY(mu_) = nullptr;
+  std::size_t n_ SA_GUARDED_BY(mu_) = 0;
+  bool stop_ SA_GUARDED_BY(mu_) = false;
   std::atomic<bool> in_parallel_{false};
 };
 

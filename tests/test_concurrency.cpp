@@ -319,5 +319,41 @@ TEST(ConcurrentObs, CountersGaugesHistogramsUnderContention) {
   }
 }
 
+// Pins the Observer span-cache locking fix (DESIGN.md §16): racing
+// *first* uses of one span name must converge on a single histogram.
+// Before the fix, span_histogram() held the cache lock across the
+// registry's own mutex, nesting the observer's two locks on every
+// first-use path; the rewrite drops the cache lock around the registry
+// call, which is only correct because racing creations are get-or-create
+// on the same registry cell. This test drives that exact race.
+TEST(ConcurrentObs, RacingFirstSpanUsesShareOneHistogram) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kSpansPerThread = 200;
+  obs::Observer observer;
+  observer.set_span_events(false);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&observer]() {
+      for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+        obs::Span span = observer.span("phase", 0.0);
+        span.close();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  obs::MetricsSnapshot snap = observer.metrics().snapshot();
+  std::size_t matching = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name != "span.phase.us") continue;
+    ++matching;
+    // Every close landed in the one shared cell, whichever creation won.
+    EXPECT_EQ(h.count, kThreads * kSpansPerThread);
+  }
+  EXPECT_EQ(matching, 1u);
+}
+
 }  // namespace
 }  // namespace stayaway
