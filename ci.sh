@@ -29,6 +29,13 @@
 #                                the producer/consumer surfaces — 8 ring-fed
 #                                pipelines on a 4-worker pool — under
 #                                ThreadSanitizer
+#   ./ci.sh --recovery           crash-recovery gate (DESIGN.md §17): the
+#                                checkpoint/restore test suite plus the
+#                                bench_recovery acceptance bounds (--smoke:
+#                                zero aborted runs with 1-of-8 hosts
+#                                crashing) in the tier-1 tree, then an
+#                                end-to-end checkpoint -> corrupt ->
+#                                restore round trip through stayaway_sim
 #   ./ci.sh --analyze            static-analysis gate (DESIGN.md §16):
 #                                stayaway_analyze self-test, then the
 #                                include-graph / lock-discipline /
@@ -63,10 +70,11 @@ for arg in "$@"; do
     --fleet) LEGS+=(fleet) ;;
     --fuzz) LEGS+=(fuzz) ;;
     --ingest) LEGS+=(ingest) ;;
+    --recovery) LEGS+=(recovery) ;;
     --analyze) LEGS+=(analyze) ;;
-    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz ingest analyze) ;;
+    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz ingest recovery analyze) ;;
     *)
-      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--ingest] [--analyze] [--all]" >&2
+      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--ingest] [--recovery] [--analyze] [--all]" >&2
       exit 2
       ;;
   esac
@@ -209,6 +217,45 @@ EOF
         return 1
       ./build-tsan/tests/test_concurrency \
         --gtest_filter='IngestConcurrency.*'
+      ;;
+    recovery)
+      # Crash-recovery gate (DESIGN.md §17): the checkpoint codec + super-
+      # visor test suite and the bench_recovery acceptance bounds (full
+      # record streams, zero divergences, 1-of-8 hosts crashing) in the
+      # tier-1 tree, then stayaway_sim driven through a full checkpoint ->
+      # restore round trip — including a corrupted blob, which must be
+      # rejected by checksum, not silently restored.
+      cmake -B build -S . >/dev/null &&
+        cmake --build build -j"$JOBS" \
+          --target test_checkpoint bench_recovery stayaway_sim || return 1
+      ./build/tests/test_checkpoint || return 1
+      ./build/bench/bench_recovery --smoke || return 1
+      local tmpdir out rc
+      tmpdir="$(mktemp -d)" || return 1
+      cat >"$tmpdir/scenario.conf" <<'EOF'
+sensitive     = vlc-stream
+batch         = cpubomb
+policy        = stay-away
+duration_s    = 40
+batch_start_s = 5
+EOF
+      ./build/tools/stayaway_sim --supervise --checkpoint-every 5 \
+        --checkpoint-dir "$tmpdir/ckpt" "$tmpdir/scenario.conf" >/dev/null &&
+        [[ -s "$tmpdir/ckpt/host0.ckpt" ]] || { rm -rf "$tmpdir"; return 1; }
+      ./build/tools/stayaway_sim --restore "$tmpdir/ckpt" \
+        "$tmpdir/scenario.conf" >/dev/null || { rm -rf "$tmpdir"; return 1; }
+      # Flip one body byte; the restore must fail closed on the checksum.
+      printf 'X' | dd of="$tmpdir/ckpt/host0.ckpt" bs=1 seek=64 conv=notrunc \
+        status=none || { rm -rf "$tmpdir"; return 1; }
+      out="$(./build/tools/stayaway_sim --restore "$tmpdir/ckpt" \
+        "$tmpdir/scenario.conf" 2>&1)"
+      rc=$?
+      rm -rf "$tmpdir"
+      [[ $rc -ne 0 ]] && grep -q "checksum mismatch" <<<"$out" || {
+        echo "corrupted checkpoint was not rejected" >&2
+        return 1
+      }
+      echo "checkpoint round trip + corrupt-blob rejection: ok"
       ;;
     analyze)
       # Static-analysis gate (DESIGN.md §16). The textual passes always

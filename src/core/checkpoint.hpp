@@ -1,0 +1,87 @@
+// Versioned checkpoint envelope for one host's control loop (DESIGN.md
+// §17). A checkpoint is the pipeline's complete period-boundary state —
+// the record history plus every stage, the actuation journal, the fault
+// injector and the degradation machine — framed so a restore is either
+// exact or a loud, typed failure:
+//
+//   stayaway-checkpoint v1        version header
+//   records = <n>                 } body: fixed-order `key = value`
+//   ...                           } lines via util::StateWriter
+//   checksum = <fnv1a64(body)>    integrity trailer
+//
+// Doubles round-trip through format_double_exact, so restore-then-run
+// reproduces the uninterrupted run byte for byte (the golden test in
+// tests/test_checkpoint.cpp). The envelope lives in src/core/ — stages
+// serialize through util/statecodec.hpp and must never include this
+// header (stage-checkpoint-isolation lint rule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/period.hpp"
+#include "core/pipeline.hpp"
+#include "util/statecodec.hpp"
+
+namespace stayaway::core {
+
+inline constexpr std::uint64_t kCheckpointVersion = 1;
+
+/// The blob carries a recognized header with an unsupported version —
+/// distinct from corruption so callers can message it precisely.
+class CheckpointVersionError : public util::StateCodecError {
+ public:
+  using util::StateCodecError::StateCodecError;
+};
+
+/// The body hash disagrees with the trailer: the checkpoint rotted at
+/// rest (or a CheckpointCorrupt fault fired). The supervisor falls back
+/// to an older checkpoint, then to a cold start.
+class CheckpointChecksumError : public util::StateCodecError {
+ public:
+  using util::StateCodecError::StateCodecError;
+};
+
+/// Serializes one PeriodRecord as fixed-order body lines / reads one
+/// back. write→read is the identity on every field, including non-finite
+/// coordinates.
+void write_period_record(util::StateWriter& w, const PeriodRecord& rec);
+PeriodRecord read_period_record(util::StateReader& r);
+
+/// Canonical single-string encoding of one record. The supervisor's gap
+/// replay compares regenerated records against history through this, so
+/// divergence detection is exact even on NaN coordinates (where
+/// operator== would lie).
+std::string encode_record(const PeriodRecord& rec);
+
+/// Encodes the full checkpoint of `pipeline` at the current period
+/// boundary. Requires pipeline.checkpointable().
+std::string encode_checkpoint(const HostPipeline& pipeline);
+
+/// Decodes `blob` into a freshly built pipeline (same wiring, same fault
+/// plan, no periods run) and returns the number of completed periods.
+/// Throws CheckpointVersionError on a version mismatch,
+/// CheckpointChecksumError on an integrity failure and
+/// util::StateCodecError on truncation or malformed fields.
+std::size_t restore_checkpoint(HostPipeline& pipeline,
+                               const std::string& blob);
+
+/// Restores `blob` into a freshly built pipeline and fast-forwards the
+/// freshly built host through the restored periods: ticks re-run, the
+/// journalled actuations re-applied at their original boundaries, no
+/// observer or hook activity. Returns the restored period count; the
+/// caller drives the remaining live periods. Same exactness contract as
+/// the supervisor's warm restart.
+std::size_t warm_start(HostPipeline& pipeline, sim::SimHost& host,
+                       std::size_t ticks_per_period, const std::string& blob);
+
+/// FNV-1a 64-bit over `text` — the envelope's integrity hash.
+std::uint64_t fnv1a64(std::string_view text);
+
+/// Deterministically flips one body byte in a stored blob so the next
+/// restore fails its checksum — how the CheckpointCorrupt fault models
+/// at-rest rot. No-op on blobs too short to carry a body.
+void corrupt_checkpoint_blob(std::string& blob);
+
+}  // namespace stayaway::core

@@ -191,6 +191,15 @@ struct FleetConfig {
   std::size_t workers = 1;
   /// Base seed; host i derives its streams via fleet_host_seed(seed, i).
   std::uint64_t seed = 1234;
+  // --- Supervision (DESIGN.md §17); active only for members that carry
+  // a rebuild callback. ------------------------------------------------
+  /// Checkpoint every N completed periods (0 = checkpoints off; failures
+  /// then recover by cold replay from period zero).
+  std::size_t checkpoint_every = 0;
+  /// Stalled on_period attempts the per-stage watchdog retries in place
+  /// before escalating a StageStall to a full crash recovery. The budget
+  /// is counted in deterministic retry attempts, never wall clock.
+  std::size_t watchdog_budget = 3;
 };
 
 }  // namespace stayaway::core

@@ -32,6 +32,7 @@
 #include "mds/point.hpp"
 #include "mds/procrustes.hpp"
 #include "monitor/representative.hpp"
+#include "util/statecodec.hpp"
 
 namespace stayaway::core {
 
@@ -71,6 +72,24 @@ class MapEmbedder {
   /// Representative-set size at the most recent landmark-model fit
   /// (LandmarkIncremental only; 0 before the first fit).
   std::size_t landmark_fit_size() const { return last_fit_size_; }
+
+  /// True when this embedder's full mutable state is capturable by
+  /// save_state: the landmark-incremental model (frozen landmark fit +
+  /// alignment chain) is deliberately out of scope — pipelines using it
+  /// recover by cold replay instead (DESIGN.md §17).
+  bool checkpointable() const {
+    return method_ != EmbedMethod::LandmarkIncremental;
+  }
+
+  /// Snapshot of layout, stress and overhead counters. load_state
+  /// rebuilds the cached dissimilarity matrix from the restored
+  /// representative vectors — entry-wise identical to the incrementally
+  /// grown matrix (refresh_delta's contract), so the next growth step
+  /// proceeds exactly as the uninterrupted run's would. Requires
+  /// checkpointable().
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r,
+                  const std::vector<std::vector<double>>& vectors);
 
  private:
   void embed(const monitor::RepresentativeSet& reps);

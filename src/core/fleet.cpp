@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "core/checkpoint.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,6 +22,18 @@ std::uint64_t mix64(std::uint64_t z) {
 }
 
 }  // namespace
+
+const char* to_string(MemberHealth health) {
+  switch (health) {
+    case MemberHealth::Normal:
+      return "normal";
+    case MemberHealth::Down:
+      return "down";
+    case MemberHealth::Recovering:
+      return "recovering";
+  }
+  return "unknown";
+}
 
 std::uint64_t fleet_host_seed(std::uint64_t base, std::size_t host_index) {
   // Avalanche base and index independently before combining. A single
@@ -50,6 +66,10 @@ void FleetController::add_member(Member member) {
 }
 
 void FleetController::drive(Member& member) const {
+  if (member.rebuild) {
+    drive_supervised(member);
+    return;
+  }
   for (std::size_t p = 0; p < member.periods; ++p) {
     if (member.on_tick) {
       for (std::size_t t = 0; t < member.ticks_per_period; ++t) {
@@ -63,6 +83,172 @@ void FleetController::drive(Member& member) const {
     if (member.on_period) member.on_period(rec);
     if (recorder_) recorder_->record_period(member.name, rec);
   }
+}
+
+void FleetController::drive_supervised(Member& member) const {
+  // Injected faults are masked behind the crash horizon once handled, so
+  // only a genuine (deterministic) defect can make the same period fail
+  // again; after this many recoveries the member is declared dead and
+  // its exception surfaces through run() — the rest of the fleet keeps
+  // going.
+  constexpr std::size_t kMaxRecoveriesPerPeriod = 3;
+  std::vector<std::string> checkpoints;  // oldest..newest; last 2 kept
+  auto run_ticks = [&member] {
+    if (member.on_tick) {
+      for (std::size_t t = 0; t < member.ticks_per_period; ++t) {
+        member.host->step();
+        member.on_tick();
+      }
+    } else {
+      member.host->run(member.ticks_per_period);
+    }
+  };
+  for (std::size_t p = 0; p < member.periods; ++p) {
+    std::size_t recoveries = 0;
+    // HostCrash fires at the period boundary, before any tick of p, so
+    // the recovered member replays nothing it has not already done.
+    const sim::FaultInjector* inj = member.pipeline->fault_injector();
+    if (inj != nullptr && inj->crash_signal(member.host->now())) {
+      ++member.recovery.crashes;
+      member.health = MemberHealth::Down;
+      recover(member, checkpoints, p, member.host->now());
+      ++recoveries;
+    }
+    bool period_done = false;
+    while (!period_done) {
+      run_ticks();
+      std::size_t stall_retries = 0;
+      bool escalate = false;
+      double fail_time = 0.0;
+      while (!escalate) {
+        try {
+          const PeriodRecord& rec = member.pipeline->on_period();
+          if (member.on_period) member.on_period(rec);
+          if (recorder_) recorder_->record_period(member.name, rec);
+          period_done = true;
+          break;
+        } catch (const StageStallError& e) {
+          // The watchdog's deadline is a deterministic attempt budget:
+          // retry the stage in place until the budget runs out, then
+          // treat the stall as a crash.
+          ++member.recovery.stalls;
+          ++stall_retries;
+          if (stall_retries < config_.watchdog_budget) continue;
+          ++member.recovery.watchdog_trips;
+          if (recoveries >= kMaxRecoveriesPerPeriod) throw;
+          escalate = true;
+          fail_time = e.time();
+        } catch (const StageThrowError& e) {
+          ++member.recovery.stage_throws;
+          if (recoveries >= kMaxRecoveriesPerPeriod) throw;
+          escalate = true;
+          fail_time = e.time();
+        } catch (const std::exception&) {
+          // An uninjected stage defect: trap it like a crash so the
+          // rest of the fleet keeps running, but give up once it proves
+          // deterministic.
+          if (recoveries >= kMaxRecoveriesPerPeriod) throw;
+          escalate = true;
+          fail_time = member.host->now();
+        }
+      }
+      if (escalate) {
+        member.health = MemberHealth::Down;
+        recover(member, checkpoints, p, fail_time);
+        ++recoveries;
+        // loop: re-run this period's ticks on the recovered host
+      }
+    }
+    if (config_.checkpoint_every > 0 &&
+        (p + 1) % config_.checkpoint_every == 0 &&
+        member.pipeline->checkpointable()) {
+      std::string blob = encode_checkpoint(*member.pipeline);
+      const sim::FaultInjector* cinj = member.pipeline->fault_injector();
+      if (cinj != nullptr && cinj->checkpoint_corrupt(member.host->now())) {
+        corrupt_checkpoint_blob(blob);
+      }
+      checkpoints.push_back(std::move(blob));
+      if (checkpoints.size() > 2) checkpoints.erase(checkpoints.begin());
+      ++member.recovery.checkpoints_saved;
+    }
+  }
+}
+
+void FleetController::recover(Member& member,
+                              std::vector<std::string>& checkpoints,
+                              std::size_t period, double fail_time) const {
+  member.health = MemberHealth::Recovering;
+  // The crashed pipeline's completed history drives the divergence
+  // check; capture it (encoded, so NaN coordinates compare exactly)
+  // before the rebuild tears the pipeline down.
+  std::vector<std::string> history;
+  history.reserve(member.pipeline->records().size());
+  for (const PeriodRecord& rec : member.pipeline->records()) {
+    history.push_back(encode_record(rec));
+  }
+  // Newest usable checkpoint wins. A checkpoint that fails to restore is
+  // dropped for good (it will not get better); with none left the member
+  // cold-starts and replays the whole run.
+  std::size_t restored = 0;
+  bool warm = false;
+  while (!checkpoints.empty() && !warm) {
+    Member::Rebuilt fresh = member.rebuild();
+    SA_REQUIRE(fresh.host != nullptr && fresh.pipeline != nullptr,
+               "rebuild must produce a host and a pipeline");
+    member.host = fresh.host;
+    member.pipeline = fresh.pipeline;
+    try {
+      restored = restore_checkpoint(*member.pipeline, checkpoints.back());
+      warm = true;
+    } catch (const util::StateCodecError&) {
+      ++member.recovery.corrupt_checkpoints_dropped;
+      checkpoints.pop_back();
+    }
+  }
+  if (!warm) {
+    Member::Rebuilt fresh = member.rebuild();
+    SA_REQUIRE(fresh.host != nullptr && fresh.pipeline != nullptr,
+               "rebuild must produce a host and a pipeline");
+    member.host = fresh.host;
+    member.pipeline = fresh.pipeline;
+    ++member.recovery.cold_starts;
+    restored = 0;
+  }
+  // Mask every crash spec whose window had already opened, so the
+  // handled failure cannot re-fire during the replay or immediately
+  // after it. Must happen after the restore (which rewinds the horizon
+  // to its checkpointed value).
+  sim::FaultInjector* minj = member.pipeline->mutable_fault_injector();
+  if (minj != nullptr) minj->set_crash_horizon(fail_time);
+  if (member.on_reset) member.on_reset();
+  // The whole replay is silent: hooks, the recorder and the observer
+  // already consumed periods 0..period-1 on the crashed run.
+  obs::Observer* observer = member.pipeline->observer();
+  member.pipeline->set_observer(nullptr);
+  // Fast-forward through the restored prefix: re-run the ticks, re-apply
+  // the journalled actuations at their original period boundaries. Tick
+  // arithmetic is deterministic, so the host lands bit-for-bit where the
+  // checkpointed run stood.
+  SimHostActuationPort& port = member.pipeline->actuation_port();
+  for (std::size_t k = 0; k < restored; ++k) {
+    member.host->run(member.ticks_per_period);
+    port.replay_delivered(member.host->now());
+  }
+  // Gap replay: live periods from the checkpoint to the failure. The
+  // restored RNG streams re-draw exactly what the crashed run drew, so
+  // every regenerated record must equal the history — anything else is a
+  // divergence (determinism bug or non-checkpointable state leak).
+  for (std::size_t q = restored; q < period; ++q) {
+    member.host->run(member.ticks_per_period);
+    const PeriodRecord& rec = member.pipeline->on_period();
+    if (q >= history.size() || encode_record(rec) != history[q]) {
+      ++member.recovery.divergences;
+    }
+  }
+  member.recovery.gap_periods_replayed += period - restored;
+  if (observer != nullptr) member.pipeline->set_observer(observer);
+  ++member.recovery.recoveries;
+  member.health = MemberHealth::Normal;
 }
 
 void FleetController::run() {

@@ -41,6 +41,42 @@ class PeriodSink {
                              const PeriodRecord& rec) = 0;
 };
 
+/// Supervisor view of one member's liveness (DESIGN.md §17): Normal
+/// while the control loop runs, Down the moment a crash-class failure is
+/// trapped, Recovering while the checkpoint restore + replay runs. Only
+/// the worker thread driving the member writes or reads it.
+enum class MemberHealth {
+  Normal,
+  Down,
+  Recovering,
+};
+
+const char* to_string(MemberHealth health);
+
+/// What the supervisor did for one member (DESIGN.md §17). All counters
+/// are lifetime totals over the member's run.
+struct RecoveryReport {
+  std::size_t crashes = 0;           // HostCrash signals handled
+  std::size_t stage_throws = 0;      // StageThrow exceptions trapped
+  std::size_t stalls = 0;            // stalled attempts retried in place
+  std::size_t watchdog_trips = 0;    // stalls escalated past the budget
+  std::size_t recoveries = 0;        // completed warm/cold recoveries
+  std::size_t corrupt_checkpoints_dropped = 0;
+  std::size_t cold_starts = 0;       // recoveries with no usable checkpoint
+  std::size_t checkpoints_saved = 0;
+  std::size_t gap_periods_replayed = 0;
+  /// Replayed records that differed from the crashed run's history — the
+  /// determinism guarantee says this stays zero; the fuzzer's
+  /// checkpoint-divergence detector fails a run on any other value.
+  std::size_t divergences = 0;
+
+  bool any_failures() const {
+    return crashes + stage_throws + stalls + watchdog_trips +
+               corrupt_checkpoints_dropped >
+           0;
+  }
+};
+
 class FleetController {
  public:
   /// One host's slot in the fleet. The host and pipeline are borrowed
@@ -59,6 +95,28 @@ class FleetController {
     /// Optional per-period hook; called with the fresh record, on the
     /// worker thread driving this member.
     std::function<void(const PeriodRecord&)> on_period;
+
+    // --- Supervision (DESIGN.md §17). --------------------------------
+    /// Fresh host + pipeline produced by a rebuild.
+    struct Rebuilt {
+      sim::SimHost* host = nullptr;
+      HostPipeline* pipeline = nullptr;
+    };
+    /// Setting this enables the crash supervisor for the member. The
+    /// callback must tear down and reconstruct the member's host and
+    /// pipeline from scratch — same wiring, same fault plan, zero
+    /// periods run — and return the fresh pointers; the supervisor then
+    /// restores the newest usable checkpoint and replays the gap.
+    std::function<Rebuilt()> rebuild;
+    /// Optional: invoked during recovery, before the failed period's
+    /// ticks re-run, to clear per-period accumulators the on_tick hook
+    /// fills (the crashed attempt may already have accumulated them).
+    std::function<void()> on_reset;
+    /// Written by the supervisor while driving; read the totals after
+    /// run().
+    RecoveryReport recovery;
+    /// Driver-thread-local liveness; not synchronized across threads.
+    MemberHealth health = MemberHealth::Normal;
   };
 
   explicit FleetController(FleetConfig config);
@@ -66,6 +124,8 @@ class FleetController {
   /// Member names must be unique and non-empty.
   void add_member(Member member);
   std::size_t size() const { return members_.size(); }
+  /// Post-run inspection (recovery reports, final host/pipeline views).
+  const std::vector<Member>& members() const { return members_; }
 
   /// Attaches a passive per-period recorder (may be null to detach). The
   /// sink is borrowed and must outlive run(); it observes every record
@@ -82,6 +142,18 @@ class FleetController {
 
  private:
   void drive(Member& member) const;
+  /// Supervised driver for members carrying a rebuild callback: traps
+  /// crash-class failures, retries stalls within the watchdog budget and
+  /// escalates everything else into recover(). Deterministic: deadlines
+  /// are counted in retry attempts, never wall clock.
+  void drive_supervised(Member& member) const;
+  /// Rebuilds the member, restores the newest usable checkpoint (corrupt
+  /// ones are dropped for good; none left = cold start), masks the
+  /// handled fault behind the crash horizon and silently replays up to
+  /// `period` — leaving the member exactly where the crashed run stood
+  /// when period `period`'s ticks were about to run.
+  void recover(Member& member, std::vector<std::string>& checkpoints,
+               std::size_t period, double fail_time) const;
 
   // Lock-free by partitioning, not by accident (DESIGN.md §16): run()
   // hands each worker a disjoint slice of members_, every per-host

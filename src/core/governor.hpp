@@ -14,6 +14,7 @@
 #include "core/config.hpp"
 #include "mds/point.hpp"
 #include "util/rng.hpp"
+#include "util/statecodec.hpp"
 
 namespace stayaway::core {
 
@@ -62,6 +63,12 @@ class ThrottleGovernor {
   std::size_t resumes() const { return resumes_; }
   std::size_t failed_resumes() const { return failed_resumes_; }
   std::size_t random_resumes() const { return random_resumes_; }
+
+  /// Snapshot of the full decision state — beta, the RNG stream, the
+  /// open-pause books and every counter (DESIGN.md §17). A restored
+  /// governor makes the exact decision sequence the original would have.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   GovernorConfig config_;

@@ -61,15 +61,67 @@ ResourceUtilization SimHostActuationPort::utilization() const {
 
 bool SimHostActuationPort::pause(sim::VmId id) {
   bool delivered = faults_ == nullptr || faults_->pause_delivered(host_->now());
-  if (delivered) host_->vm(id).pause();
+  if (delivered) {
+    host_->vm(id).pause();
+    journal_.push_back({true, id, host_->now()});
+  }
   return delivered;
 }
 
 bool SimHostActuationPort::resume(sim::VmId id) {
   bool delivered =
       faults_ == nullptr || faults_->resume_delivered(host_->now());
-  if (delivered) host_->vm(id).resume();
+  if (delivered) {
+    host_->vm(id).resume();
+    journal_.push_back({false, id, host_->now()});
+  }
   return delivered;
+}
+
+void SimHostActuationPort::replay_delivered(double now) {
+  while (replay_cursor_ < journal_.size() &&
+         journal_[replay_cursor_].time <= now) {
+    const DeliveredOp& op = journal_[replay_cursor_];
+    if (op.pause) {
+      host_->vm(op.vm).pause();
+    } else {
+      host_->vm(op.vm).resume();
+    }
+    ++replay_cursor_;
+  }
+}
+
+void SimHostActuationPort::save_state(util::StateWriter& w) const {
+  std::vector<std::uint64_t> pauses;
+  std::vector<std::uint64_t> vms;
+  std::vector<double> times;
+  pauses.reserve(journal_.size());
+  vms.reserve(journal_.size());
+  times.reserve(journal_.size());
+  for (const DeliveredOp& op : journal_) {
+    pauses.push_back(op.pause ? 1 : 0);
+    vms.push_back(op.vm);
+    times.push_back(op.time);
+  }
+  w.u64s("journal_pause", pauses);
+  w.u64s("journal_vm", vms);
+  w.reals("journal_time", times);
+}
+
+void SimHostActuationPort::load_state(util::StateReader& r) {
+  std::vector<std::uint64_t> pauses = r.u64s("journal_pause");
+  std::vector<std::uint64_t> vms = r.u64s("journal_vm");
+  std::vector<double> times = r.reals("journal_time");
+  if (pauses.size() != vms.size() || vms.size() != times.size()) {
+    throw util::StateCodecError("actuation journal arrays disagree in length");
+  }
+  journal_.clear();
+  journal_.reserve(pauses.size());
+  for (std::size_t i = 0; i < pauses.size(); ++i) {
+    journal_.push_back({pauses[i] != 0, static_cast<sim::VmId>(vms[i]),
+                        times[i]});
+  }
+  replay_cursor_ = 0;
 }
 
 }  // namespace stayaway::core

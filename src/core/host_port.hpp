@@ -10,14 +10,29 @@
 // period).
 #pragma once
 
+#include <vector>
+
 #include "core/stages/port.hpp"
 #include "sim/faults.hpp"
 #include "sim/host.hpp"
+#include "util/statecodec.hpp"
 
 namespace stayaway::core {
 
 class SimHostActuationPort final : public ActuationPort {
  public:
+  /// One delivered pause/resume, stamped with the simulated time it took
+  /// effect on the host. The journal is what makes a warm restart exact
+  /// (DESIGN.md §17): a rebuilt host is fast-forwarded tick-for-tick with
+  /// the journalled actuations re-applied at their original times, so the
+  /// restored host's VM pause states — and therefore every subsequent
+  /// tick's arithmetic — match the crashed run bit for bit.
+  struct DeliveredOp {
+    bool pause = false;
+    sim::VmId vm = 0;
+    double time = 0.0;
+  };
+
   /// `host` must outlive the port.
   explicit SimHostActuationPort(sim::SimHost& host) : host_(&host) {}
 
@@ -34,9 +49,22 @@ class SimHostActuationPort final : public ActuationPort {
   bool pause(sim::VmId id) override;
   bool resume(sim::VmId id) override;
 
+  /// Every delivered actuation so far, in delivery order.
+  const std::vector<DeliveredOp>& journal() const { return journal_; }
+  /// Re-applies restored journal entries with time <= `now` directly to
+  /// the host — no fault draws, no re-journalling — in original delivery
+  /// order. An internal cursor makes repeated calls apply each entry
+  /// exactly once; the supervisor calls this at every period boundary of
+  /// the fast-forward.
+  void replay_delivered(double now);
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   sim::SimHost* host_;
   sim::FaultInjector* faults_ = nullptr;
+  std::vector<DeliveredOp> journal_;
+  std::size_t replay_cursor_ = 0;  // next journal entry replay applies
 };
 
 }  // namespace stayaway::core

@@ -46,6 +46,16 @@ std::unique_ptr<monitor::SampleSource> make_sample_source(
 
 }  // namespace
 
+StageThrowError::StageThrowError(double time)
+    : std::runtime_error("injected stage throw at t=" +
+                         std::to_string(time)),
+      time_(time) {}
+
+StageStallError::StageStallError(double time)
+    : std::runtime_error("injected stage stall at t=" +
+                         std::to_string(time)),
+      time_(time) {}
+
 HostPipeline::HostPipeline(sim::SimHost& host, const sim::QosProbe& probe,
                            StayAwayConfig config)
     : host_(&host), probe_(&probe), config_(std::move(config)) {
@@ -110,6 +120,18 @@ void HostPipeline::install_faults(const sim::FaultPlan& plan) {
 }
 
 const PeriodRecord& HostPipeline::on_period() {
+  // Injected stage failures fire before any stage state mutates (and
+  // before any RNG draw), so a recovered or retried period replays
+  // byte-identically (DESIGN.md §17).
+  if (faults_.has_value()) {
+    double entry_now = host_->now();
+    if (faults_->stage_throw(entry_now)) throw StageThrowError(entry_now);
+    if (faults_->stage_stall(entry_now, stall_attempts_)) {
+      ++stall_attempts_;
+      throw StageStallError(entry_now);
+    }
+    stall_attempts_ = 0;
+  }
   obs::Span period_span = observer_ != nullptr
                               ? observer_->span("period", host_->now())
                               : obs::Span{};
@@ -191,6 +213,66 @@ void HostPipeline::update_degradation(const monitor::SampleHealth& health,
   if (degradation_ != before) {
     transition_ = std::make_pair(before, degradation_);
   }
+}
+
+bool HostPipeline::checkpointable() const {
+  return (mapper_ == nullptr || mapper_->checkpointable()) &&
+         (forecaster_ == nullptr || forecaster_->checkpointable()) &&
+         (actuator_ == nullptr || actuator_->checkpointable());
+}
+
+void HostPipeline::save_state(util::StateWriter& w) const {
+  SA_REQUIRE(checkpointable(),
+             "save_state on a pipeline with a non-checkpointable stage");
+  w.boolean("has_mapper", mapper_ != nullptr);
+  if (mapper_ != nullptr) mapper_->save_state(w);
+  w.boolean("has_forecaster", forecaster_ != nullptr);
+  if (forecaster_ != nullptr) forecaster_->save_state(w);
+  w.boolean("has_actuator", actuator_ != nullptr);
+  if (actuator_ != nullptr) actuator_->save_state(w);
+  port_->save_state(w);
+  w.boolean("has_faults", faults_.has_value());
+  if (faults_.has_value()) faults_->save_state(w);
+  w.u64("degradation", static_cast<std::uint64_t>(degradation_));
+  w.u64("qos_blind_streak", qos_blind_streak_);
+  w.u64("healthy_streak", healthy_streak_);
+}
+
+void HostPipeline::load_state(util::StateReader& r) {
+  SA_REQUIRE(checkpointable(),
+             "load_state on a pipeline with a non-checkpointable stage");
+  if (r.boolean("has_mapper") != (mapper_ != nullptr)) {
+    throw util::StateCodecError("checkpoint/pipeline mapper wiring mismatch");
+  }
+  if (mapper_ != nullptr) mapper_->load_state(r);
+  if (r.boolean("has_forecaster") != (forecaster_ != nullptr)) {
+    throw util::StateCodecError(
+        "checkpoint/pipeline forecaster wiring mismatch");
+  }
+  if (forecaster_ != nullptr) forecaster_->load_state(r);
+  if (r.boolean("has_actuator") != (actuator_ != nullptr)) {
+    throw util::StateCodecError("checkpoint/pipeline actuator wiring mismatch");
+  }
+  if (actuator_ != nullptr) actuator_->load_state(r);
+  port_->load_state(r);
+  if (r.boolean("has_faults") != faults_.has_value()) {
+    throw util::StateCodecError(
+        "checkpoint/pipeline fault-injector wiring mismatch");
+  }
+  if (faults_.has_value()) faults_->load_state(r);
+  std::uint64_t degradation = r.u64("degradation");
+  if (degradation > static_cast<std::uint64_t>(DegradationState::Failsafe)) {
+    throw util::StateCodecError("degradation state out of range");
+  }
+  degradation_ = static_cast<DegradationState>(degradation);
+  qos_blind_streak_ = static_cast<std::size_t>(r.u64("qos_blind_streak"));
+  healthy_streak_ = static_cast<std::size_t>(r.u64("healthy_streak"));
+}
+
+void HostPipeline::seed_records(std::vector<PeriodRecord> records) {
+  SA_REQUIRE(records_.empty(),
+             "restored record history must be seeded before the first period");
+  records_ = std::move(records);
 }
 
 std::string HostPipeline::metric_name(const char* name) const {

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,6 +38,32 @@ struct StageSet {
   std::unique_ptr<Mapper> mapper;
   std::unique_ptr<ViolationForecaster> forecaster;
   std::unique_ptr<Actuator> actuator;
+};
+
+/// Injected stage failure (sim::FaultKind::StageThrow). Raised at
+/// on_period entry before any stage state mutates, so the supervisor can
+/// recover from the latest checkpoint and replay the period
+/// byte-identically (DESIGN.md §17).
+class StageThrowError : public std::runtime_error {
+ public:
+  explicit StageThrowError(double time);
+  double time() const { return time_; }
+
+ private:
+  double time_;
+};
+
+/// Injected stage stall (sim::FaultKind::StageStall): this on_period
+/// attempt overran its deterministic watchdog deadline. No stage state
+/// has mutated; the supervisor retries in place up to its watchdog
+/// budget, then escalates to a full crash recovery.
+class StageStallError : public std::runtime_error {
+ public:
+  explicit StageStallError(double time);
+  double time() const { return time_; }
+
+ private:
+  double time_;
 };
 
 class HostPipeline {
@@ -82,6 +109,32 @@ class HostPipeline {
   const sim::FaultInjector* fault_injector() const {
     return faults_.has_value() ? &*faults_ : nullptr;
   }
+  /// Mutable injector view for the fleet supervisor, which advances the
+  /// crash horizon after handling a failure (DESIGN.md §17).
+  sim::FaultInjector* mutable_fault_injector() {
+    return faults_.has_value() ? &*faults_ : nullptr;
+  }
+  /// The pipeline's host-facing port — the supervisor fast-forwards a
+  /// rebuilt host through its restored actuation journal.
+  SimHostActuationPort& actuation_port() { return *port_; }
+
+  /// Checkpoint support (DESIGN.md §17). A pipeline is checkpointable
+  /// when every wired stage can snapshot its full state — the synchronous
+  /// sample source and a non-landmark embedder for the Stay-Away wiring.
+  /// Non-checkpointable pipelines recover by cold replay instead.
+  bool checkpointable() const;
+  /// Snapshots everything on_period mutates except the record history
+  /// (the checkpoint envelope owns the record codec): stage states, the
+  /// delivered-actuation journal, the fault injector and the degradation
+  /// machine. last_outcome_ is transient and deliberately not captured.
+  void save_state(util::StateWriter& w) const;
+  /// Mirror of save_state. The pipeline must be freshly built with the
+  /// same wiring and the same fault plan installed; stage-presence
+  /// mismatches throw util::StateCodecError.
+  void load_state(util::StateReader& r);
+  /// Seeds the record history of the run being restored. Must be called
+  /// before the first live on_period().
+  void seed_records(std::vector<PeriodRecord> records);
 
   const std::vector<PeriodRecord>& records() const { return records_; }
   const StayAwayConfig& config() const { return config_; }
@@ -127,6 +180,9 @@ class HostPipeline {
   DegradationState degradation_ = DegradationState::Normal;
   std::size_t qos_blind_streak_ = 0;
   std::size_t healthy_streak_ = 0;
+  /// Consecutive stalled on_period attempts at the current period (the
+  /// injector stalls the first `magnitude` attempts; see sim::FaultSpec).
+  std::size_t stall_attempts_ = 0;
   /// Set on a state transition, consumed by publish() for the event.
   std::optional<std::pair<DegradationState, DegradationState>> transition_;
   std::vector<PeriodRecord> records_;

@@ -34,6 +34,14 @@ class GovernorActuator final : public Actuator {
     return actuation_abandoned_total_;
   }
 
+  /// Snapshot of the governor, the pause/failsafe latches, the throttled
+  /// intent set and the open retry ledger (DESIGN.md §17). A restored
+  /// actuator resumes mid-retry: backoff deadlines are absolute simulated
+  /// times, so they stay meaningful across a restore.
+  bool checkpointable() const override { return true; }
+  void save_state(util::StateWriter& w) const override;
+  void load_state(util::StateReader& r) override;
+
  private:
   /// Outstanding pause/resume commands the fault channel dropped; the
   /// ledger retries them with exponential backoff until delivered or the

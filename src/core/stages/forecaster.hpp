@@ -26,6 +26,12 @@ class TrajectoryForecaster final : public ViolationForecaster {
   const ModeTrajectories& trajectories() const { return modes_; }
   const PredictionTally& tally() const { return tally_; }
 
+  /// Snapshot of the per-mode trajectory models, vote RNG, the carried
+  /// previous-period observation and the accuracy tally (DESIGN.md §17).
+  bool checkpointable() const override { return true; }
+  void save_state(util::StateWriter& w) const override;
+  void load_state(util::StateReader& r) override;
+
  private:
   ModeTrajectories modes_;
   Predictor predictor_;

@@ -72,6 +72,17 @@ class StayAwayMapper final : public Mapper {
   }
   bool mapped_any_period() const { return mapped_any_period_; }
 
+  /// Checkpointable iff the source can rewind (synchronous sampling) and
+  /// the embedder's full state is capturable (not landmark-incremental).
+  bool checkpointable() const override {
+    return source_->checkpointable() && embedder_.checkpointable();
+  }
+  /// Snapshot of the whole mapping chain: source/sampler RNG, quarantine,
+  /// representative set, state space, embedder layout, and the carried
+  /// representative (DESIGN.md §17).
+  void save_state(util::StateWriter& w) const override;
+  void load_state(util::StateReader& r) override;
+
  private:
   std::unique_ptr<monitor::SampleSource> source_;
   monitor::CapacityNormalizer normalizer_;

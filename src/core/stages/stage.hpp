@@ -26,6 +26,8 @@
 #include "core/stages/port.hpp"
 #include "monitor/health.hpp"
 #include "obs/observer.hpp"
+#include "util/check.hpp"
+#include "util/statecodec.hpp"
 
 namespace stayaway::core {
 
@@ -44,6 +46,19 @@ class Mapper {
   virtual void observe_qos(std::size_t representative, bool violated) = 0;
   /// The labelled map the forecaster predicts over.
   virtual const StateSpace& space() const = 0;
+
+  /// Checkpoint support (DESIGN.md §17). Stages default to
+  /// non-checkpointable; pipelines whose stages cannot all snapshot
+  /// recover by cold replay instead. Callers gate on checkpointable().
+  virtual bool checkpointable() const { return false; }
+  virtual void save_state(util::StateWriter& w) const {
+    (void)w;
+    SA_CHECK(false, "save_state on a non-checkpointable mapper");
+  }
+  virtual void load_state(util::StateReader& r) {
+    (void)r;
+    SA_CHECK(false, "load_state on a non-checkpointable mapper");
+  }
 };
 
 /// Prediction stage (§3.2). forecast() observes the latest within-mode
@@ -56,6 +71,17 @@ class ViolationForecaster {
   virtual ~ViolationForecaster() = default;
   virtual void forecast(const StateSpace& space, PeriodRecord& rec,
                         bool widened, obs::Observer* observer) = 0;
+
+  /// Checkpoint support (DESIGN.md §17); see Mapper.
+  virtual bool checkpointable() const { return false; }
+  virtual void save_state(util::StateWriter& w) const {
+    (void)w;
+    SA_CHECK(false, "save_state on a non-checkpointable forecaster");
+  }
+  virtual void load_state(util::StateReader& r) {
+    (void)r;
+    SA_CHECK(false, "load_state on a non-checkpointable forecaster");
+  }
 };
 
 /// Action stage (§3.3). act() reconciles any outstanding actuation,
@@ -80,6 +106,17 @@ class Actuator {
   virtual Outcome act(ActuationPort& port, PeriodRecord& rec,
                       DegradationState degradation,
                       obs::Observer* observer) = 0;
+
+  /// Checkpoint support (DESIGN.md §17); see Mapper.
+  virtual bool checkpointable() const { return false; }
+  virtual void save_state(util::StateWriter& w) const {
+    (void)w;
+    SA_CHECK(false, "save_state on a non-checkpointable actuator");
+  }
+  virtual void load_state(util::StateReader& r) {
+    (void)r;
+    SA_CHECK(false, "load_state on a non-checkpointable actuator");
+  }
 };
 
 }  // namespace stayaway::core

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mds/point.hpp"
+#include "util/statecodec.hpp"
 
 namespace stayaway::core {
 
@@ -91,6 +92,15 @@ class StateSpace {
   /// is the work the cache saved.
   std::size_t cache_invalidations() const { return invalidations_; }
   std::size_t cache_rebuilds() const { return rebuilds_; }
+
+  /// Snapshot of states, evidence counters and positions (DESIGN.md
+  /// §17). The violation-range cache is deliberately not captured:
+  /// load_state leaves it dirty and the first query re-derives
+  /// byte-identical ranges from the restored geometry (the rebuild
+  /// counter may therefore run ahead of the uninterrupted run's —
+  /// telemetry only, never decisions).
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   std::size_t labels_cache_size() const { return forced_.size(); }

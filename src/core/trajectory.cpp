@@ -55,6 +55,35 @@ std::vector<mds::Point2> TrajectoryModel::sample_future(
   return out;
 }
 
+void TrajectoryModel::save_state(util::StateWriter& w) const {
+  w.u64("observations", observations_);
+  w.real("steps_total", steps_.total_weight());
+  w.reals("steps", steps_.raw_counts());
+  w.real("angles_total", angles_.total_weight());
+  w.reals("angles", angles_.raw_counts());
+}
+
+void TrajectoryModel::load_state(util::StateReader& r) {
+  observations_ = static_cast<std::size_t>(r.u64("observations"));
+  double steps_total = r.real("steps_total");
+  steps_.restore(r.reals("steps"), steps_total);
+  double angles_total = r.real("angles_total");
+  angles_.restore(r.reals("angles"), angles_total);
+}
+
+void ModeTrajectories::save_state(util::StateWriter& w) const {
+  w.u64("modes", models_.size());
+  for (const auto& m : models_) m.save_state(w);
+}
+
+void ModeTrajectories::load_state(util::StateReader& r) {
+  if (r.u64("modes") != models_.size()) {
+    throw util::StateCodecError(
+        "trajectory state: execution-mode count mismatch");
+  }
+  for (auto& m : models_) m.load_state(r);
+}
+
 ModeTrajectories::ModeTrajectories(double max_step, std::size_t bins) {
   models_.reserve(monitor::kExecutionModeCount);
   for (std::size_t i = 0; i < monitor::kExecutionModeCount; ++i) {

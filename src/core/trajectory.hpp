@@ -17,6 +17,7 @@
 #include "monitor/mode.hpp"
 #include "stats/histogram.hpp"
 #include "util/rng.hpp"
+#include "util/statecodec.hpp"
 
 namespace stayaway::core {
 
@@ -43,6 +44,12 @@ class TrajectoryModel {
   const stats::Histogram& step_histogram() const { return steps_; }
   const stats::Histogram& angle_histogram() const { return angles_; }
 
+  /// Snapshot of histogram contents + observation count (DESIGN.md §17).
+  /// load_state targets a freshly constructed model with identical
+  /// configuration (max_step, bins).
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   stats::Histogram steps_;
   stats::Histogram angles_;
@@ -56,6 +63,10 @@ class ModeTrajectories {
 
   TrajectoryModel& model(monitor::ExecutionMode mode);
   const TrajectoryModel& model(monitor::ExecutionMode mode) const;
+
+  /// Snapshots every per-mode model, in mode order.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   std::vector<TrajectoryModel> models_;

@@ -9,6 +9,7 @@
 #include "baseline/policy.hpp"
 #include "baseline/stages/reactive_actuator.hpp"
 #include "baseline/stages/static_actuator.hpp"
+#include "core/checkpoint.hpp"
 #include "core/fleet.hpp"
 #include "harness/rig.hpp"
 #include "util/check.hpp"
@@ -142,6 +143,8 @@ FleetResult run_fleet(const FleetSpec& spec) {
   std::vector<Slot> slots(spec.hosts.size());
   core::FleetConfig controller_config;
   controller_config.workers = spec.workers;
+  controller_config.checkpoint_every = spec.checkpoint_every;
+  controller_config.watchdog_budget = spec.watchdog_budget;
   core::FleetController controller(controller_config);
 
   for (std::size_t i = 0; i < spec.hosts.size(); ++i) {
@@ -171,6 +174,34 @@ FleetResult run_fleet(const FleetSpec& spec) {
     member.periods =
         static_cast<std::size_t>(std::llround(espec.duration_s /
                                               espec.period_s));
+    // Warm start (DESIGN.md §17): restore the host's checkpoint, replay
+    // the restored prefix silently and drive only the live tail.
+    if (auto found = spec.restore.find(hs.name); found != spec.restore.end()) {
+      std::size_t restored = core::warm_start(
+          *slot.pipeline, *slot.rig.host, ticks_per_period, found->second);
+      SA_REQUIRE(restored <= member.periods,
+                 "checkpoint is longer than the run it restores into");
+      member.periods -= restored;
+    }
+    // Crash-class faults in the plan put the member under supervision
+    // automatically — derived purely from the scenario, so a recorded
+    // run-log replays bit-for-bit without new scenario keys.
+    if (spec.supervise || (espec.faults.has_value() &&
+                           espec.faults->has_crash_faults())) {
+      member.rebuild = [&slot, &hs, label_hosts, observer] {
+        slot.pipeline.reset();
+        slot.rig = build_host_rig(hs.experiment);
+        slot.pipeline = make_pipeline(hs, slot.rig);
+        if (label_hosts) slot.pipeline->set_host_label(hs.name);
+        if (observer != nullptr &&
+            hs.experiment.policy == PolicyKind::StayAway) {
+          slot.pipeline->set_observer(observer);
+        }
+        return core::FleetController::Member::Rebuilt{slot.rig.host.get(),
+                                                      slot.pipeline.get()};
+      };
+      member.on_reset = [&slot] { slot.util_acc = 0.0; };
+    }
     member.on_tick = [&slot] {
       slot.util_acc += slot.rig.host->instantaneous_cpu_utilization();
     };
@@ -226,15 +257,16 @@ FleetResult run_fleet(const FleetSpec& spec) {
 
   FleetResult out;
   out.hosts.reserve(slots.size());
-  for (Slot& slot : slots) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
     ExperimentResult& result = slot.result;
     sim::SimHost& host = *slot.rig.host;
     if (!result.qos.empty()) {
       double qacc = 0.0;
       double uacc = 0.0;
-      for (std::size_t i = 0; i < result.qos.size(); ++i) {
-        qacc += result.qos[i];
-        uacc += result.utilization[i];
+      for (std::size_t j = 0; j < result.qos.size(); ++j) {
+        qacc += result.qos[j];
+        uacc += result.utilization[j];
       }
       result.avg_qos = qacc / static_cast<double>(result.qos.size());
       result.avg_utilization = uacc / static_cast<double>(result.qos.size());
@@ -249,7 +281,14 @@ FleetResult run_fleet(const FleetSpec& spec) {
     if (slot.spec->experiment.policy == PolicyKind::StayAway) {
       extract_stayaway(*slot.pipeline, slot.spec->experiment, result);
     }
-    out.hosts.push_back({slot.spec->name, std::move(result)});
+    FleetHostResult host_result;
+    host_result.name = slot.spec->name;
+    host_result.result = std::move(result);
+    host_result.recovery = controller.members()[i].recovery;
+    if (spec.export_checkpoints && slot.pipeline->checkpointable()) {
+      host_result.final_checkpoint = core::encode_checkpoint(*slot.pipeline);
+    }
+    out.hosts.push_back(std::move(host_result));
   }
   return out;
 }

@@ -9,14 +9,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "core/fleet.hpp"
 #include "harness/experiment.hpp"
-
-namespace stayaway::core {
-class PeriodSink;
-}
 
 namespace stayaway::harness {
 
@@ -43,11 +41,36 @@ struct FleetSpec {
   /// every PeriodRecord the controller emits, tagged with the host name.
   /// Borrowed; must be thread-safe when workers > 1.
   core::PeriodSink* recorder = nullptr;
+  // --- Fault tolerance (DESIGN.md §17). -------------------------------
+  /// Run every member under the crash supervisor even when its fault
+  /// plan injects no crash-class faults. Members whose plan does carry
+  /// crash faults are supervised regardless.
+  bool supervise = false;
+  /// Supervisor checkpoint cadence in periods (0 = off; crash recovery
+  /// then cold-replays from period zero — byte-identical either way).
+  std::size_t checkpoint_every = 0;
+  /// Stall retries before the watchdog escalates to a crash recovery.
+  std::size_t watchdog_budget = 3;
+  /// When true each host's final checkpoint lands in
+  /// FleetHostResult::final_checkpoint (empty for non-checkpointable
+  /// pipelines) — what `stayaway_sim --checkpoint-dir` writes to disk.
+  bool export_checkpoints = false;
+  /// Per-host checkpoint blobs to warm-start from (keyed by host name;
+  /// hosts without an entry start cold). The restored periods are
+  /// replayed silently: the per-period result series (time/qos/...)
+  /// cover only the live tail, while stayaway_records always span the
+  /// full history.
+  std::map<std::string, std::string> restore;
 };
 
 struct FleetHostResult {
   std::string name;
   ExperimentResult result;
+  /// What the supervisor trapped and repaired for this host; all zeros
+  /// for an unsupervised or failure-free run.
+  core::RecoveryReport recovery;
+  /// Encoded end-of-run checkpoint (FleetSpec::export_checkpoints).
+  std::string final_checkpoint;
 };
 
 struct FleetResult {

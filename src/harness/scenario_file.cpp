@@ -374,6 +374,14 @@ FleetScenario parse_fleet_scenario(std::istream& in) {
   while (std::getline(in, raw)) {
     ++line_no;
     std::string line = trim(strip_comment(raw));
+    // getline leaving eofbit set means the stream ran dry before the
+    // delimiter: the final line lost its newline. A scenario truncated
+    // mid-line (half a `key = value`) must not parse as a shorter but
+    // valid scenario; an unterminated blank or comment line is harmless.
+    if (in.eof() && !line.empty()) {
+      fail(line_no, "truncated scenario: final line '" + line +
+                        "' is missing its newline");
+    }
     if (line.empty()) continue;
 
     if (line.front() == '[') {

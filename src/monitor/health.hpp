@@ -25,6 +25,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/statecodec.hpp"
+
 namespace stayaway::monitor {
 
 /// Health summary of one validated sample.
@@ -72,6 +74,14 @@ class SampleQuarantine {
   std::size_t total_late() const { return total_late_; }
   /// Duplicate deliveries rejected across the lifetime.
   std::size_t total_duplicates() const { return total_duplicates_; }
+
+  /// Snapshot of imputation state, admission clock and counters
+  /// (DESIGN.md §17). The seen-sequence set serializes sorted — it is
+  /// only ever membership-tested, so insertion order is immaterial.
+  /// load_state targets a freshly constructed quarantine with the same
+  /// upper-bound layout (dimension checked).
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   std::vector<double> bounds_;

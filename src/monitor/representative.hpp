@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/statecodec.hpp"
+
 namespace stayaway::monitor {
 
 struct Assignment {
@@ -49,6 +51,12 @@ class RepresentativeSet {
   double epsilon() const { return epsilon_; }
   std::size_t max_size() const { return max_size_; }
   bool full() const { return max_size_ > 0 && reps_.size() >= max_size_; }
+
+  /// Snapshot of the representative vectors, merge weights and observed
+  /// count (DESIGN.md §17). load_state targets a freshly constructed set
+  /// with the same epsilon/max_size configuration.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   double epsilon_;

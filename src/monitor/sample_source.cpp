@@ -35,6 +35,26 @@ DrainReport SynchronousSampleSource::drain(double now,
   return report;
 }
 
+void SampleSource::save_state(util::StateWriter& w) const {
+  (void)w;
+  SA_CHECK(false, "save_state on a non-checkpointable sample source");
+}
+
+void SampleSource::load_state(util::StateReader& r) {
+  (void)r;
+  SA_CHECK(false, "load_state on a non-checkpointable sample source");
+}
+
+void SynchronousSampleSource::save_state(util::StateWriter& w) const {
+  sampler_.save_state(w);
+  w.u64("next_sequence", next_sequence_);
+}
+
+void SynchronousSampleSource::load_state(util::StateReader& r) {
+  sampler_.load_state(r);
+  next_sequence_ = r.u64("next_sequence");
+}
+
 RingSampleSource::RingSampleSource(MetricLayout layout,
                                    std::vector<double> scale,
                                    trace::Trace trace,

@@ -82,6 +82,15 @@ class SampleSource {
 
   /// Samples delivered across the source's lifetime (observability).
   virtual std::uint64_t samples_taken() const = 0;
+
+  /// Checkpoint support (DESIGN.md §17). Only the synchronous source is
+  /// checkpointable — a ring source's producer thread cannot be rewound
+  /// mid-stream, so pipelines fed by one recover by cold replay instead.
+  /// The save/load defaults fail loudly; callers must gate on
+  /// checkpointable() first.
+  virtual bool checkpointable() const { return false; }
+  virtual void save_state(util::StateWriter& w) const;
+  virtual void load_state(util::StateReader& r);
 };
 
 /// The historical path: one HostSampler reading per drain. Exists so
@@ -104,6 +113,10 @@ class SynchronousSampleSource final : public SampleSource {
   std::uint64_t samples_taken() const override {
     return sampler_.samples_taken();
   }
+
+  bool checkpointable() const override { return true; }
+  void save_state(util::StateWriter& w) const override;
+  void load_state(util::StateReader& r) override;
 
   const HostSampler& sampler() const { return sampler_; }
 

@@ -10,6 +10,7 @@
 #include "sim/faults.hpp"
 #include "sim/host.hpp"
 #include "util/rng.hpp"
+#include "util/statecodec.hpp"
 
 namespace stayaway::monitor {
 
@@ -55,6 +56,14 @@ class HostSampler {
 
   /// Measurements taken so far (observability).
   std::size_t samples_taken() const { return samples_taken_; }
+
+  /// Snapshot of the sampler's mutable state: the noise RNG stream and
+  /// the sample counter (DESIGN.md §17). Everything else (layout, entity
+  /// map) is rebuilt from the host at construction; a restored sampler
+  /// on a reconstructed host emits the exact readings the original
+  /// would have.
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
 
  private:
   const sim::SimHost* host_;

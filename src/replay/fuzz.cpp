@@ -121,9 +121,33 @@ harness::FleetScenario mutate(Rng& rng, const FuzzConfig& config) {
     }
   }
 
+  std::size_t host_count = 1 + rng.index(3);
+
+  if (config.recovery) {
+    // Crash-class mutations (DESIGN.md §17): their presence alone routes
+    // the run through the fleet supervisor (has_crash_faults), so the
+    // shrunk run-log replays its own recovery. Drawn strictly after
+    // every other mutation — ingest included — so the historical draw
+    // streams survive with this flag off.
+    constexpr sim::FaultKind kCrashKinds[] = {
+        sim::FaultKind::HostCrash, sim::FaultKind::StageStall,
+        sim::FaultKind::StageThrow, sim::FaultKind::CheckpointCorrupt,
+    };
+    std::size_t crash_count = 1 + rng.index(2);
+    for (std::size_t i = 0; i < crash_count; ++i) {
+      sim::FaultSpec fault;
+      fault.kind = pick(rng, kCrashKinds);
+      fault.start_s = std::floor(rng.uniform(5.0, spec.duration_s * 0.8));
+      fault.end_s = fault.start_s + std::floor(rng.uniform(2.0, 10.0));
+      fault.probability = 1.0;  // crash queries never draw from the plan RNG
+      fault.magnitude = std::floor(rng.uniform(1.0, 6.0));  // stall attempts
+      fault.dimension = -1;
+      spec.faults->faults.push_back(fault);
+    }
+  }
+
   harness::FleetScenario doc;
   doc.base = std::move(base);
-  std::size_t host_count = 1 + rng.index(3);
   return canonical_fleet(doc, host_count);
 }
 
@@ -146,6 +170,15 @@ std::optional<std::string> run_and_detect(const harness::FleetScenario& fleet,
   for (std::size_t h = 0; h < run.result.hosts.size() && !fired; ++h) {
     fired = detect_instability(run.result.hosts[h].result.stayaway_records,
                                fleet.hosts[h].second.spec.stayaway.governor);
+  }
+  // Checkpoint divergence (DESIGN.md §17): the supervisor's gap replay
+  // regenerated a period that differs byte-wise from the pre-crash
+  // history — the restore was not exact. Read off the RecoveryReport
+  // rather than the records, which by definition look clean.
+  for (std::size_t h = 0; h < run.result.hosts.size() && !fired; ++h) {
+    if (run.result.hosts[h].recovery.divergences > 0) {
+      fired = "checkpoint-divergence";
+    }
   }
   if (out != nullptr) *out = std::move(run);
   return fired;
@@ -196,6 +229,29 @@ harness::FleetScenario shrink(harness::FleetScenario fleet,
         if (faults.empty()) scenario.spec.faults.reset();
       }
       if (try_candidate(candidate, &fleet)) improved = true;
+    }
+    // Narrow the surviving fault windows: halve each window's length
+    // (floor 1 s) while the same detector still fires. Repeated rounds
+    // of the outer loop shrink a crash or fault window to the tightest
+    // interval that still reproduces the finding.
+    std::size_t windows =
+        fleet.hosts.front().second.spec.faults.has_value()
+            ? fleet.hosts.front().second.spec.faults->faults.size()
+            : 0;
+    for (std::size_t k = 0; k < windows; ++k) {
+      harness::FleetScenario candidate = fleet;
+      bool applies = false;
+      for (auto& [name, scenario] : candidate.hosts) {
+        if (!scenario.spec.faults.has_value()) continue;
+        auto& faults = scenario.spec.faults->faults;
+        if (k >= faults.size()) continue;
+        sim::FaultSpec& f = faults[k];
+        double length = f.end_s - f.start_s;
+        if (length <= 1.0) continue;
+        f.end_s = f.start_s + std::max(1.0, std::floor(length / 2.0));
+        applies = true;
+      }
+      if (applies && try_candidate(candidate, &fleet)) improved = true;
     }
     // Drop extra VMs.
     std::size_t vm_count = fleet.hosts.front().second.spec.extra_batch.size();
@@ -334,6 +390,24 @@ std::optional<std::string> detect_instability(
   std::size_t overflow = 0;
   for (const core::PeriodRecord& rec : records) overflow += rec.overflow_drops;
   if (overflow >= kOverflowDrops) return "ingest-overflow";
+  // QoS-violation burst: the controller let this many observed
+  // violations through inside a short window — prevention has
+  // effectively collapsed. A healthy Stay-Away run stays in the low
+  // single-digit percents, so a dense burst marks a real instability.
+  // Also checked after the scan so the committed pinned-seed findings
+  // keep their historical detectors.
+  constexpr std::size_t kBurstViolations = 10;
+  constexpr std::size_t kBurstWindow = 14;
+  std::vector<std::size_t> violation_at;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!records[i].violation_observed) continue;
+    violation_at.push_back(i);
+    if (violation_at.size() >= kBurstViolations &&
+        i - violation_at[violation_at.size() - kBurstViolations] <
+            kBurstWindow) {
+      return "qos-violation-burst";
+    }
+  }
   return std::nullopt;
 }
 

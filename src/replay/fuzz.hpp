@@ -29,6 +29,12 @@ struct FuzzConfig {
   /// appended after the historical ones, so pinned seeds reproduce their
   /// committed findings byte-identically only with this flag off.
   bool ingest = false;
+  /// Also inject crash-class faults (HostCrash / StageStall / StageThrow
+  /// / CheckpointCorrupt — DESIGN.md §17), driving every mutated run
+  /// through the fleet supervisor's recovery path. Off by default for the
+  /// same pinned-seed reason; the crash draws come after every other
+  /// draw, ingest ones included.
+  bool recovery = false;
 };
 
 /// One controller-instability detector verdict over a recorded run.
@@ -50,8 +56,11 @@ struct FuzzReport {
 
 /// Scans one host's record stream for instabilities: non-finite map
 /// coordinates, beta outside [beta_initial, beta_max], pause/resume
-/// thrash, Normal<->Degraded flapping, a stuck actuation ledger, and
-/// batch starvation. Returns the first detector that fires.
+/// thrash, Normal<->Degraded flapping, a stuck actuation ledger, batch
+/// starvation, ingest overflow and QoS-violation bursts. Returns the
+/// first detector that fires. (The checkpoint-divergence detector lives
+/// in the run scan, not here — it reads the supervisor's RecoveryReport,
+/// not the record stream.)
 std::optional<std::string> detect_instability(
     const std::vector<core::PeriodRecord>& records,
     const core::GovernorConfig& governor);

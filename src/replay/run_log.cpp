@@ -231,6 +231,13 @@ RunLog parse_run_log(std::istream& in) {
                             what + ")");
     }
     ++line_no;
+    // getline only leaves eofbit set when the stream ran dry before the
+    // delimiter: the final line lost its newline, i.e. the log was
+    // truncated mid-line. Rejecting it here keeps a half-written record
+    // from parsing as a complete one.
+    if (in.eof()) {
+      fail(line_no, "truncated log: final line is missing its newline");
+    }
   };
 
   read_line("header");

@@ -1,5 +1,6 @@
 #include "sim/faults.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <sstream>
@@ -13,10 +14,13 @@ namespace stayaway::sim {
 namespace {
 
 constexpr FaultKind kAllKinds[] = {
-    FaultKind::SensorDropout, FaultKind::StuckAt,     FaultKind::Spike,
-    FaultKind::NonFinite,     FaultKind::StaleSample, FaultKind::QosBlind,
-    FaultKind::PauseFail,     FaultKind::ResumeFail,  FaultKind::IngestDelay,
-    FaultKind::IngestDuplicate,
+    FaultKind::SensorDropout,  FaultKind::StuckAt,
+    FaultKind::Spike,          FaultKind::NonFinite,
+    FaultKind::StaleSample,    FaultKind::QosBlind,
+    FaultKind::PauseFail,      FaultKind::ResumeFail,
+    FaultKind::IngestDelay,    FaultKind::IngestDuplicate,
+    FaultKind::HostCrash,      FaultKind::StageStall,
+    FaultKind::StageThrow,     FaultKind::CheckpointCorrupt,
 };
 
 bool is_sensor_fault(FaultKind kind) {
@@ -32,6 +36,10 @@ bool is_sensor_fault(FaultKind kind) {
     case FaultKind::ResumeFail:
     case FaultKind::IngestDelay:
     case FaultKind::IngestDuplicate:
+    case FaultKind::HostCrash:
+    case FaultKind::StageStall:
+    case FaultKind::StageThrow:
+    case FaultKind::CheckpointCorrupt:
       return false;
   }
   return false;
@@ -97,8 +105,35 @@ const char* to_string(FaultKind kind) {
       return "ingest-delay";
     case FaultKind::IngestDuplicate:
       return "ingest-dup";
+    case FaultKind::HostCrash:
+      return "host-crash";
+    case FaultKind::StageStall:
+      return "stage-stall";
+    case FaultKind::StageThrow:
+      return "stage-throw";
+    case FaultKind::CheckpointCorrupt:
+      return "checkpoint-corrupt";
   }
   return "unknown";
+}
+
+bool is_crash_fault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::HostCrash:
+    case FaultKind::StageStall:
+    case FaultKind::StageThrow:
+    case FaultKind::CheckpointCorrupt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool FaultPlan::has_crash_faults() const {
+  for (const FaultSpec& f : faults) {
+    if (is_crash_fault(f.kind)) return true;
+  }
+  return false;
 }
 
 FaultKind fault_kind_from_string(const std::string& name) {
@@ -171,6 +206,13 @@ FaultPlan parse_fault_plan(std::istream& in) {
     auto hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
     line = trim(line);
+    if (in.eof() && !line.empty()) {
+      // getline hit end-of-input before a delimiter: the final line was
+      // cut mid-record (a partial write or truncated download). Silently
+      // accepting it would half-apply a plan, so fail loudly instead; an
+      // unterminated blank or comment line is harmless.
+      fail(line_no, "truncated final line (missing trailing newline)");
+    }
     if (line.empty()) continue;
 
     auto eq = line.find('=');
@@ -286,6 +328,58 @@ bool FaultInjector::pause_delivered(double now) {
 
 bool FaultInjector::resume_delivered(double now) {
   return command_delivered(now, FaultKind::ResumeFail);
+}
+
+bool FaultInjector::crash_query(double now, FaultKind kind) const {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != kind || !f.active(now)) continue;
+    if (f.start_s > crash_horizon_) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::crash_signal(double now) const {
+  return crash_query(now, FaultKind::HostCrash);
+}
+
+bool FaultInjector::stage_throw(double now) const {
+  return crash_query(now, FaultKind::StageThrow);
+}
+
+bool FaultInjector::stage_stall(double now, std::size_t attempt) const {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::StageStall || !f.active(now)) continue;
+    if (f.start_s <= crash_horizon_) continue;
+    if (static_cast<double>(attempt) < f.magnitude) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::checkpoint_corrupt(double now) const {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind == FaultKind::CheckpointCorrupt && f.active(now)) return true;
+  }
+  return false;
+}
+
+void FaultInjector::set_crash_horizon(double horizon) {
+  crash_horizon_ = std::max(crash_horizon_, horizon);
+}
+
+void FaultInjector::save_state(util::StateWriter& w) const {
+  w.line("fault_rng", rng_.save_state());
+  w.reals("prev_raw", prev_raw_);
+  w.u64("faulted_samples", faulted_samples_);
+  w.u64("dropped_commands", dropped_commands_);
+  w.real("crash_horizon", crash_horizon_);
+}
+
+void FaultInjector::load_state(util::StateReader& r) {
+  rng_.load_state(r.line("fault_rng"));
+  prev_raw_ = r.reals("prev_raw");
+  faulted_samples_ = static_cast<std::size_t>(r.u64("faulted_samples"));
+  dropped_commands_ = static_cast<std::size_t>(r.u64("dropped_commands"));
+  crash_horizon_ = r.real("crash_horizon");
 }
 
 }  // namespace stayaway::sim

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/statecodec.hpp"
 
 namespace stayaway::sim {
 
@@ -46,11 +47,23 @@ enum class FaultKind {
                    // out of order (applied by the ring producer)
   IngestDuplicate, // streaming: a sample is delivered twice (the
                    // quarantine drops the duplicate)
+  // Crash-class faults (DESIGN.md §17). These are consumed by the fleet
+  // supervisor, never by the sample or actuation channels, and they draw
+  // NOTHING from the plan RNG: a crashing controller must not shift the
+  // fault stream of the run it later replays.
+  HostCrash,          // the member's pipeline dies at the period boundary
+  StageStall,         // on_period overruns its deterministic deadline
+  StageThrow,         // a stage raises before mutating any state
+  CheckpointCorrupt,  // checkpoints saved in the window corrupt at rest
 };
 
 const char* to_string(FaultKind kind);
 /// Inverse of to_string; throws PreconditionError on unknown names.
 FaultKind fault_kind_from_string(const std::string& name);
+
+/// True for the supervisor-consumed crash-class kinds (HostCrash,
+/// StageStall, StageThrow, CheckpointCorrupt).
+bool is_crash_fault(FaultKind kind);
 
 /// One fault schedule entry: a kind active over [start_s, end_s), firing
 /// per draw with `probability`. Sensor faults target one flat measurement
@@ -73,6 +86,9 @@ struct FaultPlan {
   std::vector<FaultSpec> faults;
 
   bool empty() const { return faults.empty(); }
+  /// True when any spec is crash-class — what makes the fleet controller
+  /// run its members under supervision (DESIGN.md §17).
+  bool has_crash_faults() const;
 };
 
 /// Parses one fault line, `<kind> key=value ...` with keys start, end,
@@ -132,14 +148,46 @@ class FaultInjector {
   /// Pause/resume commands dropped so far.
   std::size_t dropped_commands() const { return dropped_commands_; }
 
+  /// Crash-class queries (fleet supervisor only; DESIGN.md §17). Unlike
+  /// every channel above these never draw from the plan RNG — the
+  /// probability field is ignored and a spec fires deterministically
+  /// while its window is active — so a crash changes nothing about the
+  /// sensor/QoS/actuation fault streams it interleaves with. Each query
+  /// also honours the crash horizon: after handling a failure the
+  /// supervisor advances the horizon to the failure time, masking every
+  /// spec whose window opened at or before it, so a handled fault cannot
+  /// re-fire during the replayed gap or immediately after it.
+  bool crash_signal(double now) const;
+  bool stage_throw(double now) const;
+  /// True when on_period attempt `attempt` (0-based) at `now` should
+  /// stall. A spec stalls the first `magnitude` attempts of each period
+  /// in its window: with magnitude below the supervisor's watchdog
+  /// budget the stage recovers in place; at or above it the watchdog
+  /// escalates to a full crash recovery.
+  bool stage_stall(double now, std::size_t attempt) const;
+  /// True when a checkpoint saved at `now` corrupts at rest. Not horizon
+  /// masked — corruption is a storage property, not a handled failure.
+  bool checkpoint_corrupt(double now) const;
+  double crash_horizon() const { return crash_horizon_; }
+  /// Monotone: keeps the larger of the current and given horizon.
+  void set_crash_horizon(double horizon);
+
+  /// Snapshot of the injector's mutable state — the RNG stream, the
+  /// stuck-at/stale replay sample, counters and the crash horizon
+  /// (DESIGN.md §17).
+  void save_state(util::StateWriter& w) const;
+  void load_state(util::StateReader& r);
+
  private:
   bool command_delivered(double now, FaultKind kind);
+  bool crash_query(double now, FaultKind kind) const;
 
   FaultPlan plan_;
   Rng rng_;
   std::vector<double> prev_raw_;  // previous pre-fault sample
   std::size_t faulted_samples_ = 0;
   std::size_t dropped_commands_ = 0;
+  double crash_horizon_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace stayaway::sim

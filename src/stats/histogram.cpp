@@ -90,6 +90,13 @@ void Histogram::decay(double factor) {
   total_ *= factor;
 }
 
+void Histogram::restore(const std::vector<double>& counts, double total) {
+  SA_REQUIRE(counts.size() == counts_.size(),
+             "histogram restore requires a matching bin count");
+  counts_ = counts;
+  total_ = total;
+}
+
 std::vector<double> Histogram::masses() const {
   std::vector<double> out(counts_.size(), 0.0);
   for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = mass(i);

@@ -53,6 +53,16 @@ class Histogram {
   /// The probability masses for all bins, in order.
   std::vector<double> masses() const;
 
+  /// Raw per-bin weights in bin order, for state snapshots.
+  const std::vector<double>& raw_counts() const { return counts_; }
+
+  /// Restores contents captured from an identically configured histogram
+  /// (same range and bin count; checked). The accumulated total is
+  /// restored verbatim rather than re-summed — re-adding weights would
+  /// reorder float addition and break the restore-exactness guarantee
+  /// (DESIGN.md §17).
+  void restore(const std::vector<double>& counts, double total);
+
  private:
   double lo_;
   double hi_;

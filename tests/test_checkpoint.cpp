@@ -1,0 +1,425 @@
+// Checkpoint/restore and supervised crash-recovery tests (DESIGN.md
+// §17): the record codec's exactness on non-finite values, the envelope's
+// typed rejection of version/integrity/truncation damage, full-pipeline
+// round trips through edge states (empty representative set, mid-retry
+// actuation ledger, Failsafe degradation), and the load-bearing golden
+// guarantee — a run that crashes, restores and replays its tail is
+// byte-identical to the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/period.hpp"
+#include "harness/fleet.hpp"
+#include "harness/rig.hpp"
+#include "sim/faults.hpp"
+#include "util/statecodec.hpp"
+
+namespace stayaway::harness {
+namespace {
+
+ExperimentSpec short_spec() {
+  ExperimentSpec spec;
+  spec.sensitive = SensitiveKind::VlcStream;
+  spec.batch = BatchKind::CpuBomb;
+  spec.policy = PolicyKind::StayAway;
+  spec.duration_s = 40.0;
+  spec.batch_start_s = 5.0;
+  return spec;
+}
+
+sim::FaultSpec fault_of(sim::FaultKind kind, double start, double end,
+                        double p = 1.0, double magnitude = 8.0) {
+  sim::FaultSpec s;
+  s.kind = kind;
+  s.start_s = start;
+  s.end_s = end;
+  s.probability = p;
+  s.magnitude = magnitude;
+  return s;
+}
+
+/// The non-crash plan reused as background noise so the golden tests
+/// exercise recovery while the degradation machinery is busy too.
+sim::FaultPlan stress_plan() {
+  sim::FaultPlan plan;
+  plan.seed = 11;
+  plan.faults.push_back(
+      fault_of(sim::FaultKind::SensorDropout, 5.0, 25.0, 0.3));
+  plan.faults.push_back(fault_of(sim::FaultKind::QosBlind, 10.0, 18.0));
+  plan.faults.push_back(fault_of(sim::FaultKind::PauseFail, 0.0, 30.0, 0.5));
+  return plan;
+}
+
+/// Byte-level record comparison: encode_record is exact on NaN where
+/// operator== would lie.
+void expect_records_byte_identical(
+    const std::vector<core::PeriodRecord>& got,
+    const std::vector<core::PeriodRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(core::encode_record(got[i]), core::encode_record(want[i]))
+        << "period " << i;
+  }
+}
+
+/// Runs `spec` as a supervised fleet of one and returns the host result.
+FleetHostResult run_supervised(const ExperimentSpec& spec,
+                               std::size_t checkpoint_every = 0,
+                               std::size_t watchdog_budget = 3) {
+  FleetSpec fleet;
+  fleet.hosts.push_back({"solo", spec});
+  fleet.supervise = true;
+  fleet.checkpoint_every = checkpoint_every;
+  fleet.watchdog_budget = watchdog_budget;
+  fleet.export_checkpoints = true;
+  FleetResult r = run_fleet(fleet);
+  return r.hosts.at(0);
+}
+
+// --- Record codec -----------------------------------------------------
+
+TEST(CheckpointRecordCodec, NonFiniteCoordsRoundTripExactly) {
+  core::PeriodRecord rec;
+  rec.time = 17.0;
+  rec.state.x = std::numeric_limits<double>::quiet_NaN();
+  rec.state.y = std::numeric_limits<double>::infinity();
+  rec.stress = -std::numeric_limits<double>::infinity();
+  rec.beta = std::numeric_limits<double>::quiet_NaN();
+  rec.representative = 3;
+  rec.actuation_retries = 2;
+  rec.actuation_pending = true;
+
+  std::string text = core::encode_record(rec);
+  std::istringstream in(text);
+  util::StateReader r(in);
+  core::PeriodRecord back = core::read_period_record(r);
+  EXPECT_EQ(core::encode_record(back), text);
+  EXPECT_TRUE(std::isnan(back.state.x));
+  EXPECT_TRUE(std::isinf(back.state.y));
+}
+
+TEST(CheckpointRecordCodec, RejectsOutOfRangeEnums) {
+  core::PeriodRecord rec;
+  std::string text = core::encode_record(rec);
+  auto tamper = [&text](const std::string& key, const std::string& value) {
+    std::string out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind(key + " = ", 0) == 0) line = key + " = " + value;
+      out += line;
+      out += '\n';
+    }
+    return out;
+  };
+  for (const auto& [key, value] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"mode", "9"}, {"action", "7"}, {"degradation", "5"}}) {
+    std::istringstream in(tamper(key, value));
+    util::StateReader r(in);
+    EXPECT_THROW(core::read_period_record(r), util::StateCodecError)
+        << key << " = " << value << " accepted";
+  }
+}
+
+// --- Envelope rejection -----------------------------------------------
+
+/// A real end-of-run blob to damage: short fault-free run.
+std::string sample_blob() {
+  ExperimentSpec spec = short_spec();
+  spec.duration_s = 12.0;
+  return run_supervised(spec).final_checkpoint;
+}
+
+TEST(CheckpointEnvelope, VersionMismatchIsItsOwnError) {
+  std::string blob = sample_blob();
+  ASSERT_NE(blob.find("stayaway-checkpoint v1\n"), std::string::npos);
+  std::string wrong = blob;
+  wrong.replace(wrong.find("v1\n"), 3, "v2\n");
+
+  ExperimentSpec spec = short_spec();
+  spec.duration_s = 12.0;
+  FleetSpec fleet;
+  fleet.hosts.push_back({"solo", spec});
+  fleet.restore["solo"] = wrong;
+  EXPECT_THROW(run_fleet(fleet), core::CheckpointVersionError);
+}
+
+TEST(CheckpointEnvelope, ChecksumMismatchIsItsOwnError) {
+  std::string blob = sample_blob();
+  core::corrupt_checkpoint_blob(blob);
+
+  ExperimentSpec spec = short_spec();
+  spec.duration_s = 12.0;
+  FleetSpec fleet;
+  fleet.hosts.push_back({"solo", spec});
+  fleet.restore["solo"] = blob;
+  EXPECT_THROW(run_fleet(fleet), core::CheckpointChecksumError);
+}
+
+TEST(CheckpointEnvelope, TruncationAndTrailingGarbageRejected) {
+  std::string blob = sample_blob();
+  ExperimentSpec spec = short_spec();
+  spec.duration_s = 12.0;
+
+  for (const std::string& damaged :
+       {blob.substr(0, blob.size() - 10), blob.substr(0, blob.size() / 2),
+        blob + "extra = 1\n", std::string("stayaway-checkpoint v1\n")}) {
+    FleetSpec fleet;
+    fleet.hosts.push_back({"solo", spec});
+    fleet.restore["solo"] = damaged;
+    EXPECT_THROW(run_fleet(fleet), util::StateCodecError);
+  }
+}
+
+// --- Full-pipeline round trips ----------------------------------------
+
+/// Restoring a full-run checkpoint and re-exporting must reproduce the
+/// blob byte for byte: the fast-forward replay lands on the same state
+/// the original run ended in.
+void expect_restore_reencodes_identically(const ExperimentSpec& spec) {
+  FleetHostResult original = run_supervised(spec);
+  ASSERT_FALSE(original.final_checkpoint.empty());
+
+  FleetSpec again;
+  again.hosts.push_back({"solo", spec});
+  again.export_checkpoints = true;
+  again.restore["solo"] = original.final_checkpoint;
+  FleetResult r = run_fleet(again);
+  EXPECT_EQ(r.hosts.at(0).final_checkpoint, original.final_checkpoint);
+  // Restored runs report the live tail only — here there is none — while
+  // the record history spans the full run.
+  EXPECT_TRUE(r.hosts.at(0).result.time.empty());
+  expect_records_byte_identical(r.hosts.at(0).result.stayaway_records,
+                                original.result.stayaway_records);
+}
+
+TEST(CheckpointRoundTrip, FullRunReencodesByteIdentically) {
+  expect_restore_reencodes_identically(short_spec());
+}
+
+TEST(CheckpointRoundTrip, EmptyRepresentativeSet) {
+  // Representatives appear from the very first period, so the genuinely
+  // empty state is a freshly wired pipeline: no records, no
+  // representatives, no journal. Its snapshot must round-trip too.
+  ExperimentSpec spec = short_spec();
+  HostRig rig = build_host_rig(spec);
+  core::HostPipeline pipeline(*rig.host, *rig.probe,
+                              derive_stayaway_config(spec));
+  ASSERT_TRUE(pipeline.checkpointable());
+  std::string blob = core::encode_checkpoint(pipeline);
+  EXPECT_NE(blob.find("records = 0"), std::string::npos);
+
+  HostRig again = build_host_rig(spec);
+  core::HostPipeline restored(*again.host, *again.probe,
+                              derive_stayaway_config(spec));
+  EXPECT_EQ(core::restore_checkpoint(restored, blob), 0u);
+  EXPECT_EQ(core::encode_checkpoint(restored), blob);
+}
+
+TEST(CheckpointRoundTrip, MidRetryActuationLedger) {
+  // Pause failures all the way to the end of the run leave the actuator
+  // holding a live retry ledger at the final boundary.
+  ExperimentSpec spec = short_spec();
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  plan.faults.push_back(fault_of(sim::FaultKind::PauseFail, 0.0, 40.0));
+  spec.faults = plan;
+  FleetHostResult r = run_supervised(spec);
+  EXPECT_GT(r.result.actuation_retries, 0u);
+  EXPECT_NE(r.final_checkpoint.find("actuation_retries_total = "),
+            std::string::npos);
+  expect_restore_reencodes_identically(spec);
+}
+
+TEST(CheckpointRoundTrip, FailsafeDegradationState) {
+  // A QoS blackout running through the end of the run drives the
+  // degradation machine into Failsafe; the snapshot must carry it.
+  ExperimentSpec spec = short_spec();
+  sim::FaultPlan plan;
+  plan.seed = 5;
+  plan.faults.push_back(fault_of(sim::FaultKind::QosBlind, 10.0, 40.0));
+  spec.faults = plan;
+  FleetHostResult r = run_supervised(spec);
+  EXPECT_GT(r.result.failsafe_periods, 0u);
+  EXPECT_NE(r.final_checkpoint.find("degradation = 2"), std::string::npos);
+  expect_restore_reencodes_identically(spec);
+}
+
+TEST(CheckpointRoundTrip, NonFinitesInHistory) {
+  ExperimentSpec spec = short_spec();
+  sim::FaultPlan plan;
+  plan.seed = 9;
+  plan.faults.push_back(
+      fault_of(sim::FaultKind::NonFinite, 8.0, 20.0, 0.4));
+  spec.faults = plan;
+  expect_restore_reencodes_identically(spec);
+}
+
+// --- Golden crash/restore byte-identity --------------------------------
+
+/// The load-bearing guarantee: injecting a crash-class fault, recovering
+/// and replaying must leave a record stream byte-identical to the same
+/// run without the crash faults. Crash-class specs draw nothing from the
+/// plan RNG precisely so the two plans produce identical streams.
+void expect_crash_run_matches_clean(
+    const std::vector<sim::FaultSpec>& crash_faults,
+    std::size_t checkpoint_every, std::size_t watchdog_budget,
+    const std::function<void(const core::RecoveryReport&)>& check) {
+  ExperimentSpec clean = short_spec();
+  clean.faults = stress_plan();
+  FleetHostResult baseline = run_supervised(clean);
+  EXPECT_FALSE(baseline.recovery.any_failures());
+
+  ExperimentSpec faulted = clean;
+  for (const sim::FaultSpec& f : crash_faults) {
+    faulted.faults->faults.push_back(f);
+  }
+  FleetHostResult crashed =
+      run_supervised(faulted, checkpoint_every, watchdog_budget);
+
+  expect_records_byte_identical(crashed.result.stayaway_records,
+                                baseline.result.stayaway_records);
+  EXPECT_EQ(crashed.recovery.divergences, 0u);
+  check(crashed.recovery);
+}
+
+TEST(SupervisorGolden, HostCrashColdRestartIsByteIdentical) {
+  expect_crash_run_matches_clean(
+      {fault_of(sim::FaultKind::HostCrash, 20.0, 21.0)},
+      /*checkpoint_every=*/0, /*watchdog_budget=*/3,
+      [](const core::RecoveryReport& r) {
+        EXPECT_GE(r.crashes, 1u);
+        EXPECT_GE(r.cold_starts, 1u);
+        EXPECT_GE(r.recoveries, 1u);
+      });
+}
+
+TEST(SupervisorGolden, HostCrashWarmRestartIsByteIdentical) {
+  // Checkpoints land after periods 4, 9, 14, 19, ...; a crash at the
+  // period-22 boundary restores from the period-19 checkpoint and must
+  // gap-replay the two periods in between.
+  expect_crash_run_matches_clean(
+      {fault_of(sim::FaultKind::HostCrash, 22.0, 23.0)},
+      /*checkpoint_every=*/5, /*watchdog_budget=*/3,
+      [](const core::RecoveryReport& r) {
+        EXPECT_GE(r.crashes, 1u);
+        EXPECT_EQ(r.cold_starts, 0u);
+        EXPECT_GT(r.checkpoints_saved, 0u);
+        EXPECT_GT(r.gap_periods_replayed, 0u);
+      });
+}
+
+TEST(SupervisorGolden, StageThrowIsTrappedAndByteIdentical) {
+  expect_crash_run_matches_clean(
+      {fault_of(sim::FaultKind::StageThrow, 15.0, 16.0)},
+      /*checkpoint_every=*/5, /*watchdog_budget=*/3,
+      [](const core::RecoveryReport& r) {
+        EXPECT_GE(r.stage_throws, 1u);
+        EXPECT_GE(r.recoveries, 1u);
+      });
+}
+
+TEST(SupervisorGolden, StallWithinBudgetRecoversInPlace) {
+  // Two stalled attempts against a budget of three: the watchdog retries
+  // in place, no recovery happens, and the stream is untouched.
+  expect_crash_run_matches_clean(
+      {fault_of(sim::FaultKind::StageStall, 17.5, 18.5, 1.0,
+                /*magnitude=*/2.0)},
+      /*checkpoint_every=*/0, /*watchdog_budget=*/3,
+      [](const core::RecoveryReport& r) {
+        EXPECT_GE(r.stalls, 1u);
+        EXPECT_EQ(r.watchdog_trips, 0u);
+        EXPECT_EQ(r.recoveries, 0u);
+      });
+}
+
+TEST(SupervisorGolden, StallBeyondBudgetTripsWatchdog) {
+  expect_crash_run_matches_clean(
+      {fault_of(sim::FaultKind::StageStall, 17.5, 18.5, 1.0,
+                /*magnitude=*/8.0)},
+      /*checkpoint_every=*/5, /*watchdog_budget=*/3,
+      [](const core::RecoveryReport& r) {
+        EXPECT_GE(r.watchdog_trips, 1u);
+        EXPECT_GE(r.recoveries, 1u);
+      });
+}
+
+TEST(SupervisorGolden, CorruptCheckpointFallsBackAndStaysIdentical) {
+  // Checkpoints saved inside the corruption window rot at rest; the
+  // crash recovery drops them and still reproduces the clean stream.
+  expect_crash_run_matches_clean(
+      {fault_of(sim::FaultKind::CheckpointCorrupt, 0.0, 40.0),
+       fault_of(sim::FaultKind::HostCrash, 20.0, 21.0)},
+      /*checkpoint_every=*/3, /*watchdog_budget=*/3,
+      [](const core::RecoveryReport& r) {
+        EXPECT_GE(r.crashes, 1u);
+        EXPECT_GE(r.corrupt_checkpoints_dropped, 1u);
+        EXPECT_GE(r.cold_starts, 1u);
+      });
+}
+
+TEST(SupervisorGolden, CrashFaultsAutoEnableSupervision) {
+  // No FleetSpec::supervise: the presence of crash-class faults in the
+  // plan is enough, so a recorded scenario replays its own recovery.
+  ExperimentSpec clean = short_spec();
+  ExperimentResult baseline = run_experiment(clean);
+
+  ExperimentSpec faulted = clean;
+  sim::FaultPlan plan;
+  plan.seed = 2;
+  plan.faults.push_back(fault_of(sim::FaultKind::HostCrash, 12.0, 13.0));
+  faulted.faults = plan;
+  ASSERT_TRUE(faulted.faults->has_crash_faults());
+
+  FleetSpec fleet;
+  fleet.hosts.push_back({"solo", faulted});
+  FleetResult r = run_fleet(fleet);
+  EXPECT_GE(r.hosts.at(0).recovery.crashes, 1u);
+  expect_records_byte_identical(r.hosts.at(0).result.stayaway_records,
+                                baseline.stayaway_records);
+}
+
+TEST(SupervisorGolden, FleetSurvivesSingleHostCrash) {
+  // 1-of-8 hosts crashes twice; every host still delivers its full
+  // period count and the crashing host's stream matches its solo run.
+  ExperimentSpec base = short_spec();
+  base.duration_s = 30.0;
+  FleetSpec fleet = replicate_fleet(base, 8, 77, 1);
+  fleet.supervise = true;
+  fleet.checkpoint_every = 5;
+
+  ExperimentSpec crash_spec = fleet.hosts[3].experiment;
+  sim::FaultPlan plan;
+  plan.seed = 1;
+  plan.faults.push_back(fault_of(sim::FaultKind::HostCrash, 10.0, 11.0));
+  plan.faults.push_back(fault_of(sim::FaultKind::HostCrash, 22.0, 23.0));
+  fleet.hosts[3].experiment.faults = plan;
+
+  FleetResult r = run_fleet(fleet);
+  ASSERT_EQ(r.hosts.size(), 8u);
+  for (const FleetHostResult& host : r.hosts) {
+    EXPECT_EQ(host.result.stayaway_records.size(), 30u) << host.name;
+  }
+  EXPECT_GE(r.hosts[3].recovery.crashes, 2u);
+  EXPECT_EQ(r.hosts[3].recovery.divergences, 0u);
+  for (std::size_t i = 0; i < r.hosts.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_FALSE(r.hosts[i].recovery.any_failures()) << r.hosts[i].name;
+  }
+
+  ExperimentResult solo = run_experiment(crash_spec);
+  expect_records_byte_identical(r.hosts[3].result.stayaway_records,
+                                solo.stayaway_records);
+}
+
+}  // namespace
+}  // namespace stayaway::harness

@@ -7,8 +7,14 @@
 //   include-graph    every `#include "module/..."` must respect the
 //                    declared layering table (util depends on nothing,
 //                    apps never include core, stages/ may only see
-//                    sim/vm.hpp from sim, ...). System includes are
-//                    ignored — usage is policed by the determinism pass.
+//                    sim/vm.hpp from sim, ...). The checkpoint codec
+//                    (src/core/checkpoint.*) is its own table entry
+//                    sitting above core, and pipeline stages may never
+//                    include it: stages serialize through the
+//                    StateWriter handed to save_state(), the envelope /
+//                    checksum / restore I/O stays in the supervisor
+//                    layer. System includes are ignored — usage is
+//                    policed by the determinism pass.
 //   lock-discipline  any mutable field of a class that owns a mutex must
 //                    carry SA_GUARDED_BY / SA_PT_GUARDED_BY
 //                    (src/util/annotations.hpp) or an explicit
@@ -325,6 +331,14 @@ std::string module_of(const std::string& path) {
   parts.push_back(cur);
   for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
     if (parts[i] == "src" && kModules.count(parts[i + 1]) != 0) {
+      // The checkpoint codec lives in src/core/ but is its own layering
+      // entry: it sits ABOVE the pipeline (it serializes one), so it
+      // gets a stricter allowed-set than core at large and stages can
+      // be banned from including it.
+      if (parts[i + 1] == "core" && i + 2 < parts.size() &&
+          parts[i + 2].starts_with("checkpoint.")) {
+        return "checkpoint";
+      }
       return parts[i + 1];
     }
   }
@@ -332,6 +346,7 @@ std::string module_of(const std::string& path) {
 }
 
 std::string include_module(const std::string& header) {
+  if (header == "core/checkpoint.hpp") return "checkpoint";
   std::size_t slash = header.find('/');
   if (slash == std::string::npos) return "";
   return header.substr(0, slash);
@@ -352,12 +367,14 @@ const std::map<std::string, std::set<std::string>>& layering() {
       {"apps", {"util", "stats", "trace", "sim"}},
       {"monitor", {"util", "linalg", "stats", "trace", "sim"}},
       {"core",
-       {"util", "linalg", "stats", "mds", "trace", "sim", "monitor", "obs"}},
+       {"util", "linalg", "stats", "mds", "trace", "sim", "monitor", "obs",
+        "checkpoint"}},
+      {"checkpoint", {"util", "core"}},
       {"baseline", {"util", "sim", "core"}},
       {"replay", {"util", "core", "harness"}},
       {"harness",
        {"util", "linalg", "stats", "mds", "trace", "sim", "monitor", "obs",
-        "core", "baseline", "apps"}},
+        "core", "baseline", "apps", "checkpoint"}},
   };
   return kAllowed;
 }
@@ -371,6 +388,19 @@ void include_graph_pass(const SourceFile& f, std::vector<Finding>& out) {
       const std::string dep = include_module(t.text);
       // Stage isolation: stages/ may take sim's ID vocabulary
       // (sim/vm.hpp) but nothing that reaches the simulated host.
+      // Checkpoint isolation: a stage serializes itself through the
+      // StateWriter/StateReader its save_state()/load_state() hooks are
+      // handed (util/statecodec.hpp is fine); the envelope, checksum and
+      // restore I/O belong to the supervisor layer, never to a stage.
+      if (in_stages && dep == "checkpoint") {
+        out.push_back({f.path, t.line, "include-graph",
+                       "checkpoint-isolation",
+                       "pipeline stages must not include " + t.text +
+                           "; stages serialize through the StateWriter "
+                           "handed to save_state(), checkpoint envelope "
+                           "I/O stays in the supervisor layer"});
+        continue;
+      }
       if (in_stages && dep == "sim" && t.text != "sim/vm.hpp") {
         out.push_back({f.path, t.line, "include-graph", "stage-isolation",
                        "pipeline stages may only include sim/vm.hpp from "
@@ -995,6 +1025,21 @@ std::vector<Fixture> self_test_fixtures() {
                {}});
   f.push_back({"port-type-in-stage-ok", "src/core/stages/inc10.cpp",
                "void f(core::SimHostActuationPort& port);\n",
+               {}});
+  f.push_back({"stage-include-checkpoint", "src/core/stages/inc11.cpp",
+               "#include \"core/checkpoint.hpp\"\n",
+               {"checkpoint-isolation"}});
+  f.push_back({"statecodec-in-stage-ok", "src/core/stages/inc12.cpp",
+               "#include \"util/statecodec.hpp\"\n",
+               {}});
+  f.push_back({"checkpoint-in-core-ok", "src/core/inc13.cpp",
+               "#include \"core/checkpoint.hpp\"\n",
+               {}});
+  f.push_back({"checkpoint-include-harness", "src/core/checkpoint.cpp",
+               "#include \"harness/fleet.hpp\"\n",
+               {"layering"}});
+  f.push_back({"checkpoint-include-core-ok", "src/core/checkpoint.hpp",
+               "#pragma once\n#include \"core/pipeline.hpp\"\n",
                {}});
   // --- lock discipline ---------------------------------------------------
   f.push_back({"unguarded-field", "src/obs/lock1.hpp",

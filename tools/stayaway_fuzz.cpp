@@ -2,13 +2,14 @@
 // instabilities (DESIGN.md §14).
 //
 //   stayaway_fuzz [--seed S[,S...]] [--runs N] [--budget PERIODS]
-//                 [--out DIR] [--expect-findings] [--ingest]
+//                 [--out DIR] [--expect-findings] [--ingest] [--recovery]
 //
 // For each seed it mutates workload/fault/fleet plans within declared
 // bounds, records every run, scans the PeriodRecord streams with the
 // instability detectors (non-finite map coordinates, beta out of band,
 // pause/resume thrash, Normal<->Degraded flapping, stuck actuation
-// ledger, batch starvation), and shrinks each finding to a minimal
+// ledger, batch starvation, QoS-violation bursts, checkpoint
+// divergence), and shrinks each finding to a minimal
 // replayable run-log saved as DIR/<detector>-s<seed>-<i>.runlog.
 // Fully deterministic: the same seed list always produces the same
 // findings byte-for-byte. --expect-findings makes an empty batch exit
@@ -25,7 +26,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: stayaway_fuzz [--seed S[,S...]] [--runs N] [--budget PERIODS]\n"
-    "                     [--out DIR] [--expect-findings] [--ingest]\n";
+    "                     [--out DIR] [--expect-findings] [--ingest]\n"
+    "                     [--recovery]\n";
 
 bool parse_positive(const std::string& text, std::size_t& out) {
   char* end = nullptr;
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool expect_findings = false;
   bool ingest = false;
+  bool recovery = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -73,6 +76,13 @@ int main(int argc, char** argv) {
       // anomalies). Changes the draw stream, so pinned seeds from the
       // default mode do not reproduce under this flag.
       ingest = true;
+      continue;
+    }
+    if (arg == "--recovery") {
+      // Crash-class fault mutations driven through the fleet supervisor
+      // (DESIGN.md §17). Appends draws after the historical (and ingest)
+      // ones, so pinned default-mode seeds stay reproducible without it.
+      recovery = true;
       continue;
     }
     if (arg == "--seed" || arg == "--runs" || arg == "--budget" ||
@@ -112,6 +122,7 @@ int main(int argc, char** argv) {
       config.runs = runs;
       config.max_periods = budget;
       config.ingest = ingest;
+      config.recovery = recovery;
       stayaway::replay::FuzzReport report =
           stayaway::replay::fuzz_scenarios(config);
       std::cout << "seed " << seed << ": " << report.runs_executed

@@ -33,6 +33,16 @@
 //                        PeriodRecord against the recording; exits 1 on
 //                        any divergence (no scenario argument)
 //
+// Fault tolerance (DESIGN.md §17):
+//   --supervise          run every host under the crash supervisor (hosts
+//                        whose fault plan injects crash faults are
+//                        supervised automatically)
+//   --checkpoint-every N supervisor checkpoint cadence in periods
+//   --checkpoint-dir D   write each host's end-of-run checkpoint to
+//                        D/<host>.ckpt
+//   --restore D          warm-start each host from D/<host>.ckpt when the
+//                        file exists (hosts without one start cold)
+//
 // The scenario format is documented in src/harness/scenario_file.hpp.
 // Prints the QoS/utilization summary (and the full comparison when
 // `compare = true`), optionally saving the per-period series as CSV and
@@ -40,6 +50,7 @@
 // row per host; `compare`, templates, series CSV and --faults are
 // single-host features.
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -87,6 +98,8 @@ constexpr const char* kUsage =
     "usage: stayaway_sim [--events-out FILE] [--metrics-out FILE]\n"
     "                    [--faults FILE] [--hosts N] [--workers N]\n"
     "                    [--ingest-rate HZ] [--record FILE]\n"
+    "                    [--supervise] [--checkpoint-every N]\n"
+    "                    [--checkpoint-dir DIR] [--restore DIR]\n"
     "                    <scenario-file | - | --example>\n"
     "       stayaway_sim --replay FILE\n";
 
@@ -102,7 +115,21 @@ struct Options {
   /// Set: override every host to ring ingestion at this rate (DESIGN.md
   /// §15) — equivalent to `ingest_source = ring` + `ingest_rate_hz`.
   std::optional<double> ingest_rate;
+  // --- Fault tolerance (DESIGN.md §17). -------------------------------
+  bool supervise = false;
+  std::size_t checkpoint_every = 0;
+  std::optional<std::string> checkpoint_dir;
+  std::optional<std::string> restore_dir;
+
+  bool recovery_requested() const {
+    return supervise || checkpoint_every != 0 ||
+           checkpoint_dir.has_value() || restore_dir.has_value();
+  }
 };
+
+std::string checkpoint_path(const std::string& dir, const std::string& host) {
+  return dir + "/" + host + ".ckpt";
+}
 
 int run_single(stayaway::harness::Scenario scenario, const Options& opts) {
   using namespace stayaway;
@@ -263,6 +290,21 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
                             workers);
   }
 
+  fleet.supervise = opts.supervise;
+  fleet.checkpoint_every = opts.checkpoint_every;
+  fleet.export_checkpoints = opts.checkpoint_dir.has_value();
+  if (opts.restore_dir.has_value()) {
+    for (const FleetHostSpec& host : fleet.hosts) {
+      std::string path = checkpoint_path(*opts.restore_dir, host.name);
+      std::ifstream ckpt(path, std::ios::binary);
+      if (!ckpt.good()) continue;  // no checkpoint: this host starts cold
+      std::ostringstream blob;
+      blob << ckpt.rdbuf();
+      fleet.restore[host.name] = blob.str();
+      std::cout << "restoring " << host.name << " from " << path << "\n";
+    }
+  }
+
   std::ofstream events_file;
   std::optional<obs::JsonlSink> sink;
   std::optional<obs::Observer> observer;
@@ -295,6 +337,18 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
   for (std::size_t i = 0; i < result.hosts.size(); ++i) {
     const FleetHostResult& host = result.hosts[i];
     const ExperimentSpec& spec = fleet.hosts[i].experiment;
+    if (host.recovery.any_failures()) {
+      std::cout << "recovery[" << host.name << "]: "
+                << host.recovery.crashes << " crashes, "
+                << host.recovery.stage_throws << " stage throws, "
+                << host.recovery.stalls << " stalls ("
+                << host.recovery.watchdog_trips << " watchdog trips), "
+                << host.recovery.recoveries << " recoveries ("
+                << host.recovery.cold_starts << " cold starts), "
+                << host.recovery.gap_periods_replayed
+                << " gap periods replayed, " << host.recovery.divergences
+                << " divergences\n";
+    }
     if (spec.faults.has_value() && !spec.faults->empty()) {
       std::cout << "faults[" << host.name << "]: "
                 << host.result.readings_quarantined
@@ -304,6 +358,26 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
                 << " actuation retries (" << host.result.actuation_abandoned
                 << " abandoned)\n";
     }
+  }
+
+  if (opts.checkpoint_dir.has_value()) {
+    std::error_code ec;
+    std::filesystem::create_directories(*opts.checkpoint_dir, ec);
+    SA_REQUIRE(!ec, "cannot create checkpoint dir: " + *opts.checkpoint_dir);
+    std::size_t written = 0;
+    for (const FleetHostResult& host : result.hosts) {
+      if (host.final_checkpoint.empty()) continue;  // not checkpointable
+      std::string path = checkpoint_path(*opts.checkpoint_dir, host.name);
+      std::ofstream out(path, std::ios::binary);
+      SA_REQUIRE(out.good(), "cannot write checkpoint: " + path);
+      out.write(host.final_checkpoint.data(),
+                static_cast<std::streamsize>(host.final_checkpoint.size()));
+      out.flush();
+      SA_REQUIRE(out.good(), "failed writing checkpoint: " + path);
+      ++written;
+    }
+    std::cout << "checkpoints written: " << *opts.checkpoint_dir << " ("
+              << written << " of " << result.hosts.size() << " hosts)\n";
   }
 
   if (observer.has_value()) {
@@ -340,6 +414,9 @@ int run_record_mode(const stayaway::harness::FleetScenario& doc,
              "--faults is unsupported");
   SA_REQUIRE(!opts.events_out.has_value() && !opts.metrics_out.has_value(),
              "--record runs unobserved; drop --events-out/--metrics-out");
+  SA_REQUIRE(!opts.recovery_requested(),
+             "--record supervises hosts with crash faults automatically; "
+             "drop --supervise/--checkpoint-*/--restore");
   SA_REQUIRE(opts.hosts == 0 || doc.hosts.empty(),
              "--hosts replicates a plain scenario; this file already "
              "defines [host] sections");
@@ -414,8 +491,15 @@ int run(std::istream& in, const Options& opts) {
   }
   if (opts.record.has_value()) return run_record_mode(doc, opts);
   // Plain documents without --hosts keep the historical single-host path
-  // (and its exact output) — fleet mode is strictly opt-in.
+  // (and its exact output) — fleet mode is strictly opt-in, except that
+  // the recovery flags always ride the fleet path (a fleet of one replays
+  // the single-host run byte-for-byte).
   if (doc.hosts.empty() && opts.hosts == 0) {
+    if (opts.recovery_requested()) {
+      Options forced = opts;
+      forced.hosts = 1;
+      return run_fleet_mode(doc, forced);
+    }
     SA_REQUIRE(opts.workers == 0,
                "--workers needs a fleet (--hosts N or [host] sections)");
     return run_single(doc.base, opts);
@@ -434,9 +518,15 @@ int main(int argc, char** argv) {
       std::cout << kExample;
       return 0;
     }
+    if (arg == "--supervise") {
+      opts.supervise = true;
+      continue;
+    }
     if (arg == "--events-out" || arg == "--metrics-out" || arg == "--faults" ||
         arg == "--record" || arg == "--replay" || arg == "--hosts" ||
-        arg == "--workers" || arg == "--ingest-rate") {
+        arg == "--workers" || arg == "--ingest-rate" ||
+        arg == "--checkpoint-every" || arg == "--checkpoint-dir" ||
+        arg == "--restore") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " needs an argument\n" << kUsage;
         return 2;
@@ -452,6 +542,19 @@ int main(int argc, char** argv) {
         opts.record = argv[i];
       } else if (arg == "--replay") {
         opts.replay = argv[i];
+      } else if (arg == "--checkpoint-dir") {
+        opts.checkpoint_dir = argv[i];
+      } else if (arg == "--restore") {
+        opts.restore_dir = argv[i];
+      } else if (arg == "--checkpoint-every") {
+        char* end = nullptr;
+        long n = std::strtol(argv[i], &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1) {
+          std::cerr << "error: --checkpoint-every needs a positive integer\n"
+                    << kUsage;
+          return 2;
+        }
+        opts.checkpoint_every = static_cast<std::size_t>(n);
       } else if (arg == "--ingest-rate") {
         char* end = nullptr;
         double hz = std::strtod(argv[i], &end);
@@ -489,7 +592,7 @@ int main(int argc, char** argv) {
     if (have_scenario || opts.record.has_value() || opts.faults.has_value() ||
         opts.events_out.has_value() || opts.metrics_out.has_value() ||
         opts.hosts != 0 || opts.workers != 0 ||
-        opts.ingest_rate.has_value()) {
+        opts.ingest_rate.has_value() || opts.recovery_requested()) {
       std::cerr << "error: --replay takes no scenario and no other flags\n"
                 << kUsage;
       return 2;
