@@ -36,6 +36,14 @@
 #                                crashing) in the tier-1 tree, then an
 #                                end-to-end checkpoint -> corrupt ->
 #                                restore round trip through stayaway_sim
+#   ./ci.sh --cluster            cluster-coordination gate (DESIGN.md §18):
+#                                the cluster test suite plus the
+#                                bench_cluster acceptance bound (--smoke:
+#                                migration strictly beats per-host pausing
+#                                on both violations and batch progress) in
+#                                the tier-1 tree, then a coordinated
+#                                migration run through a record -> replay
+#                                round trip
 #   ./ci.sh --analyze            static-analysis gate (DESIGN.md §16):
 #                                stayaway_analyze self-test, then the
 #                                include-graph / lock-discipline /
@@ -72,9 +80,10 @@ for arg in "$@"; do
     --ingest) LEGS+=(ingest) ;;
     --recovery) LEGS+=(recovery) ;;
     --analyze) LEGS+=(analyze) ;;
-    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz ingest recovery analyze) ;;
+    --cluster) LEGS+=(cluster) ;;
+    --all) LEGS+=(tier1 asan tsan paranoid tidy faults fleet fuzz ingest recovery cluster analyze) ;;
     *)
-      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--ingest] [--recovery] [--analyze] [--all]" >&2
+      echo "usage: ./ci.sh [--tier1] [--asan] [--tsan] [--paranoid] [--tidy] [--faults] [--fleet] [--fuzz] [--ingest] [--recovery] [--cluster] [--analyze] [--all]" >&2
       exit 2
       ;;
   esac
@@ -167,11 +176,14 @@ EOF
           --gtest_filter='FleetConcurrency.*'
       ;;
     fuzz)
-      # Record/replay gate (DESIGN.md §14). Budgeted to ~60 s: the
-      # committed regression logs replay byte-identically, then the
-      # pinned fuzz seed set re-runs and must keep producing findings —
-      # at least one regenerated log byte-identical to a committed one
-      # (same seed, same budget, same shrink => same bytes).
+      # Record/replay gate (DESIGN.md §14). Budgeted to ~2 min: the
+      # committed regression logs replay byte-identically (the recovery
+      # one re-runs its host-crash -> restore path mid-retry-ledger on
+      # every replay), then the pinned fuzz seed sets re-run and must
+      # keep producing findings — at least one regenerated default-mode
+      # log byte-identical to a committed one, and the recovery-mode
+      # regression regenerated exactly (same seed, same budget, same
+      # shrink => same bytes).
       cmake -B build -S . >/dev/null &&
         cmake --build build -j"$JOBS" \
           --target stayaway_sim stayaway_fuzz || return 1
@@ -195,8 +207,65 @@ EOF
         done
         [[ $rc -eq 0 ]] || echo "no regenerated log matches a committed one" >&2
       fi
+      if [[ $rc -eq 0 ]]; then
+        # Recovery palette (DESIGN.md §17): the crash-class mutation mode
+        # must keep reproducing the committed regression whose host-crash
+        # lands inside an active actuation retry ledger.
+        ./build/tools/stayaway_fuzz --recovery --seed 13 --runs 20 \
+          --budget 30000 --out "$tmpdir" --expect-findings &&
+          cmp -s tests/regressions/qos-violation-burst-s13-2.runlog \
+            "$tmpdir/qos-violation-burst-s13-2.runlog"
+        rc=$?
+        if [[ $rc -eq 0 ]]; then
+          echo "regenerated byte-identically: qos-violation-burst-s13-2.runlog (--recovery)"
+        else
+          echo "recovery-mode regression did not regenerate" >&2
+        fi
+      fi
       rm -rf "$tmpdir"
       return $rc
+      ;;
+    cluster)
+      # Cluster-coordination gate (DESIGN.md §18): the cluster test suite
+      # (scoring, idle-coordinator byte identity, migration/admission,
+      # coordinator checkpoint) plus the bench_cluster acceptance bound
+      # (migration strictly beats per-host pausing on both violations and
+      # batch progress) in the tier-1 tree, then a migration run driven
+      # through a full record -> replay round trip via stayaway_sim.
+      cmake -B build -S . >/dev/null &&
+        cmake --build build -j"$JOBS" \
+          --target test_cluster bench_cluster stayaway_sim || return 1
+      ./build/tests/test_cluster || return 1
+      ./build/bench/bench_cluster --smoke || return 1
+      local tmpdir
+      tmpdir="$(mktemp -d)" || return 1
+      cat >"$tmpdir/cluster.conf" <<'EOF'
+sensitive  = webservice-cpu
+batch      = none
+policy     = stay-away
+duration_s = 120
+workload   = constant
+[host "web-a"]
+seed = 3
+[host "web-b"]
+seed = 5
+[host "web-c"]
+seed = 7
+[cluster]
+mobile = crunch:cpubomb:web-a:20
+admit  = late:soplex:90
+EOF
+      ./build/tools/stayaway_sim --record "$tmpdir/cluster.runlog" \
+        "$tmpdir/cluster.conf" >/dev/null || { rm -rf "$tmpdir"; return 1; }
+      grep -q "cluster-events" "$tmpdir/cluster.runlog" || {
+        echo "cluster run recorded no coordinator events" >&2
+        rm -rf "$tmpdir"
+        return 1
+      }
+      ./build/tools/stayaway_sim --replay "$tmpdir/cluster.runlog" ||
+        { rm -rf "$tmpdir"; return 1; }
+      rm -rf "$tmpdir"
+      echo "cluster record -> replay round trip: ok"
       ;;
     ingest)
       # Streaming-ingestion gate (DESIGN.md §15): the ingest suite and the

@@ -1,0 +1,66 @@
+#include "apps/flash_crowd.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stayaway::apps {
+
+FlashCrowd::FlashCrowd(FlashCrowdSpec spec,
+                       std::optional<trace::Trace> workload)
+    : spec_(spec), workload_(std::move(workload)) {
+  SA_REQUIRE(spec.base_rps > 0.0, "base load must be positive");
+  SA_REQUIRE(spec.surge_multiplier >= 1.0,
+             "a flash crowd does not shrink the load");
+  SA_REQUIRE(spec.surge_end_s > spec.surge_start_s,
+             "the surge window must have positive length");
+  SA_REQUIRE(spec.ramp_s > 0.0, "the surge ramp must be positive");
+  SA_REQUIRE(spec.qos_threshold > 0.0 && spec.qos_threshold <= 1.0,
+             "threshold must be a ratio in (0,1]");
+  SA_REQUIRE(spec.smoothing > 0.0 && spec.smoothing <= 1.0,
+             "smoothing factor must be in (0,1]");
+}
+
+bool FlashCrowd::finished() const {
+  return spec_.duration_s > 0.0 && elapsed_s_ >= spec_.duration_s;
+}
+
+double FlashCrowd::surge_level(sim::SimTime now) const {
+  if (now <= spec_.surge_start_s || now >= spec_.surge_end_s) return 0.0;
+  double rise = (now - spec_.surge_start_s) / spec_.ramp_s;
+  double fall = (spec_.surge_end_s - now) / spec_.ramp_s;
+  return std::clamp(std::min(rise, fall), 0.0, 1.0);
+}
+
+double FlashCrowd::offered_rps(sim::SimTime now) const {
+  double w = 1.0;
+  if (workload_.has_value()) {
+    // Absolute scaling (see the constructor comment): the trace value IS
+    // the load fraction, not a position within the trace's own range.
+    w = std::clamp(workload_->at(now), 0.0, 1.0);
+  }
+  double surge = 1.0 + (spec_.surge_multiplier - 1.0) * surge_level(now);
+  return spec_.base_rps * w * surge;
+}
+
+sim::ResourceDemand FlashCrowd::demand(sim::SimTime now) {
+  double rps = offered_rps(now);
+  sim::ResourceDemand d;
+  d.cpu_cores = rps * spec_.cpu_per_request;
+  d.memory_mb = spec_.memory_base_mb + rps * spec_.memory_per_rps_mb;
+  d.membw_mbps = rps * spec_.membw_per_request_mb * 0.1;
+  d.net_mbps = rps * spec_.net_per_request_mb * 8.0 * 0.1;
+  return d;
+}
+
+void FlashCrowd::advance(sim::SimTime now, double dt,
+                         const sim::Allocation& alloc) {
+  double offered = offered_rps(now);
+  completed_tps_ = offered * alloc.progress;
+  double ratio = (offered > 0.0) ? completed_tps_ / offered : 1.0;
+  smoothed_ratio_ += spec_.smoothing * (ratio - smoothed_ratio_);
+  latch_.update(smoothed_ratio_, spec_.qos_threshold);
+  elapsed_s_ += dt;
+}
+
+}  // namespace stayaway::apps

@@ -40,6 +40,8 @@ void write_period_record(util::StateWriter& w, const PeriodRecord& rec) {
   w.u64("late_samples", rec.late_samples);
   w.u64("duplicate_samples", rec.duplicate_samples);
   w.u64("overflow_drops", rec.overflow_drops);
+  w.u64("migrations_out", rec.migrations_out);
+  w.u64("migrations_in", rec.migrations_in);
 }
 
 PeriodRecord read_period_record(util::StateReader& r) {
@@ -80,6 +82,8 @@ PeriodRecord read_period_record(util::StateReader& r) {
   rec.duplicate_samples =
       static_cast<std::size_t>(r.u64("duplicate_samples"));
   rec.overflow_drops = static_cast<std::size_t>(r.u64("overflow_drops"));
+  rec.migrations_out = static_cast<std::size_t>(r.u64("migrations_out"));
+  rec.migrations_in = static_cast<std::size_t>(r.u64("migrations_in"));
   return rec;
 }
 

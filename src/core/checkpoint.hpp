@@ -4,7 +4,7 @@
 // injector and the degradation machine — framed so a restore is either
 // exact or a loud, typed failure:
 //
-//   stayaway-checkpoint v1        version header
+//   stayaway-checkpoint v2        version header
 //   records = <n>                 } body: fixed-order `key = value`
 //   ...                           } lines via util::StateWriter
 //   checksum = <fnv1a64(body)>    integrity trailer
@@ -26,7 +26,10 @@
 
 namespace stayaway::core {
 
-inline constexpr std::uint64_t kCheckpointVersion = 1;
+// v2 appends the cluster fields (migrations_out/in) to every record and
+// re-keys the actuation journal on an op kind that covers the migration
+// verbs (journal_kind, was journal_pause). v1 blobs are rejected.
+inline constexpr std::uint64_t kCheckpointVersion = 2;
 
 /// The blob carries a recognized header with an unsupported version —
 /// distinct from corruption so callers can message it precisely.

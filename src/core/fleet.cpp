@@ -67,32 +67,40 @@ void FleetController::add_member(Member member) {
 
 void FleetController::drive(Member& member) const {
   if (member.rebuild) {
-    drive_supervised(member);
+    std::vector<std::string> checkpoints;  // oldest..newest; last 2 kept
+    for (std::size_t p = 0; p < member.periods; ++p) {
+      drive_one_period_supervised(member, p, checkpoints);
+    }
     return;
   }
   for (std::size_t p = 0; p < member.periods; ++p) {
-    if (member.on_tick) {
-      for (std::size_t t = 0; t < member.ticks_per_period; ++t) {
-        member.host->step();
-        member.on_tick();
-      }
-    } else {
-      member.host->run(member.ticks_per_period);
-    }
-    const PeriodRecord& rec = member.pipeline->on_period();
-    if (member.on_period) member.on_period(rec);
-    if (recorder_) recorder_->record_period(member.name, rec);
+    drive_one_period(member);
   }
 }
 
-void FleetController::drive_supervised(Member& member) const {
+void FleetController::drive_one_period(Member& member) const {
+  if (member.on_tick) {
+    for (std::size_t t = 0; t < member.ticks_per_period; ++t) {
+      member.host->step();
+      member.on_tick();
+    }
+  } else {
+    member.host->run(member.ticks_per_period);
+  }
+  const PeriodRecord& rec = member.pipeline->on_period();
+  if (member.on_period) member.on_period(rec);
+  if (recorder_) recorder_->record_period(member.name, rec);
+}
+
+void FleetController::drive_one_period_supervised(
+    Member& member, std::size_t p,
+    std::vector<std::string>& checkpoints) const {
   // Injected faults are masked behind the crash horizon once handled, so
   // only a genuine (deterministic) defect can make the same period fail
   // again; after this many recoveries the member is declared dead and
   // its exception surfaces through run() — the rest of the fleet keeps
   // going.
   constexpr std::size_t kMaxRecoveriesPerPeriod = 3;
-  std::vector<std::string> checkpoints;  // oldest..newest; last 2 kept
   auto run_ticks = [&member] {
     if (member.on_tick) {
       for (std::size_t t = 0; t < member.ticks_per_period; ++t) {
@@ -103,74 +111,72 @@ void FleetController::drive_supervised(Member& member) const {
       member.host->run(member.ticks_per_period);
     }
   };
-  for (std::size_t p = 0; p < member.periods; ++p) {
-    std::size_t recoveries = 0;
-    // HostCrash fires at the period boundary, before any tick of p, so
-    // the recovered member replays nothing it has not already done.
-    const sim::FaultInjector* inj = member.pipeline->fault_injector();
-    if (inj != nullptr && inj->crash_signal(member.host->now())) {
-      ++member.recovery.crashes;
+  std::size_t recoveries = 0;
+  // HostCrash fires at the period boundary, before any tick of p, so
+  // the recovered member replays nothing it has not already done.
+  const sim::FaultInjector* inj = member.pipeline->fault_injector();
+  if (inj != nullptr && inj->crash_signal(member.host->now())) {
+    ++member.recovery.crashes;
+    member.health = MemberHealth::Down;
+    recover(member, checkpoints, p, member.host->now());
+    ++recoveries;
+  }
+  bool period_done = false;
+  while (!period_done) {
+    run_ticks();
+    std::size_t stall_retries = 0;
+    bool escalate = false;
+    double fail_time = 0.0;
+    while (!escalate) {
+      try {
+        const PeriodRecord& rec = member.pipeline->on_period();
+        if (member.on_period) member.on_period(rec);
+        if (recorder_) recorder_->record_period(member.name, rec);
+        period_done = true;
+        break;
+      } catch (const StageStallError& e) {
+        // The watchdog's deadline is a deterministic attempt budget:
+        // retry the stage in place until the budget runs out, then
+        // treat the stall as a crash.
+        ++member.recovery.stalls;
+        ++stall_retries;
+        if (stall_retries < config_.watchdog_budget) continue;
+        ++member.recovery.watchdog_trips;
+        if (recoveries >= kMaxRecoveriesPerPeriod) throw;
+        escalate = true;
+        fail_time = e.time();
+      } catch (const StageThrowError& e) {
+        ++member.recovery.stage_throws;
+        if (recoveries >= kMaxRecoveriesPerPeriod) throw;
+        escalate = true;
+        fail_time = e.time();
+      } catch (const std::exception&) {
+        // An uninjected stage defect: trap it like a crash so the
+        // rest of the fleet keeps running, but give up once it proves
+        // deterministic.
+        if (recoveries >= kMaxRecoveriesPerPeriod) throw;
+        escalate = true;
+        fail_time = member.host->now();
+      }
+    }
+    if (escalate) {
       member.health = MemberHealth::Down;
-      recover(member, checkpoints, p, member.host->now());
+      recover(member, checkpoints, p, fail_time);
       ++recoveries;
+      // loop: re-run this period's ticks on the recovered host
     }
-    bool period_done = false;
-    while (!period_done) {
-      run_ticks();
-      std::size_t stall_retries = 0;
-      bool escalate = false;
-      double fail_time = 0.0;
-      while (!escalate) {
-        try {
-          const PeriodRecord& rec = member.pipeline->on_period();
-          if (member.on_period) member.on_period(rec);
-          if (recorder_) recorder_->record_period(member.name, rec);
-          period_done = true;
-          break;
-        } catch (const StageStallError& e) {
-          // The watchdog's deadline is a deterministic attempt budget:
-          // retry the stage in place until the budget runs out, then
-          // treat the stall as a crash.
-          ++member.recovery.stalls;
-          ++stall_retries;
-          if (stall_retries < config_.watchdog_budget) continue;
-          ++member.recovery.watchdog_trips;
-          if (recoveries >= kMaxRecoveriesPerPeriod) throw;
-          escalate = true;
-          fail_time = e.time();
-        } catch (const StageThrowError& e) {
-          ++member.recovery.stage_throws;
-          if (recoveries >= kMaxRecoveriesPerPeriod) throw;
-          escalate = true;
-          fail_time = e.time();
-        } catch (const std::exception&) {
-          // An uninjected stage defect: trap it like a crash so the
-          // rest of the fleet keeps running, but give up once it proves
-          // deterministic.
-          if (recoveries >= kMaxRecoveriesPerPeriod) throw;
-          escalate = true;
-          fail_time = member.host->now();
-        }
-      }
-      if (escalate) {
-        member.health = MemberHealth::Down;
-        recover(member, checkpoints, p, fail_time);
-        ++recoveries;
-        // loop: re-run this period's ticks on the recovered host
-      }
+  }
+  if (config_.checkpoint_every > 0 &&
+      (p + 1) % config_.checkpoint_every == 0 &&
+      member.pipeline->checkpointable()) {
+    std::string blob = encode_checkpoint(*member.pipeline);
+    const sim::FaultInjector* cinj = member.pipeline->fault_injector();
+    if (cinj != nullptr && cinj->checkpoint_corrupt(member.host->now())) {
+      corrupt_checkpoint_blob(blob);
     }
-    if (config_.checkpoint_every > 0 &&
-        (p + 1) % config_.checkpoint_every == 0 &&
-        member.pipeline->checkpointable()) {
-      std::string blob = encode_checkpoint(*member.pipeline);
-      const sim::FaultInjector* cinj = member.pipeline->fault_injector();
-      if (cinj != nullptr && cinj->checkpoint_corrupt(member.host->now())) {
-        corrupt_checkpoint_blob(blob);
-      }
-      checkpoints.push_back(std::move(blob));
-      if (checkpoints.size() > 2) checkpoints.erase(checkpoints.begin());
-      ++member.recovery.checkpoints_saved;
-    }
+    checkpoints.push_back(std::move(blob));
+    if (checkpoints.size() > 2) checkpoints.erase(checkpoints.begin());
+    ++member.recovery.checkpoints_saved;
   }
 }
 
@@ -239,6 +245,10 @@ void FleetController::recover(Member& member,
   // every regenerated record must equal the history — anything else is a
   // divergence (determinism bug or non-checkpointable state leak).
   for (std::size_t q = restored; q < period; ++q) {
+    // Cluster directives (attaches, gates) acted at this period's
+    // opening boundary on the crashed run; re-apply them before the
+    // ticks so the replayed stream matches byte for byte.
+    if (member.replay_directives) member.replay_directives(q);
     member.host->run(member.ticks_per_period);
     const PeriodRecord& rec = member.pipeline->on_period();
     if (q >= history.size() || encode_record(rec) != history[q]) {
@@ -246,13 +256,46 @@ void FleetController::recover(Member& member,
     }
   }
   member.recovery.gap_periods_replayed += period - restored;
+  // The failed period's own boundary directives also died with the
+  // crashed objects — restore them before its ticks re-run.
+  if (member.replay_directives) member.replay_directives(period);
   if (observer != nullptr) member.pipeline->set_observer(observer);
   ++member.recovery.recoveries;
   member.health = MemberHealth::Normal;
 }
 
+void FleetController::run_lockstep() {
+  // Coordinated fleets are sequential by construction: the hook's
+  // decisions must see every member's state for period p before any
+  // member starts period p+1, and determinism requires a fixed member
+  // visit order. workers is deliberately ignored.
+  const std::size_t periods = members_.front().periods;
+  for (const Member& m : members_) {
+    SA_REQUIRE(m.periods == periods,
+               "lockstep fleets need a shared period count");
+  }
+  std::vector<std::vector<std::string>> checkpoints(members_.size());
+  for (std::size_t p = 0; p < periods; ++p) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      Member& m = members_[i];
+      if (m.rebuild) {
+        drive_one_period_supervised(m, p, checkpoints[i]);
+      } else {
+        drive_one_period(m);
+      }
+    }
+    // No hook after the final period: the run is over, and a boundary
+    // mutation there would touch hosts that never tick again.
+    if (p + 1 < periods) period_hook_(p);
+  }
+}
+
 void FleetController::run() {
   if (members_.empty()) return;
+  if (period_hook_) {
+    run_lockstep();
+    return;
+  }
   std::size_t workers = std::min(config_.workers, members_.size());
   if (workers <= 1) {
     for (Member& m : members_) drive(m);

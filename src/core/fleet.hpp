@@ -112,6 +112,13 @@ class FleetController {
     /// ticks re-run, to clear per-period accumulators the on_tick hook
     /// fills (the crashed attempt may already have accumulated them).
     std::function<void()> on_reset;
+    /// Optional (cluster mode, DESIGN.md §18): re-applies the cluster
+    /// coordinator's recorded boundary directives for the given period
+    /// against this member — attaches, migration gate, incoming note.
+    /// Called by the supervisor once per gap-replay period (and for the
+    /// failed period itself) before that period's ticks re-run, so a
+    /// recovered member reproduces coordinated decisions byte for byte.
+    std::function<void(std::size_t)> replay_directives;
     /// Written by the supervisor while driving; read the totals after
     /// run().
     RecoveryReport recovery;
@@ -132,21 +139,40 @@ class FleetController {
   /// after the member's own on_period hook.
   void set_recorder(PeriodSink* recorder) { recorder_ = recorder; }
 
+  /// Installs a fleet-period hook (cluster mode, DESIGN.md §18): run()
+  /// then drives all members in lockstep — sequentially, one shared
+  /// period at a time — and invokes the hook between periods (after
+  /// every member finished period p, except the last). All members must
+  /// share the same period count. The hook may mutate hosts through
+  /// their actuation ports (the coordinator's attach path) but must not
+  /// drive pipelines itself. Null restores independent driving.
+  void set_period_hook(std::function<void(std::size_t)> hook) {
+    period_hook_ = std::move(hook);
+  }
+
   /// Drives every member for its configured periods, with up to
   /// config.workers members in flight at once. Requires the process-wide
   /// hot-path pool to be single-threaded when workers > 1 (host-level
   /// and kernel-level parallelism do not compose — the global pool is
   /// not reentrant). Exceptions from member loops are captured per
   /// member and the first one rethrown after every worker joined.
+  /// With a period hook installed, members run in lockstep instead
+  /// (workers are ignored; the coordinated fleet is sequential by
+  /// construction so coordinator decisions are deterministic).
   void run();
 
  private:
   void drive(Member& member) const;
-  /// Supervised driver for members carrying a rebuild callback: traps
-  /// crash-class failures, retries stalls within the watchdog budget and
-  /// escalates everything else into recover(). Deterministic: deadlines
-  /// are counted in retry attempts, never wall clock.
-  void drive_supervised(Member& member) const;
+  /// One unsupervised period: ticks, on_period, hooks, recorder.
+  void drive_one_period(Member& member) const;
+  /// One supervised period: crash trap, stall watchdog, recovery, and
+  /// the end-of-period checkpoint cadence. `checkpoints` spans the
+  /// member's whole run (newest last, last two kept).
+  void drive_one_period_supervised(Member& member, std::size_t p,
+                                   std::vector<std::string>& checkpoints)
+      const;
+  /// Lockstep driver behind set_period_hook().
+  void run_lockstep();
   /// Rebuilds the member, restores the newest usable checkpoint (corrupt
   /// ones are dropped for good; none left = cold start), masks the
   /// handled fault behind the crash horizon and silently replays up to
@@ -165,6 +191,7 @@ class FleetController {
   FleetConfig config_;
   std::vector<Member> members_;
   PeriodSink* recorder_ = nullptr;
+  std::function<void(std::size_t)> period_hook_;
 };
 
 }  // namespace stayaway::core

@@ -63,7 +63,7 @@ bool SimHostActuationPort::pause(sim::VmId id) {
   bool delivered = faults_ == nullptr || faults_->pause_delivered(host_->now());
   if (delivered) {
     host_->vm(id).pause();
-    journal_.push_back({true, id, host_->now()});
+    journal_.push_back({OpKind::Pause, id, host_->now()});
   }
   return delivered;
 }
@@ -73,53 +73,87 @@ bool SimHostActuationPort::resume(sim::VmId id) {
       faults_ == nullptr || faults_->resume_delivered(host_->now());
   if (delivered) {
     host_->vm(id).resume();
-    journal_.push_back({false, id, host_->now()});
+    journal_.push_back({OpKind::Resume, id, host_->now()});
   }
   return delivered;
+}
+
+bool SimHostActuationPort::detach(sim::VmId id) {
+  // Control-plane move: never fault-gated, never draws from the fault RNG
+  // (the coordinator must stay invisible to the per-host fault streams).
+  host_->vm(id).detach();
+  journal_.push_back({OpKind::Detach, id, host_->now()});
+  return true;
+}
+
+bool SimHostActuationPort::attach(sim::VmId id) {
+  host_->vm(id).attach(host_->now());
+  journal_.push_back({OpKind::Attach, id, host_->now()});
+  return true;
+}
+
+std::vector<sim::VmId> SimHostActuationPort::parked_batch() const {
+  std::vector<sim::VmId> out;
+  for (sim::VmId id : host_->vms_of_kind(sim::VmKind::Batch)) {
+    if (host_->vm(id).detached()) out.push_back(id);
+  }
+  return out;
 }
 
 void SimHostActuationPort::replay_delivered(double now) {
   while (replay_cursor_ < journal_.size() &&
          journal_[replay_cursor_].time <= now) {
     const DeliveredOp& op = journal_[replay_cursor_];
-    if (op.pause) {
-      host_->vm(op.vm).pause();
-    } else {
-      host_->vm(op.vm).resume();
+    switch (op.kind) {
+      case OpKind::Pause:
+        host_->vm(op.vm).pause();
+        break;
+      case OpKind::Resume:
+        host_->vm(op.vm).resume();
+        break;
+      case OpKind::Detach:
+        host_->vm(op.vm).detach();
+        break;
+      case OpKind::Attach:
+        host_->vm(op.vm).attach(op.time);
+        break;
     }
     ++replay_cursor_;
   }
 }
 
 void SimHostActuationPort::save_state(util::StateWriter& w) const {
-  std::vector<std::uint64_t> pauses;
+  std::vector<std::uint64_t> kinds;
   std::vector<std::uint64_t> vms;
   std::vector<double> times;
-  pauses.reserve(journal_.size());
+  kinds.reserve(journal_.size());
   vms.reserve(journal_.size());
   times.reserve(journal_.size());
   for (const DeliveredOp& op : journal_) {
-    pauses.push_back(op.pause ? 1 : 0);
+    kinds.push_back(static_cast<std::uint64_t>(op.kind));
     vms.push_back(op.vm);
     times.push_back(op.time);
   }
-  w.u64s("journal_pause", pauses);
+  w.u64s("journal_kind", kinds);
   w.u64s("journal_vm", vms);
   w.reals("journal_time", times);
 }
 
 void SimHostActuationPort::load_state(util::StateReader& r) {
-  std::vector<std::uint64_t> pauses = r.u64s("journal_pause");
+  std::vector<std::uint64_t> kinds = r.u64s("journal_kind");
   std::vector<std::uint64_t> vms = r.u64s("journal_vm");
   std::vector<double> times = r.reals("journal_time");
-  if (pauses.size() != vms.size() || vms.size() != times.size()) {
+  if (kinds.size() != vms.size() || vms.size() != times.size()) {
     throw util::StateCodecError("actuation journal arrays disagree in length");
   }
   journal_.clear();
-  journal_.reserve(pauses.size());
-  for (std::size_t i = 0; i < pauses.size(); ++i) {
-    journal_.push_back({pauses[i] != 0, static_cast<sim::VmId>(vms[i]),
-                        times[i]});
+  journal_.reserve(kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (kinds[i] > static_cast<std::uint64_t>(OpKind::Attach)) {
+      throw util::StateCodecError("actuation journal op kind out of range");
+    }
+    journal_.push_back({static_cast<OpKind>(kinds[i]),
+                        static_cast<sim::VmId>(vms[i]), times[i]});
   }
   replay_cursor_ = 0;
 }

@@ -21,14 +21,18 @@ namespace stayaway::core {
 
 class SimHostActuationPort final : public ActuationPort {
  public:
-  /// One delivered pause/resume, stamped with the simulated time it took
+  /// What a journal entry did to the host. Values are the checkpoint
+  /// wire encoding (v2) — append only.
+  enum class OpKind { Resume = 0, Pause = 1, Detach = 2, Attach = 3 };
+
+  /// One delivered actuation, stamped with the simulated time it took
   /// effect on the host. The journal is what makes a warm restart exact
   /// (DESIGN.md §17): a rebuilt host is fast-forwarded tick-for-tick with
   /// the journalled actuations re-applied at their original times, so the
-  /// restored host's VM pause states — and therefore every subsequent
-  /// tick's arithmetic — match the crashed run bit for bit.
+  /// restored host's VM pause/attach states — and therefore every
+  /// subsequent tick's arithmetic — match the crashed run bit for bit.
   struct DeliveredOp {
-    bool pause = false;
+    OpKind kind = OpKind::Resume;
     sim::VmId vm = 0;
     double time = 0.0;
   };
@@ -48,6 +52,9 @@ class SimHostActuationPort final : public ActuationPort {
   ResourceUtilization utilization() const override;
   bool pause(sim::VmId id) override;
   bool resume(sim::VmId id) override;
+  bool detach(sim::VmId id) override;
+  bool attach(sim::VmId id) override;
+  std::vector<sim::VmId> parked_batch() const override;
 
   /// Every delivered actuation so far, in delivery order.
   const std::vector<DeliveredOp>& journal() const { return journal_; }

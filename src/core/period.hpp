@@ -73,12 +73,22 @@ struct PeriodRecord {
   std::size_t duplicate_samples = 0;  // repeat deliveries dropped
   std::size_t overflow_drops = 0;     // ring overflow since last period
 
+  // --- Cluster telemetry (DESIGN.md §18). Filled only when a
+  // ClusterCoordinator is active; coordinator-off runs leave both at 0,
+  // so their serialized records stay byte-identical to the historical
+  // format (the run-log emits this block only when any field is set). --
+  std::size_t migrations_out = 0;  // batch VMs detached this period
+  std::size_t migrations_in = 0;   // batch VMs attached this period
+
   /// Any streaming-ingestion field set this period?
   bool ingest_any() const {
     return samples_ingested + late_samples + duplicate_samples +
                overflow_drops >
            0;
   }
+
+  /// Any cluster field set this period?
+  bool cluster_any() const { return migrations_out + migrations_in > 0; }
 
   bool operator==(const PeriodRecord& o) const = default;
 };

@@ -215,6 +215,16 @@ void HostPipeline::update_degradation(const monitor::SampleHealth& health,
   }
 }
 
+std::unique_ptr<Actuator> HostPipeline::release_actuator() {
+  sa_actuator_ = nullptr;
+  return std::move(actuator_);
+}
+
+void HostPipeline::set_actuator(std::unique_ptr<Actuator> actuator) {
+  actuator_ = std::move(actuator);
+  sa_actuator_ = dynamic_cast<GovernorActuator*>(actuator_.get());
+}
+
 bool HostPipeline::checkpointable() const {
   return (mapper_ == nullptr || mapper_->checkpointable()) &&
          (forecaster_ == nullptr || forecaster_->checkpointable()) &&

@@ -155,6 +155,17 @@ class HostPipeline {
   GovernorActuator* governor_actuator() { return sa_actuator_; }
   const GovernorActuator* governor_actuator() const { return sa_actuator_; }
 
+  /// Cluster wiring seam (DESIGN.md §18): hands the wired actuator out so
+  /// a decorator (core/cluster MigrationActuator) can wrap it, then
+  /// set_actuator() puts the wrapped stage back. Swap before the first
+  /// on_period() and before install_faults-driven state accrues; the
+  /// typed governor_actuator() view re-resolves (null when the new stage
+  /// is not a GovernorActuator itself).
+  std::unique_ptr<Actuator> release_actuator();
+  void set_actuator(std::unique_ptr<Actuator> actuator);
+  Actuator* actuator() { return actuator_.get(); }
+  const Actuator* actuator() const { return actuator_.get(); }
+
  private:
   void init(StageSet stages);
   /// Updates the degradation state machine with this period's health.

@@ -55,6 +55,20 @@ class ActuationPort {
   /// actuation channel; true when it took effect on the host.
   virtual bool pause(sim::VmId id) = 0;
   virtual bool resume(sim::VmId id) = 0;
+
+  /// Migration verbs (DESIGN.md §18). Detach removes a batch VM from the
+  /// host entirely (migration-out); attach cold-starts a previously
+  /// detached batch VM at the current time (migration-in). Unlike
+  /// pause/resume these are coordinator-initiated control-plane moves and
+  /// are never routed through the fault channel, so they draw nothing
+  /// from the fault RNG. Ports without migration support (fakes, the
+  /// baseline adapters) keep the default refusal.
+  virtual bool detach(sim::VmId) { return false; }
+  virtual bool attach(sim::VmId) { return false; }
+
+  /// Batch VMs currently parked on this host: detached twins a migration
+  /// could attach here. Enumeration order.
+  virtual std::vector<sim::VmId> parked_batch() const { return {}; }
 };
 
 }  // namespace stayaway::core

@@ -10,6 +10,8 @@
 #include "baseline/stages/reactive_actuator.hpp"
 #include "baseline/stages/static_actuator.hpp"
 #include "core/checkpoint.hpp"
+#include "core/cluster/coordinator.hpp"
+#include "core/cluster/migration.hpp"
 #include "core/fleet.hpp"
 #include "harness/rig.hpp"
 #include "util/check.hpp"
@@ -87,6 +89,16 @@ void extract_stayaway(const core::HostPipeline& pipeline,
   const core::TrajectoryForecaster* forecaster =
       pipeline.trajectory_forecaster();
   const core::GovernorActuator* actuator = pipeline.governor_actuator();
+  if (actuator == nullptr) {
+    // Cluster fleets wrap the governor in a MigrationActuator; the
+    // Stay-Away internals live on the inner stage.
+    if (const auto* mig = dynamic_cast<const core::cluster::MigrationActuator*>(
+            pipeline.actuator())) {
+      actuator = dynamic_cast<const core::GovernorActuator*>(mig->inner());
+    }
+  }
+  SA_CHECK(actuator != nullptr,
+           "a Stay-Away pipeline always carries a governor actuator");
   result.stayaway_records = pipeline.records();
   result.tally = forecaster->tally();
   result.pauses = actuator->governor().pauses();
@@ -147,12 +159,75 @@ FleetResult run_fleet(const FleetSpec& spec) {
   controller_config.watchdog_budget = spec.watchdog_budget;
   core::FleetController controller(controller_config);
 
+  // --- Cluster coordination (DESIGN.md §18). --------------------------
+  const ClusterSpec* cluster =
+      spec.cluster.has_value() ? &*spec.cluster : nullptr;
+  std::vector<std::size_t> mobile_home;  // host index per mobile VM
+  if (cluster != nullptr) {
+    std::set<std::string> vm_names;
+    for (const MobileVmSpec& m : cluster->mobile) {
+      SA_REQUIRE(!m.name.empty(), "mobile VM names must be non-empty");
+      SA_REQUIRE(vm_names.insert(m.name).second,
+                 "duplicate cluster VM name: " + m.name);
+      std::size_t home = spec.hosts.size();
+      for (std::size_t i = 0; i < spec.hosts.size(); ++i) {
+        if (spec.hosts[i].name == m.home) home = i;
+      }
+      SA_REQUIRE(home < spec.hosts.size(),
+                 "mobile VM home is not a fleet host: " + m.home);
+      mobile_home.push_back(home);
+    }
+    for (const AdmissionSpec& a : cluster->admissions) {
+      SA_REQUIRE(!a.name.empty(), "admission VM names must be non-empty");
+      SA_REQUIRE(vm_names.insert(a.name).second,
+                 "duplicate cluster VM name: " + a.name);
+    }
+  }
+  // Every host carries a twin of every cluster VM from construction (the
+  // sampler layout is fixed then), attached only on a mobile VM's home.
+  auto twins_for_host = [&](std::size_t i) {
+    std::vector<TwinSpec> twins;
+    if (cluster == nullptr) return twins;
+    for (std::size_t j = 0; j < cluster->mobile.size(); ++j) {
+      const MobileVmSpec& m = cluster->mobile[j];
+      twins.push_back(TwinSpec{m.name, m.kind, m.start_s, mobile_home[j] == i});
+    }
+    for (const AdmissionSpec& a : cluster->admissions) {
+      twins.push_back(TwinSpec{a.name, a.kind, a.arrival_s, false});
+    }
+    return twins;
+  };
+  // Wraps the host's actuator in the migration decorator; the mobile
+  // twins are the first cluster->mobile.size() entries of twin_ids.
+  auto wrap_migration = [cluster](Slot& slot) {
+    if (cluster == nullptr) return;
+    auto mig = std::make_unique<core::cluster::MigrationActuator>(
+        slot.pipeline->release_actuator());
+    mig->set_mobile(std::vector<sim::VmId>(
+        slot.rig.twin_ids.begin(),
+        slot.rig.twin_ids.begin() +
+            static_cast<std::ptrdiff_t>(cluster->mobile.size())));
+    slot.pipeline->set_actuator(std::move(mig));
+  };
+  std::unique_ptr<core::cluster::ClusterCoordinator> coordinator;
+  if (cluster != nullptr) {
+    coordinator =
+        std::make_unique<core::cluster::ClusterCoordinator>(cluster->config);
+  }
+  // Warm-started cluster runs continue the original run's period
+  // numbering: the coordinator's state is indexed by absolute period, so
+  // the hook and directive replay shift by the restored prefix length.
+  std::size_t coord_offset = 0;
+  std::size_t restored_hosts = 0;
+
   for (std::size_t i = 0; i < spec.hosts.size(); ++i) {
     const FleetHostSpec& hs = spec.hosts[i];
     Slot& slot = slots[i];
     slot.spec = &hs;
-    slot.rig = build_host_rig(hs.experiment);
+    const std::vector<TwinSpec> twins = twins_for_host(i);
+    slot.rig = build_host_rig(hs.experiment, twins);
     slot.pipeline = make_pipeline(hs, slot.rig);
+    wrap_migration(slot);
     if (label_hosts) slot.pipeline->set_host_label(hs.name);
     obs::Observer* observer = hs.experiment.observer != nullptr
                                   ? hs.experiment.observer
@@ -182,16 +257,41 @@ FleetResult run_fleet(const FleetSpec& spec) {
       SA_REQUIRE(restored <= member.periods,
                  "checkpoint is longer than the run it restores into");
       member.periods -= restored;
+      if (cluster != nullptr) {
+        SA_REQUIRE(restored_hosts == 0 || coord_offset == restored,
+                   "cluster warm starts must restore the same period count "
+                   "on every host");
+        coord_offset = restored;
+        ++restored_hosts;
+      }
+    }
+    if (coordinator != nullptr) {
+      coordinator->add_host(core::cluster::ClusterCoordinator::HostHooks{
+          hs.name, [&slot] { return slot.pipeline.get(); },
+          [&slot] {
+            return static_cast<core::ActuationPort*>(
+                &slot.pipeline->actuation_port());
+          },
+          [&slot] {
+            return dynamic_cast<core::cluster::MigrationActuator*>(
+                slot.pipeline->actuator());
+          }});
+      member.replay_directives = [coord = coordinator.get(), &coord_offset,
+                                  i](std::size_t q) {
+        coord->replay_host_period(i, q + coord_offset);
+      };
     }
     // Crash-class faults in the plan put the member under supervision
     // automatically — derived purely from the scenario, so a recorded
     // run-log replays bit-for-bit without new scenario keys.
     if (spec.supervise || (espec.faults.has_value() &&
                            espec.faults->has_crash_faults())) {
-      member.rebuild = [&slot, &hs, label_hosts, observer] {
+      member.rebuild = [&slot, &hs, label_hosts, observer, twins,
+                        &wrap_migration] {
         slot.pipeline.reset();
-        slot.rig = build_host_rig(hs.experiment);
+        slot.rig = build_host_rig(hs.experiment, twins);
         slot.pipeline = make_pipeline(hs, slot.rig);
+        wrap_migration(slot);
         if (label_hosts) slot.pipeline->set_host_label(hs.name);
         if (observer != nullptr &&
             hs.experiment.policy == PolicyKind::StayAway) {
@@ -252,6 +352,37 @@ FleetResult run_fleet(const FleetSpec& spec) {
     controller.add_member(std::move(member));
   }
 
+  if (coordinator != nullptr) {
+    SA_REQUIRE(restored_hosts == 0 || restored_hosts == spec.hosts.size(),
+               "cluster warm starts must restore every host");
+    for (std::size_t j = 0; j < cluster->mobile.size(); ++j) {
+      std::vector<sim::VmId> ids;
+      ids.reserve(slots.size());
+      for (const Slot& slot : slots) ids.push_back(slot.rig.twin_ids[j]);
+      coordinator->add_mobile_vm(cluster->mobile[j].name, std::move(ids),
+                                 mobile_home[j]);
+    }
+    const double period_s = spec.hosts.front().experiment.period_s;
+    for (std::size_t k = 0; k < cluster->admissions.size(); ++k) {
+      const AdmissionSpec& a = cluster->admissions[k];
+      std::vector<sim::VmId> ids;
+      ids.reserve(slots.size());
+      for (const Slot& slot : slots) {
+        ids.push_back(slot.rig.twin_ids[cluster->mobile.size() + k]);
+      }
+      auto arrival =
+          static_cast<std::size_t>(std::llround(a.arrival_s / period_s));
+      coordinator->add_admission(a.name, std::move(ids), arrival);
+    }
+    if (!cluster->restore.empty()) {
+      core::cluster::restore_coordinator(*coordinator, cluster->restore);
+    }
+    controller.set_period_hook(
+        [coord = coordinator.get(), &coord_offset](std::size_t p) {
+          coord->step(p + coord_offset);
+        });
+  }
+
   controller.set_recorder(spec.recorder);
   controller.run();
 
@@ -289,6 +420,18 @@ FleetResult run_fleet(const FleetSpec& spec) {
       host_result.final_checkpoint = core::encode_checkpoint(*slot.pipeline);
     }
     out.hosts.push_back(std::move(host_result));
+  }
+  if (coordinator != nullptr) {
+    ClusterReport report;
+    report.migrations = coordinator->migrations();
+    report.admitted = coordinator->admissions_accepted();
+    report.rejected = coordinator->admissions_rejected();
+    report.queued = coordinator->admissions_queued();
+    report.events = coordinator->events();
+    if (spec.export_checkpoints) {
+      report.final_coordinator = core::cluster::encode_coordinator(*coordinator);
+    }
+    out.cluster = std::move(report);
   }
   return out;
 }

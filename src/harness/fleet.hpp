@@ -10,13 +10,50 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cluster/coordinator.hpp"
 #include "core/fleet.hpp"
 #include "harness/experiment.hpp"
 
 namespace stayaway::harness {
+
+/// A batch VM the cluster coordinator may migrate between hosts
+/// (DESIGN.md §18). Pre-provisioned as a twin on every host: attached on
+/// `home` at start_s, parked (detached) everywhere else. Single-app
+/// batch kinds only.
+struct MobileVmSpec {
+  std::string name;
+  BatchKind kind = BatchKind::CpuBomb;
+  std::string home;
+  double start_s = 15.0;
+};
+
+/// An incoming batch VM asking to join the cluster at arrival_s. Parked
+/// on every host until the coordinator admits it (or rejects it once the
+/// queue patience runs out).
+struct AdmissionSpec {
+  std::string name;
+  BatchKind kind = BatchKind::CpuBomb;
+  double arrival_s = 60.0;
+};
+
+/// Cluster coordination for a fleet (DESIGN.md §18). Setting this turns
+/// run_fleet into a lockstep coordinated run: the ClusterCoordinator
+/// steps between fleet periods, every host's actuator is wrapped in a
+/// MigrationActuator, and workers are ignored (coordinated fleets are
+/// sequential by construction). Absent, the fleet behaves exactly as
+/// before — byte-identical to a coordinator-free run.
+struct ClusterSpec {
+  core::cluster::ClusterConfig config;
+  std::vector<MobileVmSpec> mobile;
+  std::vector<AdmissionSpec> admissions;
+  /// Coordinator blob to warm-start from (encode_coordinator); pair it
+  /// with per-host FleetSpec::restore entries from the same run.
+  std::string restore;
+};
 
 /// One host's slot in a fleet scenario. The name must be unique across
 /// the fleet; in fleets of more than one host it labels the host's
@@ -61,6 +98,8 @@ struct FleetSpec {
   /// cover only the live tail, while stayaway_records always span the
   /// full history.
   std::map<std::string, std::string> restore;
+  // --- Cluster coordination (DESIGN.md §18). --------------------------
+  std::optional<ClusterSpec> cluster;
 };
 
 struct FleetHostResult {
@@ -73,8 +112,23 @@ struct FleetHostResult {
   std::string final_checkpoint;
 };
 
+/// What the cluster coordinator did over the run (FleetSpec::cluster).
+struct ClusterReport {
+  std::size_t migrations = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t queued = 0;  // still waiting when the run ended
+  /// Canonical decision log in decision order (run-log `cluster-events`).
+  std::vector<std::string> events;
+  /// Encoded coordinator state (FleetSpec::export_checkpoints), restored
+  /// through ClusterSpec::restore.
+  std::string final_coordinator;
+};
+
 struct FleetResult {
   std::vector<FleetHostResult> hosts;
+  /// Present exactly when the spec carried a ClusterSpec.
+  std::optional<ClusterReport> cluster;
 };
 
 /// Homogeneous fleet helper: `host_count` copies of `base` named

@@ -9,7 +9,8 @@
 
 namespace stayaway::harness {
 
-HostRig build_host_rig(const ExperimentSpec& spec) {
+HostRig build_host_rig(const ExperimentSpec& spec,
+                       const std::vector<TwinSpec>& twins) {
   SA_REQUIRE(spec.duration_s > 0.0, "experiment duration must be positive");
   SA_REQUIRE(spec.period_s >= spec.tick_s, "period must cover >= one tick");
 
@@ -51,6 +52,18 @@ HostRig build_host_rig(const ExperimentSpec& spec) {
                                           std::move(app), extra.start_s));
       ++index;
     }
+  }
+  for (const TwinSpec& twin : twins) {
+    SA_REQUIRE(!twin.name.empty(), "cluster twin names must be non-empty");
+    auto apps = make_batch(twin.kind);
+    SA_REQUIRE(apps.size() == 1,
+               "cluster twins need a single-app batch kind: " + twin.name);
+    std::string name = twin.name;
+    sim::VmId id = host.add_vm(std::move(name), sim::VmKind::Batch,
+                               std::move(apps.front()), twin.start_s);
+    if (!twin.attached) host.vm(id).detach();
+    rig.twin_ids.push_back(id);
+    rig.batch_ids.push_back(id);
   }
   return rig;
 }

@@ -19,6 +19,19 @@ class Webservice;
 
 namespace stayaway::harness {
 
+/// One cluster twin to pre-provision on a host (DESIGN.md §18). The
+/// sampler fixes its metric layout at pipeline construction, so every
+/// host that might ever run a migratable or admitted batch VM carries a
+/// twin of it from the start — attached only on the VM's current home,
+/// detached ("parked") everywhere else until the coordinator attaches
+/// it. Single-app batch kinds only (a migration moves exactly one VM).
+struct TwinSpec {
+  std::string name;
+  BatchKind kind = BatchKind::CpuBomb;
+  double start_s = 15.0;
+  bool attached = false;
+};
+
 struct HostRig {
   std::unique_ptr<sim::SimHost> host;
   /// The sensitive app's QoS channel; owned by the app inside the host.
@@ -28,11 +41,18 @@ struct HostRig {
   const apps::Webservice* webservice = nullptr;
   sim::VmId sensitive_id = 0;
   std::vector<sim::VmId> batch_ids;
+  /// Cluster twins' VmIds, aligned with the TwinSpec list passed to
+  /// build_host_rig (empty outside cluster fleets). Also in batch_ids.
+  std::vector<sim::VmId> twin_ids;
 };
 
 /// Builds the host and places every VM per the spec. Validates the spec's
 /// timing (positive duration, period covering at least one tick).
-HostRig build_host_rig(const ExperimentSpec& spec);
+/// `twins` (cluster fleets) are provisioned last, in list order, after
+/// every spec VM — construction order is part of the determinism
+/// contract, so the twin list must be identical across rebuilds.
+HostRig build_host_rig(const ExperimentSpec& spec,
+                       const std::vector<TwinSpec>& twins = {});
 
 /// The Stay-Away config an experiment actually runs with: spec.stayaway
 /// plus the harness seed/period splits (sampler seed decorrelated from

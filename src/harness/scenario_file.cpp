@@ -130,7 +130,7 @@ std::string maybe_quote(const std::string& s) {
 SensitiveKind sensitive_kind_from_string(const std::string& name) {
   for (auto kind : {SensitiveKind::VlcStream, SensitiveKind::WebserviceCpu,
                     SensitiveKind::WebserviceMem, SensitiveKind::WebserviceMix,
-                    SensitiveKind::VlcTranscode}) {
+                    SensitiveKind::VlcTranscode, SensitiveKind::FlashCrowd}) {
     if (name == to_string(kind)) return kind;
   }
   throw PreconditionError("unknown sensitive app: " + name);
@@ -339,13 +339,106 @@ Scenario ParserState::finish() const {
   return out;
 }
 
+/// Splits a colon-separated compound value, trimming each part.
+std::vector<std::string> split_colons(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (true) {
+    auto c = value.find(':', pos);
+    parts.push_back(trim(
+        value.substr(pos, c == std::string::npos ? std::string::npos
+                                                 : c - pos)));
+    if (c == std::string::npos) break;
+    pos = c + 1;
+  }
+  return parts;
+}
+
+/// One `[cluster]` section key (DESIGN.md §18): coordinator knobs plus
+/// the repeatable mobile/admit VM lists.
+void consume_cluster_key(std::size_t line_no, const std::string& key,
+                         const std::string& value, ClusterSpec& cluster,
+                         std::set<std::string>& seen,
+                         std::set<std::string>& vm_names) {
+  bool repeatable = key == "mobile" || key == "admit";
+  if (!repeatable && !seen.insert(key).second) {
+    fail(line_no, "duplicate key '" + key + "'");
+  }
+  if (key == "migrate") {
+    cluster.config.migrate = parse_bool(line_no, value);
+  } else if (key == "admit_margin") {
+    cluster.config.admit_margin = parse_double(line_no, value);
+  } else if (key == "admit_patience") {
+    cluster.config.admit_patience =
+        static_cast<std::size_t>(parse_double(line_no, value));
+  } else if (key == "migration_cooldown") {
+    cluster.config.migration_cooldown =
+        static_cast<std::size_t>(parse_double(line_no, value));
+  } else if (key == "admit_footprint") {
+    cluster.config.admit_footprint = parse_double(line_no, value);
+  } else if (key == "mobile") {
+    // `mobile = name:kind:home[:start_s]` — a migratable batch VM.
+    std::vector<std::string> parts = split_colons(value);
+    if (parts.size() < 3 || parts.size() > 4) {
+      fail(line_no, "expected 'name:kind:home[:start_s]', got '" + value + "'");
+    }
+    MobileVmSpec m;
+    m.name = parts[0];
+    if (m.name.empty()) fail(line_no, "empty VM name");
+    if (!vm_names.insert(m.name).second) {
+      fail(line_no, "duplicate cluster VM name '" + m.name + "'");
+    }
+    try {
+      m.kind = batch_kind_from_string(parts[1]);
+    } catch (const PreconditionError& e) {
+      fail(line_no, e.what());
+    }
+    if (m.kind == BatchKind::None) {
+      fail(line_no, "mobile VM kind must not be 'none'");
+    }
+    m.home = parts[2];
+    if (m.home.empty()) fail(line_no, "empty home host name");
+    if (parts.size() == 4) {
+      m.start_s = parse_double(line_no, parts[3]);
+      if (m.start_s < 0.0) fail(line_no, "start_s must be >= 0");
+    }
+    cluster.mobile.push_back(std::move(m));
+  } else if (key == "admit") {
+    // `admit = name:kind:arrival_s` — an incoming batch VM.
+    std::vector<std::string> parts = split_colons(value);
+    if (parts.size() != 3) {
+      fail(line_no, "expected 'name:kind:arrival_s', got '" + value + "'");
+    }
+    AdmissionSpec a;
+    a.name = parts[0];
+    if (a.name.empty()) fail(line_no, "empty VM name");
+    if (!vm_names.insert(a.name).second) {
+      fail(line_no, "duplicate cluster VM name '" + a.name + "'");
+    }
+    try {
+      a.kind = batch_kind_from_string(parts[1]);
+    } catch (const PreconditionError& e) {
+      fail(line_no, e.what());
+    }
+    if (a.kind == BatchKind::None) {
+      fail(line_no, "admission VM kind must not be 'none'");
+    }
+    a.arrival_s = parse_double(line_no, parts[2]);
+    if (a.arrival_s < 0.0) fail(line_no, "arrival_s must be >= 0");
+    cluster.admissions.push_back(std::move(a));
+  } else {
+    fail(line_no, "unknown [cluster] key '" + key + "'");
+  }
+}
+
 /// Parses a `[host "name"]` section header (the line arrives
 /// comment-stripped and trimmed, starting with '[').
 std::string parse_host_header(std::size_t line_no, const std::string& line) {
   if (line.back() != ']') fail(line_no, "unterminated section header");
   std::string inner = trim(line.substr(1, line.size() - 2));
   if (inner.rfind("host", 0) != 0) {
-    fail(line_no, "unknown section '" + inner + "' (expected [host \"name\"])");
+    fail(line_no, "unknown section '" + inner +
+                      "' (expected [host \"name\"] or [cluster])");
   }
   std::string rest = trim(inner.substr(4));
   if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
@@ -366,8 +459,11 @@ FleetScenario parse_fleet_scenario(std::istream& in) {
   std::vector<std::pair<std::string, ParserState>> hosts;
   std::set<std::string> host_names;
   constexpr std::size_t kBase = static_cast<std::size_t>(-1);
+  constexpr std::size_t kCluster = static_cast<std::size_t>(-2);
   std::size_t current = kBase;
   bool seen_workers = false;
+  std::set<std::string> cluster_seen;
+  std::set<std::string> cluster_vm_names;
 
   std::string raw;
   std::size_t line_no = 0;
@@ -385,6 +481,16 @@ FleetScenario parse_fleet_scenario(std::istream& in) {
     if (line.empty()) continue;
 
     if (line.front() == '[') {
+      if (line.back() == ']' &&
+          trim(line.substr(1, line.size() - 2)) == "cluster") {
+        if (fleet.cluster.has_value()) {
+          fail(line_no, "duplicate [cluster] section");
+        }
+        fleet.cluster.emplace();
+        fleet.fleet_syntax = true;
+        current = kCluster;
+        continue;
+      }
       std::string name = parse_host_header(line_no, line);
       if (!host_names.insert(name).second) {
         fail(line_no, "duplicate host section '" + name + "'");
@@ -422,10 +528,27 @@ FleetScenario parse_fleet_scenario(std::istream& in) {
       continue;
     }
 
+    if (current == kCluster) {
+      consume_cluster_key(line_no, key, value, *fleet.cluster, cluster_seen,
+                          cluster_vm_names);
+      continue;
+    }
     ParserState& state = current == kBase ? base : hosts[current].second;
     state.consume(line_no, key, value);
   }
 
+  if (fleet.cluster.has_value()) {
+    if (hosts.empty()) {
+      throw PreconditionError(
+          "a [cluster] section requires explicit [host] sections");
+    }
+    for (const MobileVmSpec& m : fleet.cluster->mobile) {
+      if (host_names.find(m.home) == host_names.end()) {
+        throw PreconditionError("mobile VM '" + m.name +
+                                "' names an unknown home host: " + m.home);
+      }
+    }
+  }
   fleet.base = base.finish();
   fleet.hosts.reserve(hosts.size());
   for (const auto& [name, state] : hosts) {
@@ -541,6 +664,34 @@ std::string serialize_scenario(const Scenario& scenario) {
 std::string serialize_fleet_scenario(const FleetScenario& fleet) {
   if (!fleet.fleet_syntax) return serialize_scenario(fleet.base);
   std::string out = "workers = " + std::to_string(fleet.workers) + "\n";
+  if (fleet.cluster.has_value()) {
+    // Every knob explicit, VM lists in spec order; ClusterSpec::restore
+    // is runtime-only state and never serialized.
+    const ClusterSpec& c = *fleet.cluster;
+    out += "[cluster]\n";
+    out += std::string("migrate = ") +
+           (c.config.migrate ? "true" : "false") + "\n";
+    out += "admit_margin = " + format_double_exact(c.config.admit_margin) +
+           "\n";
+    out += "admit_patience = " + std::to_string(c.config.admit_patience) +
+           "\n";
+    out += "migration_cooldown = " +
+           std::to_string(c.config.migration_cooldown) + "\n";
+    out += "admit_footprint = " +
+           format_double_exact(c.config.admit_footprint) + "\n";
+    for (const MobileVmSpec& m : c.mobile) {
+      out += "mobile = " +
+             maybe_quote(m.name + ":" + std::string(to_string(m.kind)) + ":" +
+                         m.home + ":" + format_double_exact(m.start_s)) +
+             "\n";
+    }
+    for (const AdmissionSpec& a : c.admissions) {
+      out += "admit = " +
+             maybe_quote(a.name + ":" + std::string(to_string(a.kind)) + ":" +
+                         format_double_exact(a.arrival_s)) +
+             "\n";
+    }
+  }
   if (fleet.hosts.empty()) {
     // Degenerate fleet syntax (workers key only): the base body is the
     // single host.

@@ -31,6 +31,17 @@
 //   [host "web-b"]
 //   batch = cpubomb
 //   seed  = 7
+//
+// Cluster coordination (DESIGN.md §18) adds a `[cluster]` section to a
+// multi-host document — coordinator knobs plus the repeatable `mobile`
+// (migratable batch VM: name:kind:home[:start_s]) and `admit` (incoming
+// batch VM: name:kind:arrival_s) keys:
+//
+//   [cluster]
+//   migrate = true
+//   admit_margin = 0.25
+//   mobile = crunch:cpubomb:web-a:20
+//   admit  = late:soplex:90
 #pragma once
 
 #include <cstddef>
@@ -41,6 +52,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/fleet.hpp"
 
 namespace stayaway::harness {
 
@@ -77,8 +89,11 @@ struct FleetScenario {
   std::vector<std::pair<std::string, Scenario>> hosts;
   /// Fleet-level `workers` key (hosts driven concurrently).
   std::size_t workers = 1;
-  /// True when the document used any fleet syntax ([host] sections or
-  /// the workers key), even for a degenerate fleet of one.
+  /// Parsed [cluster] section (DESIGN.md §18); nullopt without one. Only
+  /// valid alongside [host] sections.
+  std::optional<ClusterSpec> cluster;
+  /// True when the document used any fleet syntax ([host] or [cluster]
+  /// sections or the workers key), even for a degenerate fleet of one.
   bool fleet_syntax = false;
 };
 

@@ -1,6 +1,7 @@
 #include "harness/scenarios.hpp"
 
 #include "apps/cpubomb.hpp"
+#include "apps/flash_crowd.hpp"
 #include "apps/membomb.hpp"
 #include "apps/soplex.hpp"
 #include "apps/twitter_analysis.hpp"
@@ -23,6 +24,8 @@ const char* to_string(SensitiveKind kind) {
       return "webservice-mix";
     case SensitiveKind::VlcTranscode:
       return "vlc-transcode";
+    case SensitiveKind::FlashCrowd:
+      return "flash-crowd";
   }
   return "unknown";
 }
@@ -93,6 +96,14 @@ SensitiveSetup make_sensitive(SensitiveKind kind,
       apps::VlcTranscodeSpec spec;
       if (duration_s > 0.0) spec.total_frames = spec.nominal_fps * duration_s;
       auto app = std::make_unique<apps::VlcTranscode>(spec);
+      out.probe = app.get();
+      out.app = std::move(app);
+      return out;
+    }
+    case SensitiveKind::FlashCrowd: {
+      apps::FlashCrowdSpec spec;
+      spec.duration_s = duration_s;
+      auto app = std::make_unique<apps::FlashCrowd>(spec, std::move(workload));
       out.probe = app.get();
       out.app = std::move(app);
       return out;

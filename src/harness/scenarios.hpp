@@ -26,6 +26,7 @@ enum class SensitiveKind {
   WebserviceMem,
   WebserviceMix,
   VlcTranscode,  // Fig. 6's rate-thresholded transcode run
+  FlashCrowd,    // surging front end (cluster bench, DESIGN.md §18)
 };
 
 enum class BatchKind {

@@ -214,12 +214,22 @@ harness::FleetScenario shrink(harness::FleetScenario fleet,
       improved = true;
     }
     // Drop fault lines (the same line from every host — hosts are
-    // replicas of one mutation, so indices line up).
+    // replicas of one mutation, so indices line up). Crash-class lines
+    // are exempt: supervised recovery is byte-identical by construction,
+    // so no record-stream detector ever depends on them and dropping
+    // would always succeed — stripping every --recovery finding down to
+    // a default-mode one. Keeping them means a committed recovery-mode
+    // regression replays its crash → restore path on every CI run; the
+    // window-narrowing step below still tightens their intervals.
     std::size_t fault_count =
         fleet.hosts.front().second.spec.faults.has_value()
             ? fleet.hosts.front().second.spec.faults->faults.size()
             : 0;
     for (std::size_t k = fault_count; k-- > 0;) {
+      if (sim::is_crash_fault(
+              fleet.hosts.front().second.spec.faults->faults[k].kind)) {
+        continue;
+      }
       harness::FleetScenario candidate = fleet;
       for (auto& [name, scenario] : candidate.hosts) {
         auto& faults = scenario.spec.faults->faults;

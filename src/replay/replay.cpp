@@ -21,6 +21,7 @@ harness::FleetSpec to_fleet_spec(const harness::FleetScenario& fleet) {
       spec.hosts.push_back({name, scenario.spec});
     }
   }
+  spec.cluster = fleet.cluster;
   return spec;
 }
 
@@ -60,21 +61,25 @@ RecordedRun record_run(const harness::FleetScenario& fleet) {
   run.result = harness::run_fleet(spec);
   run.log.scenario_text = harness::serialize_fleet_scenario(fleet);
   run.log.hosts = recorder.streams();
+  if (run.result.cluster) {
+    run.log.cluster_events = run.result.cluster->events;
+  }
   return run;
 }
 
 ReplayReport replay_run_log(const RunLog& log) {
   constexpr std::size_t kMaxMismatches = 5;
   ReplayReport report;
-  std::vector<HostStream> fresh;
+  RunLog fresh_log;
   try {
     std::istringstream in(log.scenario_text);
     harness::FleetScenario fleet = harness::parse_fleet_scenario(in);
-    fresh = record_run(fleet).log.hosts;
+    fresh_log = record_run(fleet).log;
   } catch (const std::exception& e) {
     report.error = e.what();
     return report;
   }
+  const std::vector<HostStream>& fresh = fresh_log.hosts;
 
   if (fresh.size() != log.hosts.size()) {
     report.error = "host count diverged: recorded " +
@@ -110,6 +115,28 @@ ReplayReport replay_run_log(const RunLog& log) {
             {recorded.name, p, old_line != nullptr ? *old_line : "",
              new_line != nullptr ? *new_line : ""});
       }
+    }
+  }
+  // The coordinator decision log diffs like a host stream: any byte
+  // difference (order, count, content) fails the replay.
+  std::size_t events = std::max(log.cluster_events.size(),
+                                fresh_log.cluster_events.size());
+  for (std::size_t e = 0; e < events; ++e) {
+    const std::string* old_line = e < log.cluster_events.size()
+                                      ? &log.cluster_events[e]
+                                      : nullptr;
+    const std::string* new_line = e < fresh_log.cluster_events.size()
+                                      ? &fresh_log.cluster_events[e]
+                                      : nullptr;
+    if (old_line != nullptr && new_line != nullptr &&
+        *old_line == *new_line) {
+      continue;
+    }
+    report.ok = false;
+    if (report.mismatches.size() < kMaxMismatches) {
+      report.mismatches.push_back(
+          {"<cluster>", e, old_line != nullptr ? *old_line : "",
+           new_line != nullptr ? *new_line : ""});
     }
   }
   return report;

@@ -19,14 +19,17 @@ namespace {
 
 /// Fixed field order of a serialized PeriodRecord line. Order is part of
 /// the format: replay byte-diffs lines, so two encodings of one record
-/// must not exist. The trailing ingest block (ing..ovf, DESIGN.md §15) is
-/// all-or-nothing: emitted only when any ingest field is non-zero, so a
-/// synchronous-source record keeps its historical byte encoding.
+/// must not exist. The trailing ingest block (ing..ovf, DESIGN.md §15)
+/// and cluster block (migout/migin, DESIGN.md §18) are each
+/// all-or-nothing: emitted only when any of their fields is non-zero, so
+/// a synchronous-source, coordinator-free record keeps its historical
+/// byte encoding.
 constexpr const char* kFieldOrder[] = {
     "t",     "mode",  "x",      "y",    "rep",    "newrep", "vobs",
     "vpred", "model", "act",    "paused", "stress", "beta",  "deg",
     "qdims", "stale", "qosvis", "retries", "pending",
     "ing",   "late",  "dup",    "ovf",
+    "migout", "migin",
 };
 constexpr std::size_t kFieldCount = sizeof(kFieldOrder) / sizeof(*kFieldOrder);
 
@@ -50,19 +53,13 @@ class FieldReader {
     return token.substr(prefix.size());
   }
 
-  /// Like next(), but an exhausted line yields nullopt instead of
-  /// throwing — how the optional trailing ingest block is detected.
-  std::optional<std::string> next_optional(std::size_t index) {
-    SA_DCHECK(index < kFieldCount, "field index out of range");
+  /// Next raw token with no key check, or nullopt when the line is
+  /// exhausted — lets the caller dispatch between the optional trailing
+  /// blocks (ingest vs cluster) on the token's own key.
+  std::optional<std::string> raw() {
     std::string token;
     if (!(in_ >> token)) return std::nullopt;
-    std::string prefix = std::string(kFieldOrder[index]) + "=";
-    if (token.rfind(prefix, 0) != 0) {
-      throw PreconditionError("period record expected field '" +
-                              std::string(kFieldOrder[index]) + "', got '" +
-                              token + "'");
-    }
-    return token.substr(prefix.size());
+    return token;
   }
 
   void finish() {
@@ -96,6 +93,17 @@ std::uint64_t to_u64(const std::string& value) {
                             "'");
   }
   return v;
+}
+
+/// Validates `token` carries `key=` and returns the value part. The
+/// FieldReader::raw() counterpart of next()'s prefix check.
+std::string strip_field(const std::string& token, const char* key) {
+  std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    throw PreconditionError("period record expected field '" +
+                            std::string(key) + "', got '" + token + "'");
+  }
+  return token.substr(prefix.size());
 }
 
 bool to_bool(const std::string& value) {
@@ -146,6 +154,10 @@ std::string serialize_period_record(const core::PeriodRecord& rec) {
     count("dup", rec.duplicate_samples);
     count("ovf", rec.overflow_drops);
   }
+  if (rec.cluster_any()) {
+    count("migout", rec.migrations_out);
+    count("migin", rec.migrations_in);
+  }
   return out;
 }
 
@@ -180,13 +192,23 @@ core::PeriodRecord parse_period_record(const std::string& line) {
   rec.qos_visible = to_bool(fields.next(i++));
   rec.actuation_retries = static_cast<std::size_t>(to_u64(fields.next(i++)));
   rec.actuation_pending = to_bool(fields.next(i++));
-  // Optional ingest block: absent on synchronous-source records, all four
-  // fields present on streaming ones.
-  if (std::optional<std::string> ing = fields.next_optional(i++)) {
-    rec.samples_ingested = static_cast<std::size_t>(to_u64(*ing));
-    rec.late_samples = static_cast<std::size_t>(to_u64(fields.next(i++)));
-    rec.duplicate_samples = static_cast<std::size_t>(to_u64(fields.next(i++)));
-    rec.overflow_drops = static_cast<std::size_t>(to_u64(fields.next(i++)));
+  // Optional trailing blocks, each all-or-nothing: the ingest block
+  // (absent on synchronous-source records) then the cluster block
+  // (absent on coordinator-free records). A record may carry either,
+  // both, or neither; the raw() token's own key says which comes next.
+  std::optional<std::string> tail = fields.raw();
+  if (tail && tail->rfind("ing=", 0) == 0) {
+    rec.samples_ingested =
+        static_cast<std::size_t>(to_u64(strip_field(*tail, "ing")));
+    rec.late_samples = static_cast<std::size_t>(to_u64(fields.next(20)));
+    rec.duplicate_samples = static_cast<std::size_t>(to_u64(fields.next(21)));
+    rec.overflow_drops = static_cast<std::size_t>(to_u64(fields.next(22)));
+    tail = fields.raw();
+  }
+  if (tail) {
+    rec.migrations_out =
+        static_cast<std::size_t>(to_u64(strip_field(*tail, "migout")));
+    rec.migrations_in = static_cast<std::size_t>(to_u64(fields.next(24)));
   }
   fields.finish();
   return rec;
@@ -213,6 +235,17 @@ std::string serialize_run_log(const RunLog& log) {
     out += "records \"" + host.name + "\" " +
            std::to_string(host.records.size()) + "\n";
     for (const std::string& line : host.records) {
+      out += line;
+      out += '\n';
+    }
+  }
+  // Coordinator decision log (DESIGN.md §18): framed by an exact line
+  // count like the scenario block, always the last section. Omitted for
+  // coordinator-free runs so their historical encoding is untouched.
+  if (!log.cluster_events.empty()) {
+    out += "cluster-events " + std::to_string(log.cluster_events.size()) +
+           "\n";
+    for (const std::string& line : log.cluster_events) {
       out += line;
       out += '\n';
     }
@@ -265,6 +298,24 @@ RunLog parse_run_log(std::istream& in) {
 
   read_line("records or end");
   while (line != "end") {
+    if (line.rfind("cluster-events ", 0) == 0) {
+      if (!log.cluster_events.empty()) {
+        fail(line_no, "duplicate cluster-events section");
+      }
+      std::uint64_t events = 0;
+      if (!parse_u64(line.substr(15), events) || events == 0) {
+        fail(line_no, "bad cluster-events count '" + line.substr(15) + "'");
+      }
+      for (std::uint64_t i = 0; i < events; ++i) {
+        read_line("cluster event");
+        log.cluster_events.push_back(line);
+      }
+      read_line("end");
+      if (line != "end") {
+        fail(line_no, "cluster-events must be the last section before 'end'");
+      }
+      continue;
+    }
     if (line.rfind("records \"", 0) != 0) {
       fail(line_no, "expected 'records \"<host>\" <count>', got '" + line +
                         "'");

@@ -16,6 +16,8 @@
 //   ...one serialized PeriodRecord per line...
 //   records "host1" <period-count>
 //   ...
+//   cluster-events <line-count>        # only on coordinated runs (§18)
+//   ...one coordinator decision line per event, in decision order...
 //   end
 #pragma once
 
@@ -41,6 +43,10 @@ struct RunLog {
   /// Canonical scenario document (serialize_fleet_scenario output).
   std::string scenario_text;
   std::vector<HostStream> hosts;
+  /// Coordinator decision log for coordinated runs (ClusterReport::
+  /// events, the `cluster-events` section); empty otherwise. Replay
+  /// byte-diffs it like a host stream.
+  std::vector<std::string> cluster_events;
 };
 
 /// Canonical single-line form of a PeriodRecord, with exact-round-trip

@@ -21,7 +21,14 @@ SimVm::SimVm(VmId id, std::string name, VmKind kind,
 bool SimVm::active(SimTime now) const { return present(now) && !paused_; }
 
 bool SimVm::present(SimTime now) const {
-  return now >= start_time_ && !app_->finished();
+  return !detached_ && now >= start_time_ && !app_->finished();
+}
+
+void SimVm::attach(SimTime now) {
+  SA_REQUIRE(now >= 0.0, "attach time must be non-negative");
+  detached_ = false;
+  paused_ = false;
+  start_time_ = now;
 }
 
 }  // namespace stayaway::sim

@@ -44,6 +44,14 @@ class SimVm {
   void resume() { paused_ = false; }
   bool paused() const { return paused_; }
 
+  /// Migration-out analogue: a detached VM has left the host entirely —
+  /// it is never present, demands nothing, and keeps its work ledger.
+  void detach() { detached_ = true; }
+  /// Migration-in analogue (cold restart): the VM re-arrives at `now`
+  /// unpaused; its app resumes from wherever its internal clock left off.
+  void attach(SimTime now);
+  bool detached() const { return detached_; }
+
   /// Active means: arrived, not finished, not paused.
   bool active(SimTime now) const;
 
@@ -70,6 +78,7 @@ class SimVm {
   SimTime start_time_;
   int priority_;
   bool paused_ = false;
+  bool detached_ = false;
   Allocation last_allocation_;
   double cpu_work_done_ = 0.0;
   double paused_time_ = 0.0;

@@ -19,6 +19,8 @@
 #include "core/period.hpp"
 #include "harness/fleet.hpp"
 #include "harness/rig.hpp"
+#include "harness/scenario_file.hpp"
+#include "replay/replay.hpp"
 #include "sim/faults.hpp"
 #include "util/statecodec.hpp"
 
@@ -141,9 +143,9 @@ std::string sample_blob() {
 
 TEST(CheckpointEnvelope, VersionMismatchIsItsOwnError) {
   std::string blob = sample_blob();
-  ASSERT_NE(blob.find("stayaway-checkpoint v1\n"), std::string::npos);
+  ASSERT_NE(blob.find("stayaway-checkpoint v2\n"), std::string::npos);
   std::string wrong = blob;
-  wrong.replace(wrong.find("v1\n"), 3, "v2\n");
+  wrong.replace(wrong.find("v2\n"), 3, "v3\n");
 
   ExperimentSpec spec = short_spec();
   spec.duration_s = 12.0;
@@ -172,7 +174,7 @@ TEST(CheckpointEnvelope, TruncationAndTrailingGarbageRejected) {
 
   for (const std::string& damaged :
        {blob.substr(0, blob.size() - 10), blob.substr(0, blob.size() / 2),
-        blob + "extra = 1\n", std::string("stayaway-checkpoint v1\n")}) {
+        blob + "extra = 1\n", std::string("stayaway-checkpoint v2\n")}) {
     FleetSpec fleet;
     fleet.hosts.push_back({"solo", spec});
     fleet.restore["solo"] = damaged;
@@ -419,6 +421,87 @@ TEST(SupervisorGolden, FleetSurvivesSingleHostCrash) {
   ExperimentResult solo = run_experiment(crash_spec);
   expect_records_byte_identical(r.hosts[3].result.stayaway_records,
                                 solo.stayaway_records);
+}
+
+// --- Migration × recovery (DESIGN.md §18) ------------------------------
+
+/// Coordinated three-host scenario whose mobile cpubomb migrates off
+/// web-a mid-run; the crash variant kills web-a shortly after the first
+/// migration, so recovery must gap-replay periods whose coordinator
+/// directives (gates, attaches) the supervisor re-applies through
+/// ClusterCoordinator::replay_host_period.
+constexpr const char* kClusterRecoveryScenario = R"(sensitive  = webservice-cpu
+batch      = none
+policy     = stay-away
+duration_s = 80
+workload   = constant
+[host "web-a"]
+seed = 3
+%%FAULTS%%[host "web-b"]
+seed = 5
+[host "web-c"]
+seed = 7
+[cluster]
+mobile = crunch:cpubomb:web-a:20
+)";
+
+FleetScenario cluster_recovery_doc(bool with_crash) {
+  std::string text = kClusterRecoveryScenario;
+  std::string faults;
+  if (with_crash) {
+    faults =
+        "fault_seed = 1\n"
+        "fault = host-crash start=40 end=41\n";
+  }
+  text.replace(text.find("%%FAULTS%%"), std::string("%%FAULTS%%").size(),
+               faults);
+  std::istringstream in(text);
+  return parse_fleet_scenario(in);
+}
+
+TEST(ClusterRecovery, CrashedMigrationRunMatchesCleanRun) {
+  replay::RecordedRun clean =
+      replay::record_run(replay::canonical_fleet(cluster_recovery_doc(false),
+                                                 0));
+  ASSERT_TRUE(clean.result.cluster.has_value());
+  EXPECT_GE(clean.result.cluster->migrations, 1u);
+
+  FleetSpec crashed_spec =
+      replay::to_fleet_spec(replay::canonical_fleet(cluster_recovery_doc(true),
+                                                    0));
+  crashed_spec.checkpoint_every = 10;
+  FleetResult crashed = run_fleet(crashed_spec);
+  ASSERT_TRUE(crashed.cluster.has_value());
+  EXPECT_GE(crashed.hosts.at(0).recovery.crashes, 1u);
+  EXPECT_EQ(crashed.hosts.at(0).recovery.divergences, 0u);
+
+  // The crash-class fault draws nothing from the RNG and the recovered
+  // member replays its coordinator directives, so both the cluster event
+  // log and every host stream must be byte-identical to the clean run.
+  EXPECT_EQ(crashed.cluster->events, clean.result.cluster->events);
+  ASSERT_EQ(crashed.hosts.size(), clean.result.hosts.size());
+  for (std::size_t h = 0; h < crashed.hosts.size(); ++h) {
+    expect_records_byte_identical(
+        crashed.hosts[h].result.stayaway_records,
+        clean.result.hosts[h].result.stayaway_records);
+  }
+}
+
+TEST(ClusterRecovery, CrashedMigrationRunReplaysByteIdentical) {
+  // Record the crashing coordinated run itself, then re-execute its
+  // embedded scenario: migrations, admission bookkeeping and recovery
+  // must all come back byte-for-byte.
+  replay::RecordedRun run =
+      replay::record_run(replay::canonical_fleet(cluster_recovery_doc(true),
+                                                 0));
+  ASSERT_TRUE(run.result.cluster.has_value());
+  EXPECT_GE(run.result.cluster->migrations, 1u);
+  EXPECT_GE(run.result.hosts.at(0).recovery.crashes, 1u);
+  EXPECT_FALSE(run.log.cluster_events.empty());
+
+  replay::ReplayReport report = replay::replay_run_log(run.log);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_GT(report.periods_checked, 0u);
 }
 
 }  // namespace

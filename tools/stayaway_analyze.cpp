@@ -13,8 +13,12 @@
 //                    include it: stages serialize through the
 //                    StateWriter handed to save_state(), the envelope /
 //                    checksum / restore I/O stays in the supervisor
-//                    layer. System includes are ignored — usage is
-//                    policed by the determinism pass.
+//                    layer. The cluster coordinator (src/core/cluster/)
+//                    is likewise its own entry above core and may never
+//                    include sim/ (not even sim/vm.hpp): it reads hosts
+//                    through the core/pipeline.hpp seam and takes IDs
+//                    from core/stages/stage.hpp. System includes are
+//                    ignored — usage is policed by the determinism pass.
 //   lock-discipline  any mutable field of a class that owns a mutex must
 //                    carry SA_GUARDED_BY / SA_PT_GUARDED_BY
 //                    (src/util/annotations.hpp) or an explicit
@@ -339,6 +343,13 @@ std::string module_of(const std::string& path) {
           parts[i + 2].starts_with("checkpoint.")) {
         return "checkpoint";
       }
+      // The cluster coordinator also lives in src/core/ but sits ABOVE
+      // the pipeline (it orchestrates many of them across hosts), so it
+      // is its own layering entry with its own isolation rule below.
+      if (parts[i + 1] == "core" && i + 2 < parts.size() &&
+          parts[i + 2] == "cluster") {
+        return "cluster";
+      }
       return parts[i + 1];
     }
   }
@@ -347,6 +358,7 @@ std::string module_of(const std::string& path) {
 
 std::string include_module(const std::string& header) {
   if (header == "core/checkpoint.hpp") return "checkpoint";
+  if (header.starts_with("core/cluster/")) return "cluster";
   std::size_t slash = header.find('/');
   if (slash == std::string::npos) return "";
   return header.substr(0, slash);
@@ -370,11 +382,15 @@ const std::map<std::string, std::set<std::string>>& layering() {
        {"util", "linalg", "stats", "mds", "trace", "sim", "monitor", "obs",
         "checkpoint"}},
       {"checkpoint", {"util", "core"}},
+      // The coordinator scores and migrates across HostPipelines: core
+      // (pipeline seam, stages, statespace) and the checkpoint codec —
+      // but never sim (see the cluster-isolation rule).
+      {"cluster", {"util", "core", "checkpoint"}},
       {"baseline", {"util", "sim", "core"}},
       {"replay", {"util", "core", "harness"}},
       {"harness",
        {"util", "linalg", "stats", "mds", "trace", "sim", "monitor", "obs",
-        "core", "baseline", "apps", "checkpoint"}},
+        "core", "baseline", "apps", "checkpoint", "cluster"}},
   };
   return kAllowed;
 }
@@ -382,6 +398,7 @@ const std::map<std::string, std::set<std::string>>& layering() {
 void include_graph_pass(const SourceFile& f, std::vector<Finding>& out) {
   const std::string mod = module_of(f.path);
   const bool in_stages = path_has_dir(f.path, "stages/");
+  const bool in_cluster = mod == "cluster";
   for (std::size_t i = 0; i < f.tokens.size(); ++i) {
     const Token& t = f.tokens[i];
     if (t.kind == Tok::HeaderName && !t.text.starts_with("<")) {
@@ -409,6 +426,19 @@ void include_graph_pass(const SourceFile& f, std::vector<Finding>& out) {
                            t.text});
         continue;
       }
+      // Cluster isolation: the coordinator observes hosts through the
+      // read-only HostPipeline seam (core/pipeline.hpp) and actuates
+      // through stage commands; it must never reach into sim/ directly,
+      // not even for the ID vocabulary (IDs arrive via
+      // core/stages/stage.hpp).
+      if (in_cluster && dep == "sim") {
+        out.push_back({f.path, t.line, "include-graph", "cluster-isolation",
+                       "the cluster coordinator must not include " + t.text +
+                           "; it reads host state through the "
+                           "core/pipeline.hpp seam and actuates through "
+                           "stage commands, never sim/ directly"});
+        continue;
+      }
       if (!mod.empty() && layering().count(dep) != 0 && dep != mod) {
         const std::set<std::string>& allowed = layering().at(mod);
         if (allowed.count(dep) == 0) {
@@ -429,6 +459,11 @@ void include_graph_pass(const SourceFile& f, std::vector<Finding>& out) {
       out.push_back({f.path, t.line, "include-graph", "stage-isolation",
                      "pipeline stages must not touch sim::SimHost "
                      "directly; go through the ActuationPort seam"});
+    }
+    if (in_cluster && t.kind == Tok::Ident && t.text == "SimHost") {
+      out.push_back({f.path, t.line, "include-graph", "cluster-isolation",
+                     "the cluster coordinator must not touch sim::SimHost "
+                     "directly; go through the HostPipeline seam"});
     }
   }
 }
@@ -1032,6 +1067,29 @@ std::vector<Fixture> self_test_fixtures() {
   f.push_back({"statecodec-in-stage-ok", "src/core/stages/inc12.cpp",
                "#include \"util/statecodec.hpp\"\n",
                {}});
+  f.push_back({"cluster-include-sim-host", "src/core/cluster/inc14.cpp",
+               "#include \"sim/host.hpp\"\n",
+               {"cluster-isolation"}});
+  f.push_back({"cluster-include-sim-vm", "src/core/cluster/inc15.cpp",
+               "#include \"sim/vm.hpp\"\n",
+               {"cluster-isolation"}});
+  f.push_back({"cluster-include-core-ok", "src/core/cluster/inc16.cpp",
+               "#include \"core/pipeline.hpp\"\n"
+               "#include \"core/checkpoint.hpp\"\n"
+               "#include \"core/stages/stage.hpp\"\n",
+               {}});
+  f.push_back({"cluster-include-harness", "src/core/cluster/inc17.cpp",
+               "#include \"harness/fleet.hpp\"\n",
+               {"layering"}});
+  f.push_back({"simhost-in-cluster", "src/core/cluster/inc18.cpp",
+               "void f(sim::SimHost& host);\n",
+               {"cluster-isolation"}});
+  f.push_back({"harness-include-cluster-ok", "src/harness/inc19.cpp",
+               "#include \"core/cluster/coordinator.hpp\"\n",
+               {}});
+  f.push_back({"replay-include-cluster", "src/replay/inc20.cpp",
+               "#include \"core/cluster/score.hpp\"\n",
+               {"layering"}});
   f.push_back({"checkpoint-in-core-ok", "src/core/inc13.cpp",
                "#include \"core/checkpoint.hpp\"\n",
                {}});

@@ -39,9 +39,19 @@
 //                        supervised automatically)
 //   --checkpoint-every N supervisor checkpoint cadence in periods
 //   --checkpoint-dir D   write each host's end-of-run checkpoint to
-//                        D/<host>.ckpt
+//                        D/<host>.ckpt (plus D/coordinator.ckpt on
+//                        coordinated runs)
 //   --restore D          warm-start each host from D/<host>.ckpt when the
-//                        file exists (hosts without one start cold)
+//                        file exists (hosts without one start cold; a
+//                        coordinated run also reads D/coordinator.ckpt)
+//
+// Cluster coordination (DESIGN.md §18):
+//   --cluster on|off     force the scenario's [cluster] section on
+//                        (requires one) or strip it — the coordinator-off
+//                        fleet is byte-identical to an uncoordinated run
+//   --migrate on|off     override the [cluster] `migrate` knob: off keeps
+//                        admission control but never opens migration
+//                        gates, so violating hosts pause instead
 //
 // The scenario format is documented in src/harness/scenario_file.hpp.
 // Prints the QoS/utilization summary (and the full comparison when
@@ -100,6 +110,7 @@ constexpr const char* kUsage =
     "                    [--ingest-rate HZ] [--record FILE]\n"
     "                    [--supervise] [--checkpoint-every N]\n"
     "                    [--checkpoint-dir DIR] [--restore DIR]\n"
+    "                    [--cluster on|off] [--migrate on|off]\n"
     "                    <scenario-file | - | --example>\n"
     "       stayaway_sim --replay FILE\n";
 
@@ -120,6 +131,11 @@ struct Options {
   std::size_t checkpoint_every = 0;
   std::optional<std::string> checkpoint_dir;
   std::optional<std::string> restore_dir;
+  // --- Cluster coordination (DESIGN.md §18). --------------------------
+  /// --cluster on|off: force/strip the scenario's [cluster] section.
+  std::optional<bool> cluster_on;
+  /// --migrate on|off: override the [cluster] `migrate` knob.
+  std::optional<bool> migrate_on;
 
   bool recovery_requested() const {
     return supervise || checkpoint_every != 0 ||
@@ -289,6 +305,7 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
     fleet = replicate_fleet(doc.base.spec, opts.hosts, doc.base.spec.seed,
                             workers);
   }
+  fleet.cluster = doc.cluster;
 
   fleet.supervise = opts.supervise;
   fleet.checkpoint_every = opts.checkpoint_every;
@@ -302,6 +319,16 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
       blob << ckpt.rdbuf();
       fleet.restore[host.name] = blob.str();
       std::cout << "restoring " << host.name << " from " << path << "\n";
+    }
+    if (fleet.cluster.has_value()) {
+      std::string path = *opts.restore_dir + "/coordinator.ckpt";
+      std::ifstream ckpt(path, std::ios::binary);
+      if (ckpt.good()) {
+        std::ostringstream blob;
+        blob << ckpt.rdbuf();
+        fleet.cluster->restore = blob.str();
+        std::cout << "restoring coordinator from " << path << "\n";
+      }
     }
   }
 
@@ -320,8 +347,14 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
   }
 
   std::cout << "running fleet: " << fleet.hosts.size() << " hosts, "
-            << fleet.workers << " worker" << (fleet.workers == 1 ? "" : "s")
-            << "\n";
+            << fleet.workers << " worker" << (fleet.workers == 1 ? "" : "s");
+  if (fleet.cluster.has_value()) {
+    std::cout << ", coordinated (migrate "
+              << (fleet.cluster->config.migrate ? "on" : "off") << ", "
+              << fleet.cluster->mobile.size() << " mobile, "
+              << fleet.cluster->admissions.size() << " incoming)";
+  }
+  std::cout << "\n";
   for (const FleetHostSpec& host : fleet.hosts) {
     std::cout << "  " << host.name << ": "
               << to_string(host.experiment.sensitive) << " + "
@@ -360,6 +393,17 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
     }
   }
 
+  if (result.cluster.has_value()) {
+    const ClusterReport& cluster = *result.cluster;
+    std::cout << "cluster: " << cluster.migrations << " migration"
+              << (cluster.migrations == 1 ? "" : "s") << ", "
+              << cluster.admitted << " admitted, " << cluster.rejected
+              << " rejected, " << cluster.queued << " still queued\n";
+    for (const std::string& event : cluster.events) {
+      std::cout << "  " << event << "\n";
+    }
+  }
+
   if (opts.checkpoint_dir.has_value()) {
     std::error_code ec;
     std::filesystem::create_directories(*opts.checkpoint_dir, ec);
@@ -378,6 +422,17 @@ int run_fleet_mode(const stayaway::harness::FleetScenario& doc,
     }
     std::cout << "checkpoints written: " << *opts.checkpoint_dir << " ("
               << written << " of " << result.hosts.size() << " hosts)\n";
+    if (result.cluster.has_value() &&
+        !result.cluster->final_coordinator.empty()) {
+      std::string path = *opts.checkpoint_dir + "/coordinator.ckpt";
+      std::ofstream out(path, std::ios::binary);
+      SA_REQUIRE(out.good(), "cannot write checkpoint: " + path);
+      const std::string& blob = result.cluster->final_coordinator;
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+      out.flush();
+      SA_REQUIRE(out.good(), "failed writing checkpoint: " + path);
+      std::cout << "coordinator checkpoint written: " << path << "\n";
+    }
   }
 
   if (observer.has_value()) {
@@ -436,7 +491,18 @@ int run_record_mode(const stayaway::harness::FleetScenario& doc,
   for (const auto& host : run.log.hosts) periods += host.records.size();
   std::cout << "recorded: " << *opts.record << " (" << run.log.hosts.size()
             << " host" << (run.log.hosts.size() == 1 ? "" : "s") << ", "
-            << periods << " periods)\n\n";
+            << periods << " periods";
+  if (!run.log.cluster_events.empty()) {
+    std::cout << ", " << run.log.cluster_events.size() << " cluster events";
+  }
+  std::cout << ")\n\n";
+  if (run.result.cluster.has_value()) {
+    const ClusterReport& cluster = *run.result.cluster;
+    std::cout << "cluster: " << cluster.migrations << " migration"
+              << (cluster.migrations == 1 ? "" : "s") << ", "
+              << cluster.admitted << " admitted, " << cluster.rejected
+              << " rejected, " << cluster.queued << " still queued\n\n";
+  }
   print_summary_header(std::cout);
   for (const FleetHostResult& host : run.result.hosts) {
     print_summary_row(std::cout, host.name, host.result);
@@ -489,6 +555,19 @@ int run(std::istream& in, const Options& opts) {
       to_ring(scenario);
     }
   }
+  if (opts.cluster_on.has_value()) {
+    if (*opts.cluster_on) {
+      SA_REQUIRE(doc.cluster.has_value(),
+                 "--cluster on needs a [cluster] section in the scenario");
+    } else {
+      doc.cluster.reset();
+    }
+  }
+  if (opts.migrate_on.has_value()) {
+    SA_REQUIRE(doc.cluster.has_value(),
+               "--migrate needs an active [cluster] section");
+    doc.cluster->config.migrate = *opts.migrate_on;
+  }
   if (opts.record.has_value()) return run_record_mode(doc, opts);
   // Plain documents without --hosts keep the historical single-host path
   // (and its exact output) — fleet mode is strictly opt-in, except that
@@ -520,6 +599,22 @@ int main(int argc, char** argv) {
     }
     if (arg == "--supervise") {
       opts.supervise = true;
+      continue;
+    }
+    if (arg == "--cluster" || arg == "--migrate") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs on|off\n" << kUsage;
+        return 2;
+      }
+      std::string value = argv[++i];
+      if (value != "on" && value != "off") {
+        std::cerr << "error: " << arg << " needs on|off, got '" << value
+                  << "'\n"
+                  << kUsage;
+        return 2;
+      }
+      (arg == "--cluster" ? opts.cluster_on : opts.migrate_on) =
+          (value == "on");
       continue;
     }
     if (arg == "--events-out" || arg == "--metrics-out" || arg == "--faults" ||
@@ -592,7 +687,8 @@ int main(int argc, char** argv) {
     if (have_scenario || opts.record.has_value() || opts.faults.has_value() ||
         opts.events_out.has_value() || opts.metrics_out.has_value() ||
         opts.hosts != 0 || opts.workers != 0 ||
-        opts.ingest_rate.has_value() || opts.recovery_requested()) {
+        opts.ingest_rate.has_value() || opts.recovery_requested() ||
+        opts.cluster_on.has_value() || opts.migrate_on.has_value()) {
       std::cerr << "error: --replay takes no scenario and no other flags\n"
                 << kUsage;
       return 2;
